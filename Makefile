@@ -1,0 +1,48 @@
+# Standard development entry points. Everything is stdlib-only Go; no
+# external dependencies or network access required.
+
+GO ?= go
+
+.PHONY: all build test race bench table fuzz fmt vet examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Full benchmark sweep: Table I columns T and M, the Section VI-C
+# comparisons, and the construction ablations.
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Regenerate Table I (sampled; raise -n for tighter D estimates).
+table:
+	$(GO) run ./cmd/tableone -n 1000
+
+fuzz:
+	$(GO) test ./internal/java/parser -fuzz FuzzParse -fuzztime 30s
+	$(GO) test ./internal/interp -fuzz FuzzRun -fuzztime 30s
+
+fmt:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/assignment1
+	$(GO) run ./examples/moocbatch -n 200
+	$(GO) run ./examples/badpatterns
+	$(GO) run ./examples/multimethod
+	$(GO) run ./examples/futurework
+
+clean:
+	$(GO) clean ./...
+	rm -f test_output.txt bench_output.txt

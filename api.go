@@ -1,0 +1,180 @@
+package semfeed
+
+import (
+	"semfeed/internal/constraint"
+	"semfeed/internal/core"
+	"semfeed/internal/functest"
+	"semfeed/internal/interp"
+	"semfeed/internal/java/parser"
+	"semfeed/internal/match"
+	"semfeed/internal/pattern"
+	"semfeed/internal/pdg"
+)
+
+// The root package re-exports the library's public surface so downstream
+// users import just "semfeed". The internal packages remain the homes of the
+// implementations; see their docs for details.
+
+// Grading engine (Algorithm 2).
+type (
+	// Grader grades submissions against assignment specs.
+	Grader = core.Grader
+	// Options tune the grader, including the future-work extensions
+	// (InlineHelpers) and the EPDG construction ablations (BuildOptions).
+	Options = core.Options
+	// AssignmentSpec wires patterns, groups and constraints to the expected
+	// methods of one assignment.
+	AssignmentSpec = core.AssignmentSpec
+	// MethodSpec describes one expected method.
+	MethodSpec = core.MethodSpec
+	// PatternUse attaches a pattern with its expected occurrence count;
+	// count 0 declares a bad pattern.
+	PatternUse = core.PatternUse
+	// GroupUse attaches a pattern variability group.
+	GroupUse = core.GroupUse
+	// Strategy is a reusable pattern/constraint bundle enforcing one
+	// algorithmic approach.
+	Strategy = core.Strategy
+	// Report is the personalized feedback for one submission.
+	Report = core.Report
+	// Comment is one feedback item of a report.
+	Comment = core.Comment
+	// Status classifies a comment: Correct, Incorrect or NotExpected.
+	Status = core.Status
+)
+
+// Comment statuses with their Λ weights (Equation 3 of the paper).
+const (
+	Correct     = core.Correct
+	Incorrect   = core.Incorrect
+	NotExpected = core.NotExpected
+)
+
+// NewGrader returns a grader with the given options.
+func NewGrader(opts Options) *Grader { return core.NewGrader(opts) }
+
+// Patterns (Definitions 4-7).
+type (
+	// Pattern is the serializable pattern form.
+	Pattern = pattern.Pattern
+	// PatternNode is one node of a pattern.
+	PatternNode = pattern.Node
+	// PatternEdge is one edge of a pattern.
+	PatternEdge = pattern.Edge
+	// NodeFeedback holds a node's correct/incorrect feedback templates.
+	NodeFeedback = pattern.NodeFeedback
+	// CompiledPattern is a validated, matchable pattern.
+	CompiledPattern = pattern.Compiled
+	// PatternGroup clusters alternative patterns with the same semantics.
+	PatternGroup = pattern.Group
+	// Embedding is a match of a pattern in an EPDG (ι plus γ).
+	Embedding = match.Embedding
+)
+
+// CompilePattern validates a pattern and compiles its templates.
+func CompilePattern(p *Pattern) (*CompiledPattern, error) { return pattern.Compile(p) }
+
+// MustCompilePattern is CompilePattern that panics on error.
+func MustCompilePattern(p *Pattern) *CompiledPattern { return pattern.MustCompile(p) }
+
+// NewPatternGroup builds a variability group from alternative patterns.
+func NewPatternGroup(name, description, missing string, members ...*CompiledPattern) (*PatternGroup, error) {
+	return pattern.NewGroup(name, description, missing, members...)
+}
+
+// FindEmbeddings runs Algorithm 1: all embeddings of p in g.
+func FindEmbeddings(p *CompiledPattern, g *Graph) []Embedding { return match.Find(p, g) }
+
+// Constraints (Definitions 8-10).
+type (
+	// Constraint is the serializable constraint form.
+	Constraint = constraint.Constraint
+	// CompiledConstraint is a validated constraint bound to patterns.
+	CompiledConstraint = constraint.Compiled
+	// ConstraintFeedback holds a constraint's satisfied/violated messages.
+	ConstraintFeedback = constraint.Feedback
+)
+
+// Constraint kinds.
+const (
+	Equality      = constraint.Equality
+	EdgeExistence = constraint.EdgeExistence
+	Containment   = constraint.Containment
+)
+
+// CompileConstraint validates a constraint against a pattern registry.
+func CompileConstraint(c *Constraint, patterns map[string]*CompiledPattern) (*CompiledConstraint, error) {
+	return constraint.Compile(c, patterns)
+}
+
+// Extended program dependence graphs (Definitions 1-3).
+type (
+	// Graph is the EPDG of one method.
+	Graph = pdg.Graph
+	// GraphNode is one typed expression node.
+	GraphNode = pdg.Node
+	// BuildOpts select the EPDG construction conventions.
+	BuildOpts = pdg.BuildOpts
+)
+
+// ParseJava parses a Java-subset compilation unit.
+var ParseJava = parser.Parse
+
+// BuildEPDGs constructs the EPDG of every method in src, keyed by name.
+func BuildEPDGs(src string) (map[string]*Graph, error) {
+	unit, err := parser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return pdg.BuildAll(unit), nil
+}
+
+// Functional testing and execution.
+type (
+	// TestSuite is a functional-test suite (the evaluation's ground truth).
+	TestSuite = functest.Suite
+	// TestCase is one functional test.
+	TestCase = functest.Case
+	// Verdict is the outcome of running a suite.
+	Verdict = functest.Verdict
+	// Value is a runtime value of the Java-subset interpreter.
+	Value = interp.Value
+	// RunConfig configures an interpreter run.
+	RunConfig = interp.Config
+)
+
+// NewIntArray builds a Java int[] value for interpreter arguments.
+func NewIntArray(vals ...int64) Value {
+	arr := &interp.Array{Elem: "int"}
+	for _, v := range vals {
+		arr.Elems = append(arr.Elems, v)
+	}
+	return arr
+}
+
+// NewDoubleArray builds a Java double[] value for interpreter arguments.
+func NewDoubleArray(vals ...float64) Value {
+	arr := &interp.Array{Elem: "double"}
+	for _, v := range vals {
+		arr.Elems = append(arr.Elems, v)
+	}
+	return arr
+}
+
+// NewStringArray builds a Java String[] value for interpreter arguments.
+func NewStringArray(vals ...string) Value {
+	arr := &interp.Array{Elem: "String"}
+	for _, v := range vals {
+		arr.Elems = append(arr.Elems, v)
+	}
+	return arr
+}
+
+// RunJava executes the entry method of src with the given arguments.
+func RunJava(src, entry string, args []Value, cfg RunConfig) (*interp.Result, error) {
+	unit, err := parser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return interp.Run(unit, entry, args, cfg)
+}

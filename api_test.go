@@ -1,0 +1,125 @@
+package semfeed_test
+
+import (
+	"strings"
+	"testing"
+
+	"semfeed"
+)
+
+// TestPublicAPIEndToEnd exercises the library the way a downstream course
+// platform would: define a pattern and a constraint, grade a submission,
+// cross-check with functional testing, and inspect the EPDG — all through
+// the root package.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	maxPat := semfeed.MustCompilePattern(&semfeed.Pattern{
+		Name: "running-max",
+		Vars: []string{"m", "arr", "i"},
+		Nodes: []semfeed.PatternNode{
+			{ID: "seed", Type: "Assign", Exact: []string{"m = arr[0]"}, Approx: []string{"m ="},
+				Feedback: semfeed.NodeFeedback{
+					Correct:   "{m} is seeded with the first element",
+					Incorrect: "Seed {m} with {arr}[0], not a constant — all-negative arrays break otherwise",
+				}},
+			{ID: "guard", Type: "Cond", Exact: []string{"arr[i] > m", "m < arr[i]"}},
+			{ID: "update", Type: "Assign", Exact: []string{"m = arr[i]"}},
+		},
+		Edges: []semfeed.PatternEdge{
+			{From: "seed", To: "guard", Type: "Data"},
+			{From: "guard", To: "update", Type: "Ctrl"},
+		},
+		Present: "You track the running maximum in {m}",
+		Missing: "No running-maximum found: compare each element against the best so far",
+	})
+	printPat := semfeed.MustCompilePattern(&semfeed.Pattern{
+		Name: "max-printed",
+		Vars: []string{"d"},
+		Nodes: []semfeed.PatternNode{
+			{ID: "calc", Type: "Assign", Exact: []string{"d"}},
+			{ID: "out", Type: "Call", Exact: []string{`re:System\.out\.println\(.*\b${d}\b.*\)`}},
+		},
+		Edges:   []semfeed.PatternEdge{{From: "calc", To: "out", Type: "Data"}},
+		Present: "The maximum is printed",
+		Missing: "The maximum is never printed",
+	})
+	con, err := semfeed.CompileConstraint(&semfeed.Constraint{
+		Name: "max-is-printed-value", Kind: semfeed.EdgeExistence,
+		Pi: "running-max", Ui: "update", Pj: "max-printed", Uj: "out", EdgeType: "Data",
+		Feedback: semfeed.ConstraintFeedback{
+			Satisfied: "You print the tracked maximum",
+			Violated:  "The printed value is not the tracked maximum",
+		},
+	}, map[string]*semfeed.CompiledPattern{"running-max": maxPat, "max-printed": printPat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := &semfeed.AssignmentSpec{
+		Name: "find-max",
+		Methods: []semfeed.MethodSpec{{
+			Name: "findMax",
+			Patterns: []semfeed.PatternUse{
+				{Pattern: maxPat, Count: 1},
+				{Pattern: printPat, Count: 1},
+			},
+			Constraints: []*semfeed.CompiledConstraint{con},
+		}},
+	}
+
+	buggy := `void findMax(int[] v) {
+	  int best = 0;
+	  for (int k = 0; k < v.length; k++)
+	    if (v[k] > best)
+	      best = v[k];
+	  System.out.println(best);
+	}`
+
+	report, err := semfeed.NewGrader(semfeed.Options{}).Grade(buggy, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.AllCorrect() {
+		t.Fatal("the zero seed must be flagged")
+	}
+	if !strings.Contains(report.String(), "Seed best with v[0]") {
+		t.Errorf("feedback should name the student's variables:\n%s", report)
+	}
+
+	// Functional cross-check through the same facade: the zero seed is
+	// exactly the bug an all-negative input exposes.
+	suite := &semfeed.TestSuite{
+		Entry: "findMax",
+		Cases: []semfeed.TestCase{{
+			Name: "all-negative",
+			Args: []semfeed.Value{semfeed.NewIntArray(-5, -2, -9)},
+			Want: "-2",
+		}},
+	}
+	verdict, err := suite.RunSource(buggy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if verdict.Pass {
+		t.Error("functional tests should also catch the zero seed")
+	}
+	res, err := semfeed.RunJava(buggy, "findMax",
+		[]semfeed.Value{semfeed.NewIntArray(-5, -2, -9)}, semfeed.RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(res.Stdout) != "0" {
+		t.Errorf("the zero-seed bug should surface on all-negative input, got %q", res.Stdout)
+	}
+
+	// EPDG inspection.
+	graphs, err := semfeed.BuildEPDGs(buggy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graphs["findMax"]
+	if g == nil || len(g.Nodes) == 0 {
+		t.Fatal("no EPDG built")
+	}
+	if embs := semfeed.FindEmbeddings(maxPat, g); len(embs) != 1 || embs[0].AllCorrect() {
+		t.Errorf("expected one approximate embedding, got %v", embs)
+	}
+}

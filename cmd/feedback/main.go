@@ -1,0 +1,103 @@
+// Command feedback grades a Java submission against one of the twelve
+// built-in assignments and prints the personalized feedback report.
+//
+// Usage:
+//
+//	feedback -assignment assignment1 submission.java
+//	cat submission.java | feedback -assignment esc-LAB-3-P4-V1
+//	feedback -list
+//	feedback -assignment assignment1 -reference   # grade the reference
+//	feedback -assignment assignment1 -functest submission.java
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"semfeed/internal/assignments"
+	"semfeed/internal/core"
+	"semfeed/internal/pdg"
+)
+
+func main() {
+	var (
+		assignmentID  = flag.String("assignment", "", "assignment ID (see -list)")
+		list          = flag.Bool("list", false, "list the built-in assignments")
+		reference     = flag.Bool("reference", false, "grade the assignment's reference solution")
+		functest      = flag.Bool("functest", false, "also run the functional-test suite")
+		inlineHelpers = flag.Bool("inline", false, "inline simple helper methods before grading (future-work extension)")
+		normalizeElse = flag.Bool("normalize-else", false, "normalize else branches into negated conditions (future-work extension)")
+		jsonOut       = flag.Bool("json", false, "emit the report as JSON (for LMS integration)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range assignments.All() {
+			fmt.Printf("%-18s %-14s %s\n", a.ID, a.Course, a.Description)
+		}
+		return
+	}
+	a := assignments.Get(*assignmentID)
+	if a == nil {
+		fmt.Fprintf(os.Stderr, "feedback: unknown assignment %q (try -list)\n", *assignmentID)
+		os.Exit(2)
+	}
+
+	src, err := readSource(*reference, a)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "feedback: %v\n", err)
+		os.Exit(1)
+	}
+
+	grader := core.NewGrader(core.Options{
+		InlineHelpers: *inlineHelpers,
+		BuildOptions:  pdg.BuildOpts{NormalizeElse: *normalizeElse},
+	})
+	report, err := grader.Grade(src, a.Spec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "feedback: %v\n", err)
+		os.Exit(1)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintf(os.Stderr, "feedback: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Print(report)
+	fmt.Printf("  (feedback computed in %v)\n", report.Elapsed)
+
+	if *functest {
+		verdict, err := a.Tests.RunSource(src)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "functional tests: %v\n", err)
+			os.Exit(1)
+		}
+		if verdict.Pass {
+			fmt.Println("Functional tests: PASS")
+		} else {
+			fmt.Println("Functional tests: FAIL")
+			for _, f := range verdict.Failures {
+				fmt.Printf("  %s\n", f)
+			}
+		}
+	}
+}
+
+func readSource(useReference bool, a *assignments.Assignment) (string, error) {
+	if useReference {
+		return a.Reference(), nil
+	}
+	if flag.NArg() > 0 {
+		data, err := os.ReadFile(flag.Arg(0))
+		return string(data), err
+	}
+	data, err := io.ReadAll(os.Stdin)
+	return string(data), err
+}

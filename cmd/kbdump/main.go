@@ -1,0 +1,59 @@
+// Command kbdump exports the knowledge base — the paper's publicly-available
+// artifact of 24 unique patterns — as JSON on stdout. The output round-trips
+// through pattern.ReadAll, so instructors can edit patterns as data and load
+// them back.
+//
+// Usage:
+//
+//	kbdump > knowledge_base.json
+//	kbdump -list
+//	kbdump -dot seq-odd-access | dot -Tpng -o pattern.png
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"semfeed/internal/kb"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list pattern names and descriptions instead of JSON")
+	dot := flag.String("dot", "", "render one pattern as Graphviz DOT (Figures 4-6 style)")
+	flag.Parse()
+
+	if *dot != "" {
+		for _, name := range kb.Names() {
+			if name == *dot {
+				fmt.Print(kb.Pattern(name).DOT())
+				return
+			}
+		}
+		for _, name := range kb.ExtensionNames() {
+			if name == *dot {
+				fmt.Print(kb.Extension(name).DOT())
+				return
+			}
+		}
+		fmt.Fprintf(os.Stderr, "kbdump: unknown pattern %q\n", *dot)
+		os.Exit(2)
+	}
+
+	if *list {
+		for _, name := range kb.Names() {
+			p := kb.Pattern(name)
+			fmt.Printf("%-24s %s\n", name, p.Source.Description)
+		}
+		fmt.Println("-- extensions (Section VII future work) --")
+		for _, name := range kb.ExtensionNames() {
+			p := kb.Extension(name)
+			fmt.Printf("%-24s %s\n", name, p.Source.Description)
+		}
+		return
+	}
+	if err := kb.ExportJSON(os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "kbdump: %v\n", err)
+		os.Exit(1)
+	}
+}

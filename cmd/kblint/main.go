@@ -1,0 +1,120 @@
+// Command kblint validates an instructor-authored JSON pattern file: every
+// pattern must compile (types, templates, edges, the Vars(r̂) ⊆ Vars(r) rule
+// of Definition 4), and optional probe files let authors check that a
+// pattern matches the code they intend.
+//
+// Usage:
+//
+//	kblint patterns.json
+//	kblint -probe Good.java -pattern array-sum patterns.json
+//	kbdump | kblint /dev/stdin       # the built-in catalog always lints clean
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"strings"
+
+	"semfeed/internal/java/parser"
+	"semfeed/internal/match"
+	"semfeed/internal/pattern"
+	"semfeed/internal/pdg"
+)
+
+func main() {
+	var (
+		probe       = flag.String("probe", "", "Java file to match the patterns against")
+		patternName = flag.String("pattern", "", "restrict the probe to one pattern")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: kblint [-probe file.java [-pattern name]] patterns.json")
+		os.Exit(2)
+	}
+
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	patterns, err := pattern.ReadAll(f)
+	if err != nil {
+		fatal(err)
+	}
+
+	warnings := 0
+	for _, p := range patterns {
+		for _, n := range p.Nodes {
+			// Structural anchors (a bare variable or a wildcard condition)
+			// intentionally carry no feedback; only substantive crucial
+			// templates deserve a correct-feedback line.
+			if n.Crucial() && n.Feedback.Correct == "" && substantive(n.Exact) {
+				fmt.Printf("warn: %s/%s is a crucial anchor without correct-feedback text\n", p.Name(), n.ID)
+				warnings++
+			}
+		}
+		if p.Source.Present == "" || p.Source.Missing == "" {
+			fmt.Printf("warn: %s lacks present/missing feedback\n", p.Name())
+			warnings++
+		}
+		if len(p.Edges) == 0 && len(p.Nodes) > 1 {
+			fmt.Printf("warn: %s has %d nodes but no edges — every node combination will be tried\n",
+				p.Name(), len(p.Nodes))
+			warnings++
+		}
+	}
+	fmt.Printf("%d patterns compile cleanly, %d warnings\n", len(patterns), warnings)
+
+	if *probe == "" {
+		return
+	}
+	src, err := os.ReadFile(*probe)
+	if err != nil {
+		fatal(err)
+	}
+	unit, err := parser.Parse(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	graphs := pdg.BuildAll(unit)
+	for _, p := range patterns {
+		if *patternName != "" && p.Name() != *patternName {
+			continue
+		}
+		for method, g := range graphs {
+			embs := match.Find(p, g)
+			if len(embs) == 0 {
+				continue
+			}
+			fmt.Printf("%s over %s: %d embedding(s)\n", p.Name(), method, len(embs))
+			for i := range embs {
+				if err := match.Verify(&embs[i], g); err != nil {
+					fmt.Printf("  INVALID: %v\n", err)
+					continue
+				}
+				fmt.Printf("  %s\n", embs[i].String())
+			}
+		}
+	}
+}
+
+// substantive reports whether any exact alternative is a real expression
+// fragment (more than one word and not a bare wildcard regex).
+func substantive(alts []string) bool {
+	for _, a := range alts {
+		if strings.HasPrefix(a, "re:.") {
+			continue
+		}
+		if len(strings.Fields(strings.TrimPrefix(a, "re:"))) > 1 {
+			return true
+		}
+	}
+	return false
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "kblint: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,72 @@
+// Bad patterns and semantic detection: two scenarios from the paper.
+//
+// First, a "bad pattern" (expected count 0) — the classic sentinel loop that
+// updates its index twice — firing on a submission.
+//
+// Second, the Figure 7 scenario: a records-file submission that is
+// functionally correct (it counts gold medals right) but semantically
+// nonsensical — it reuses the same position condition to advance the file
+// cursor — and the per-position constraints call it out.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"semfeed/internal/assignments"
+	"semfeed/internal/core"
+	"semfeed/internal/kb"
+)
+
+const doubleUpdate = `void printHalf(int[] a) {
+  int i = 0;
+  while (i < a.length) {
+    System.out.println(a[i]);
+    i++;
+    i++;
+  }
+}`
+
+func main() {
+	grader := core.NewGrader(core.Options{})
+
+	// Scenario 1: the double-index-update bad pattern.
+	spec := &core.AssignmentSpec{
+		Name: "print-all-elements",
+		Methods: []core.MethodSpec{{
+			Name: "printHalf",
+			Patterns: []core.PatternUse{
+				{Pattern: kb.Pattern("counter-increment"), Count: 1},
+				// Count 0 declares the pattern as one that must NOT appear.
+				{Pattern: kb.Pattern("double-index-update"), Count: 0},
+			},
+		}},
+	}
+	fmt.Println("=== Bad pattern: sentinel loop updating its index twice ===")
+	report, err := grader.Grade(doubleUpdate, spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(report)
+
+	// Scenario 2: Figure 7 — functionally correct, semantically incorrect.
+	a := assignments.Get("rit-all-g-medals")
+	fig7 := a.Synth.RenderWith(map[string]int{
+		// The last-name skip reuses the first-name condition (i % 5 == 1),
+		// advancing the cursor twice in one iteration; position 2 is never
+		// consumed by its own guard, yet the counts come out right.
+		"skipBGuard": 1,
+	})
+	fmt.Println("\n=== Figure 7: functionally correct, semantically incorrect ===")
+	fmt.Println(fig7)
+	verdict, err := a.Tests.RunSource(fig7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("functional tests pass: %v\n\n", verdict.Pass)
+	report, err = grader.Grade(fig7, a.Spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(report)
+}

@@ -1,0 +1,116 @@
+// Future work, implemented: the extensions Section VII of the paper plans
+// are available behind options, and this example demonstrates all four on
+// submissions the base system cannot fully assess.
+//
+//  1. Pattern variability groups — the i += 2 even-access strategy.
+//  2. Else normalization — a single if/else covering both parities.
+//  3. Helper-method inlining — parity predicates split into helper methods.
+//  4. Strategy bundles — enforcing one algorithmic approach wholesale.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"semfeed/internal/assignments"
+	"semfeed/internal/core"
+	"semfeed/internal/kb"
+	"semfeed/internal/pdg"
+)
+
+func main() {
+	a := assignments.Get("assignment1")
+	plain := core.NewGrader(core.Options{})
+
+	// 1. Variability groups: the stride-2 strategy is functionally correct
+	// but the base pattern set flags it (Section VI-B, third discrepancy).
+	stride := a.Synth.RenderWith(map[string]int{"evenLoop": 1})
+	grouped := groupedSpec(a.Spec)
+	show("1. stride-2 strategy, base spec", grade(plain, stride, a.Spec))
+	show("   ... with the even-access variability group", grade(plain, stride, grouped))
+
+	// 2. Else normalization: one if/else instead of two ifs.
+	elseSrc := `void assignment1(int[] a) {
+  int odd = 0;
+  int even = 1;
+  for (int i = 0; i < a.length; i++)
+    if (i % 2 == 0)
+      even *= a[i];
+    else
+      odd += a[i];
+  System.out.println(odd);
+  System.out.println(even);
+}`
+	normalizing := core.NewGrader(core.Options{BuildOptions: pdg.BuildOpts{NormalizeElse: true}})
+	show("2. if/else solution, base grader", grade(plain, elseSrc, a.Spec))
+	// Normalization recovers all parity feedback; the remaining deduction is
+	// the assign-print occurrence count, which the if/else structure
+	// legitimately doubles (both initializations stay live on the untaken
+	// branch) — see TestElseNormalizationUnderFullSpec.
+	show("   ... with else normalization", grade(normalizing, elseSrc, a.Spec))
+
+	// 3. Helper inlining: parity predicates in their own methods.
+	decomposed := `boolean isOdd(int i) { return i % 2 == 1; }
+boolean isEven(int i) { return i % 2 == 0; }
+void assignment1(int[] a) {
+  int odd = 0;
+  int even = 1;
+  for (int i = 0; i < a.length; i++) {
+    if (isOdd(i))
+      odd += a[i];
+    if (isEven(i))
+      even *= a[i];
+  }
+  System.out.println(odd);
+  System.out.println(even);
+}`
+	inlining := core.NewGrader(core.Options{InlineHelpers: true})
+	show("3. decomposed solution, base grader", grade(plain, decomposed, a.Spec))
+	show("   ... with helper inlining", grade(inlining, decomposed, a.Spec))
+
+	// 4. Strategy bundles: one call wires the whole approach.
+	spec := &core.AssignmentSpec{Name: "assignment1-strategy", Methods: []core.MethodSpec{{Name: "assignment1"}}}
+	spec.Methods[0].Apply(kb.SequentialParityScanStrategy())
+	show("4. reference under the sequential-parity-scan strategy bundle", grade(plain, a.Reference(), spec))
+}
+
+func grade(g *core.Grader, src string, spec *core.AssignmentSpec) *core.Report {
+	rep, err := g.Grade(src, spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return rep
+}
+
+func show(title string, rep *core.Report) {
+	verdict := "all-Correct"
+	if !rep.AllCorrect() {
+		verdict = "has negative feedback"
+	}
+	fmt.Printf("%-58s -> score %.1f/%.1f (%s)\n", title, rep.Score, rep.MaxScore, verdict)
+}
+
+// groupedSpec swaps the even-access and product patterns for their
+// variability groups (see internal/core group tests for the full version).
+func groupedSpec(base *core.AssignmentSpec) *core.AssignmentSpec {
+	m := base.Methods[0]
+	grouped := core.MethodSpec{Name: m.Name, Groups: []core.GroupUse{
+		{Group: kb.EvenAccessGroup(), Count: 1},
+		{Group: kb.MulAccumGroup(), Count: 1},
+	}}
+	for _, use := range m.Patterns {
+		switch use.Pattern.Name() {
+		case "seq-even-access", "cond-accumulate-mul":
+			continue
+		}
+		grouped.Patterns = append(grouped.Patterns, use)
+	}
+	for _, con := range m.Constraints {
+		switch con.Name() {
+		case "even-access-is-multiplied", "product-is-printed":
+			continue
+		}
+		grouped.Constraints = append(grouped.Constraints, con)
+	}
+	return &core.AssignmentSpec{Name: base.Name + "-grouped", Methods: []core.MethodSpec{grouped}}
+}

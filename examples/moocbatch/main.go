@@ -1,0 +1,87 @@
+// MOOC batch grading: stream a large synthetic submission load through the
+// grader the way a course platform would, and report throughput, verdict
+// distribution, and agreement with functional testing — the operational view
+// behind Table I.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"semfeed/internal/assignments"
+	"semfeed/internal/core"
+	"semfeed/internal/java/parser"
+)
+
+func main() {
+	var (
+		assignmentID = flag.String("assignment", "assignment1", "assignment to grade")
+		n            = flag.Int("n", 500, "submissions to grade")
+	)
+	flag.Parse()
+
+	a := assignments.Get(*assignmentID)
+	if a == nil {
+		log.Fatalf("unknown assignment %q", *assignmentID)
+	}
+	grader := core.NewGrader(core.Options{})
+	sample := a.Synth.Sample(*n)
+
+	var (
+		allCorrect, someIncorrect, notExpected int
+		agree                                  int
+		feedbackTime                           time.Duration
+		funcTime                               time.Duration
+	)
+	for _, k := range sample {
+		src := a.Synth.Render(k)
+		unit, err := parser.Parse(src)
+		if err != nil {
+			log.Fatalf("submission %d: %v", k, err)
+		}
+
+		t0 := time.Now()
+		rep := grader.GradeUnit(unit, a.Spec)
+		feedbackTime += time.Since(t0)
+
+		t1 := time.Now()
+		verdict := a.Tests.Run(unit)
+		funcTime += time.Since(t1)
+
+		switch {
+		case rep.AllCorrect():
+			allCorrect++
+		case hasNotExpected(rep):
+			notExpected++
+		default:
+			someIncorrect++
+		}
+		if verdict.Pass == rep.AllCorrect() {
+			agree++
+		}
+	}
+
+	total := len(sample)
+	fmt.Printf("assignment        %s (|S| = %d)\n", a.ID, a.Synth.Size())
+	fmt.Printf("graded            %d submissions\n", total)
+	fmt.Printf("feedback time     %v total, %v/submission (%0.f submissions/sec)\n",
+		feedbackTime.Round(time.Millisecond), (feedbackTime / time.Duration(total)).Round(time.Microsecond),
+		float64(total)/feedbackTime.Seconds())
+	fmt.Printf("functional time   %v total, %v/submission\n",
+		funcTime.Round(time.Millisecond), (funcTime / time.Duration(total)).Round(time.Microsecond))
+	fmt.Printf("verdicts          %d all-correct, %d with incorrect pieces, %d with missing/unexpected pieces\n",
+		allCorrect, someIncorrect, notExpected)
+	fmt.Printf("agreement         %d/%d with functional testing (%d discrepancies)\n",
+		agree, total, total-agree)
+}
+
+func hasNotExpected(rep *core.Report) bool {
+	for _, c := range rep.Comments {
+		if c.Status == core.NotExpected {
+			return true
+		}
+	}
+	return false
+}

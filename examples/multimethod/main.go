@@ -1,0 +1,75 @@
+// Multiple expected methods: Algorithm 2's best-effort combination search.
+// The assignment expects a factorial method plus a driver that prints a
+// table of factorials; the student renamed both methods, so the grader tries
+// the injective bindings and keeps the one maximizing the Λ score.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"semfeed/internal/constraint"
+	"semfeed/internal/core"
+	"semfeed/internal/kb"
+)
+
+func spec() *core.AssignmentSpec {
+	factorial := core.MethodSpec{
+		Name: "factorial",
+		Patterns: []core.PatternUse{
+			{Pattern: kb.Pattern("running-product"), Count: 1},
+			{Pattern: kb.Pattern("counter-increment"), Count: 1},
+		},
+		Constraints: []*constraint.Compiled{
+			constraint.MustCompile(&constraint.Constraint{
+				Name: "index-multiplies-in", Kind: constraint.EdgeExistence,
+				Pi: "counter-increment", Ui: "u2", Pj: "running-product", Uj: "u2", EdgeType: "Data",
+				Feedback: constraint.Feedback{
+					Satisfied: "Each incremented index multiplies into the product",
+					Violated:  "Multiply the index in after incrementing it",
+				},
+			}, kb.Registry()),
+		},
+	}
+	driver := core.MethodSpec{
+		Name: "printTable",
+		Patterns: []core.PatternUse{
+			// Three data flows reach the println: the loop index, its
+			// initialization, and the fetched factorial value.
+			{Pattern: kb.Pattern("assign-print"), Count: 3},
+		},
+	}
+	return &core.AssignmentSpec{
+		Name:    "factorial-table",
+		Methods: []core.MethodSpec{factorial, driver},
+	}
+}
+
+// The student used her own method names; headers cannot pin the binding.
+const submission = `long fact(int n) {
+  long f = 1;
+  int i = 0;
+  while (i < n) {
+    i++;
+    f *= i;
+  }
+  return f;
+}
+void show(int upTo) {
+  for (int k = 1; k <= upTo; k++) {
+    long v = fact(k);
+    System.out.println(k + "! = " + v);
+  }
+}`
+
+func main() {
+	report, err := core.NewGrader(core.Options{}).Grade(submission, spec())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(report)
+	fmt.Printf("\nmethod bindings chosen by the Λ-maximizing search:\n")
+	for q, h := range report.Bindings {
+		fmt.Printf("  expected %-12s -> submission %s\n", q, h)
+	}
+}

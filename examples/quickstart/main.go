@@ -1,0 +1,101 @@
+// Quickstart: author a pattern, wire it into an assignment spec, and grade a
+// student submission — the minimal end-to-end use of the semfeed API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"semfeed/internal/constraint"
+	"semfeed/internal/core"
+	"semfeed/internal/pattern"
+)
+
+func main() {
+	// 1. A pattern is a small subgraph query over the submission's extended
+	// program dependence graph. This one recognizes "sum the elements of an
+	// array in a loop": an accumulator seeded with 0, a loop condition
+	// bounded by the array length, and an accumulation step reading a[i].
+	sumPattern := pattern.MustCompile(&pattern.Pattern{
+		Name: "array-sum",
+		Vars: []string{"acc", "arr", "idx"},
+		Nodes: []pattern.Node{
+			{ID: "init", Type: "Assign", Exact: []string{"acc = 0"}, Approx: []string{"acc ="},
+				Feedback: pattern.NodeFeedback{
+					Correct:   "{acc} starts at 0",
+					Incorrect: "{acc} should start at 0 for a sum",
+				}},
+			{ID: "bound", Type: "Cond", Exact: []string{"idx < arr.length"},
+				Approx: []string{"idx <= arr.length"},
+				Feedback: pattern.NodeFeedback{
+					Correct:   "{idx} stays below {arr}.length",
+					Incorrect: "{idx} runs past the end of {arr} — use < {arr}.length",
+				}},
+			{ID: "step", Type: "Assign", Exact: []string{"acc += arr[idx]", "acc = acc + arr[idx]"},
+				Feedback: pattern.NodeFeedback{Correct: "{acc} accumulates {arr}[{idx}]"}},
+		},
+		Edges: []pattern.Edge{
+			{From: "init", To: "step", Type: "Data"},
+			{From: "bound", To: "step", Type: "Ctrl"},
+		},
+		Present: "You sum the array {arr} into {acc}",
+		Missing: "No array-summing loop found: accumulate each element into a variable initialized to 0",
+	})
+
+	// A second, reusable pattern: the computed value must be printed.
+	printPattern := pattern.MustCompile(&pattern.Pattern{
+		Name: "result-printed",
+		Vars: []string{"res"},
+		Nodes: []pattern.Node{
+			{ID: "calc", Type: "Assign", Exact: []string{"res"}},
+			{ID: "print", Type: "Call", Exact: []string{`re:System\.out\.print(ln)?\(.*\b${res}\b.*\)`}},
+		},
+		Edges:   []pattern.Edge{{From: "calc", To: "print", Type: "Data"}},
+		Present: "The result in {res} is printed",
+		Missing: "The computed result is never printed",
+	})
+
+	// 2. An assignment spec selects patterns per expected method and may
+	// correlate them with constraints. Here: the printed variable must be
+	// the very accumulator the sum pattern found.
+	spec := &core.AssignmentSpec{
+		Name: "sum-the-array",
+		Methods: []core.MethodSpec{{
+			Name: "sumArray",
+			Patterns: []core.PatternUse{
+				{Pattern: sumPattern, Count: 1},
+				{Pattern: printPattern, Count: 1},
+			},
+			Constraints: []*constraint.Compiled{
+				constraint.MustCompile(&constraint.Constraint{
+					Name: "sum-is-what-prints", Kind: constraint.EdgeExistence,
+					Pi: "array-sum", Ui: "step", Pj: "result-printed", Uj: "print",
+					EdgeType: "Data",
+					Feedback: constraint.Feedback{
+						Satisfied: "You print the accumulated sum",
+						Violated:  "The printed value is not the accumulated sum",
+					},
+				}, map[string]*pattern.Compiled{
+					"array-sum":      sumPattern,
+					"result-printed": printPattern,
+				}),
+			},
+		}},
+	}
+
+	// 3. Grade a submission with the classic off-by-one bound error. The
+	// feedback is instantiated with the student's own variable names.
+	student := `void sumArray(int[] values) {
+	  int total = 0;
+	  for (int j = 0; j <= values.length; j++)
+	    total += values[j];
+	  System.out.println(total);
+	}`
+
+	report, err := core.NewGrader(core.Options{}).Grade(student, spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(report)
+	fmt.Printf("(computed in %v)\n", report.Elapsed)
+}

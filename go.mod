@@ -1,0 +1,3 @@
+module semfeed
+
+go 1.22

@@ -1,0 +1,175 @@
+package assignments_test
+
+import (
+	"strings"
+	"testing"
+
+	"semfeed/internal/assignments"
+	"semfeed/internal/core"
+)
+
+func grade(t *testing.T, a *assignments.Assignment, src string) *core.Report {
+	t.Helper()
+	g := core.NewGrader(core.Options{})
+	rep, err := g.Grade(src, a.Spec)
+	if err != nil {
+		t.Fatalf("grade: %v\nsource:\n%s", err, src)
+	}
+	return rep
+}
+
+// commentStatus returns the status of the comment produced by the named
+// pattern or constraint.
+func commentStatus(t *testing.T, rep *core.Report, source string) core.Status {
+	t.Helper()
+	for _, c := range rep.Comments {
+		if c.Source == source {
+			return c.Status
+		}
+	}
+	t.Fatalf("no comment from %s in report:\n%s", source, rep)
+	return 0
+}
+
+func TestAssignment1Space(t *testing.T) {
+	a := assignments.Get("assignment1")
+	if a == nil {
+		t.Fatal("assignment1 not registered")
+	}
+	if got := a.Synth.Size(); got != a.Paper.S {
+		t.Errorf("|S| = %d, want %d (Table I)", got, a.Paper.S)
+	}
+}
+
+func TestAssignment1ReferenceIsCorrect(t *testing.T) {
+	a := assignments.Get("assignment1")
+	verdict, err := a.Tests.RunSource(a.Reference())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !verdict.Pass {
+		t.Fatalf("reference fails its own tests: %v", verdict.Failures)
+	}
+	rep := grade(t, a, a.Reference())
+	if !rep.AllCorrect() {
+		t.Errorf("reference does not get all-Correct feedback:\n%s", rep)
+	}
+}
+
+func TestAssignment1ErrorFeedback(t *testing.T) {
+	a := assignments.Get("assignment1")
+	cases := []struct {
+		name      string
+		overrides map[string]int
+		source    string      // pattern/constraint whose comment we check
+		want      core.Status // expected status of that comment
+		funcPass  bool        // expected functional verdict
+	}{
+		{"wrong-odd-init", map[string]int{"oddInit": 1}, "cond-accumulate-add", core.Incorrect, false},
+		{"wrong-even-init", map[string]int{"evenInit": 1}, "cond-accumulate-mul", core.Incorrect, false},
+		{"odd-loop-from-1", map[string]int{"oddIdxInit": 1}, "seq-odd-access", core.Incorrect, true},
+		{"out-of-bounds", map[string]int{"cmpOp": 1}, "seq-odd-access", core.Incorrect, false},
+		// The accumulation operator is the pattern's crucial anchor, so a
+		// wrong operator makes the whole pattern unrecognizable (NotExpected)
+		// rather than Incorrect.
+		{"odd-uses-mul", map[string]int{"oddOp": 1}, "cond-accumulate-add", core.NotExpected, false},
+		{"odd-access-off-by-one", map[string]int{"oddAccess": 1}, "seq-odd-access", core.Incorrect, false},
+		{"swapped-print-order", map[string]int{"printForm": 1}, "assign-print", core.Correct, false},
+		{"even-via-step-2", map[string]int{"evenLoop": 1}, "seq-even-access", core.NotExpected, true},
+		{"missing-even-print", map[string]int{"printForm": 4}, "assign-print", core.NotExpected, false},
+		{"odd-parity-swapped", map[string]int{"oddRem": 1}, "seq-odd-access", core.NotExpected, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			src := a.Synth.RenderWith(tc.overrides)
+			verdict, err := a.Tests.RunSource(src)
+			if err != nil {
+				t.Fatalf("functional run: %v\n%s", err, src)
+			}
+			if verdict.Pass != tc.funcPass {
+				t.Errorf("functional pass = %v, want %v\n%s\nfailures: %v", verdict.Pass, tc.funcPass, src, verdict.Failures)
+			}
+			rep := grade(t, a, src)
+			if got := commentStatus(t, rep, tc.source); got != tc.want {
+				t.Errorf("%s comment = %s, want %s\n%s\nreport:\n%s", tc.source, got, tc.want, src, rep)
+			}
+		})
+	}
+}
+
+// TestAssignment1DiscrepancyClasses verifies the Section VI-B discrepancy
+// classes exist in the space: submissions where functional testing and
+// pattern feedback disagree, in both directions.
+func TestAssignment1DiscrepancyClasses(t *testing.T) {
+	a := assignments.Get("assignment1")
+
+	// Class 1 (paper's 17): odd loop from i = 1 is functionally correct but
+	// feedback is negative.
+	src := a.Synth.RenderWith(map[string]int{"oddIdxInit": 1})
+	verdict, _ := a.Tests.RunSource(src)
+	rep := grade(t, a, src)
+	if !verdict.Pass || rep.AllCorrect() {
+		t.Errorf("class 1: want functional pass + negative feedback; got pass=%v allCorrect=%v", verdict.Pass, rep.AllCorrect())
+	}
+
+	// Class 2 (paper's 4): swapped print order fails order-sensitive tests
+	// but gets all-positive feedback.
+	src = a.Synth.RenderWith(map[string]int{"printForm": 1})
+	verdict, _ = a.Tests.RunSource(src)
+	rep = grade(t, a, src)
+	if verdict.Pass || !rep.AllCorrect() {
+		t.Errorf("class 2: want functional fail + all-Correct feedback; got pass=%v allCorrect=%v\n%s", verdict.Pass, rep.AllCorrect(), rep)
+	}
+
+	// Class 3 (paper's 3): even positions via i += 2 without a parity check
+	// is functionally correct but the patterns do not cover the strategy.
+	src = a.Synth.RenderWith(map[string]int{"evenLoop": 1})
+	verdict, _ = a.Tests.RunSource(src)
+	rep = grade(t, a, src)
+	if !verdict.Pass || rep.AllCorrect() {
+		t.Errorf("class 3: want functional pass + negative feedback; got pass=%v allCorrect=%v", verdict.Pass, rep.AllCorrect())
+	}
+}
+
+// TestAssignment1SampleAgreement scans a deterministic sample of the space
+// and checks the feedback sign agrees with functional testing for the large
+// majority of submissions (the paper reports 24 discrepancies in 640k).
+func TestAssignment1SampleAgreement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sampling scan")
+	}
+	a := assignments.Get("assignment1")
+	g := core.NewGrader(core.Options{})
+	sample := a.Synth.Sample(400)
+	agree, disagree := 0, 0
+	for _, k := range sample {
+		src := a.Synth.Render(k)
+		verdict, err := a.Tests.RunSource(src)
+		if err != nil {
+			t.Fatalf("submission %d does not run: %v\n%s", k, err, src)
+		}
+		rep, err := g.Grade(src, a.Spec)
+		if err != nil {
+			t.Fatalf("submission %d does not grade: %v", k, err)
+		}
+		if verdict.Pass == rep.AllCorrect() {
+			agree++
+		} else {
+			disagree++
+		}
+	}
+	if agree == 0 || disagree > agree/4 {
+		t.Errorf("agreement %d vs disagreement %d — patterns diverge too much from functional testing", agree, disagree)
+	}
+	t.Logf("sample agreement: %d/%d (disagree %d)", agree, len(sample), disagree)
+}
+
+func TestAssignment1FeedbackMentionsStudentVariables(t *testing.T) {
+	a := assignments.Get("assignment1")
+	src := a.Synth.RenderWith(map[string]int{"oddName": 2, "idxName": 1, "oddInit": 1}) // sum, j
+	rep := grade(t, a, src)
+	text := rep.String()
+	if !strings.Contains(text, "sum") || !strings.Contains(text, "j") {
+		t.Errorf("feedback should be instantiated with the student's variable names (sum, j):\n%s", text)
+	}
+}

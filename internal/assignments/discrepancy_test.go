@@ -1,0 +1,48 @@
+package assignments_test
+
+import (
+	"testing"
+
+	"semfeed/internal/assignments"
+	"semfeed/internal/core"
+)
+
+// TestExhaustiveDiscrepancyCounts enumerates the three smallest submission
+// spaces completely and pins their discrepancy counts, locking the
+// calibration recorded in EXPERIMENTS.md: mitx rows at the paper's D = 0,
+// and the P2-V2 space at exactly its Math.pow(d, 3) equivalence class.
+func TestExhaustiveDiscrepancyCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full enumeration")
+	}
+	cases := map[string]int{
+		"esc-LAB-3-P2-V2":  6, // the functionally-correct Math.pow(d, 3) variants
+		"mitx-derivatives": 0,
+		"mitx-polynomials": 0,
+	}
+	g := core.NewGrader(core.Options{})
+	for id, wantD := range cases {
+		id, wantD := id, wantD
+		t.Run(id, func(t *testing.T) {
+			a := assignments.Get(id)
+			d := 0
+			for k := int64(0); k < a.Synth.Size(); k++ {
+				src := a.Synth.Render(k)
+				verdict, err := a.Tests.RunSource(src)
+				if err != nil {
+					t.Fatalf("submission %d: %v", k, err)
+				}
+				rep, err := g.Grade(src, a.Spec)
+				if err != nil {
+					t.Fatalf("submission %d: %v", k, err)
+				}
+				if verdict.Pass != rep.AllCorrect() {
+					d++
+				}
+			}
+			if d != wantD {
+				t.Errorf("D = %d over the full space of %d, want %d", d, a.Synth.Size(), wantD)
+			}
+		})
+	}
+}

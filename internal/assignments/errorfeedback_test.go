@@ -1,0 +1,174 @@
+package assignments_test
+
+import (
+	"testing"
+
+	"semfeed/internal/assignments"
+	"semfeed/internal/core"
+)
+
+// feedbackCase is one cell of the per-assignment error-feedback matrix: a
+// single choice override, the pattern/constraint comment it must affect, the
+// expected status, and the expected functional verdict.
+type feedbackCase struct {
+	name      string
+	overrides map[string]int
+	source    string
+	want      core.Status
+	funcPass  bool
+}
+
+// runFeedbackCases checks that every injected error produces the intended
+// personalized feedback, and that the functional verdict is what the
+// discrepancy analysis assumes.
+func runFeedbackCases(t *testing.T, id string, cases []feedbackCase) {
+	t.Helper()
+	a := assignments.Get(id)
+	if a == nil {
+		t.Fatalf("unknown assignment %s", id)
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			src := a.Synth.RenderWith(tc.overrides)
+			verdict, err := a.Tests.RunSource(src)
+			if err != nil {
+				t.Fatalf("functional run: %v\n%s", err, src)
+			}
+			if verdict.Pass != tc.funcPass {
+				t.Errorf("functional pass = %v, want %v\nfailures: %v\n%s",
+					verdict.Pass, tc.funcPass, verdict.Failures, src)
+			}
+			rep := grade(t, a, src)
+			if got := commentStatus(t, rep, tc.source); got != tc.want {
+				t.Errorf("%s comment = %s, want %s\n%s\nreport:\n%s", tc.source, got, tc.want, src, rep)
+			}
+		})
+	}
+}
+
+func TestLab3P1V1ErrorFeedback(t *testing.T) {
+	runFeedbackCases(t, "esc-LAB-3-P1-V1", []feedbackCase{
+		// Starting n at 0 self-corrects after one no-op iteration (f stays
+		// n!), so it is functionally equivalent — and still flagged.
+		{"counter-from-0", map[string]int{"nInit": 1}, "counter-starts-at-1", core.Incorrect, true},
+		{"product-seeded-0", map[string]int{"fInit": 1}, "running-product", core.Incorrect, false},
+		{"strict-bound", map[string]int{"advCmp": 1}, "bounded-loop", core.Incorrect, false},
+		{"commuted-product", map[string]int{"condLeft": 1}, "advance-condition-shape", core.Incorrect, true},
+		{"commuted-sum", map[string]int{"sumOrder": 1}, "advance-condition-shape", core.Incorrect, true},
+		{"multiply-before-increment", map[string]int{"body": 1}, "increment-feeds-product", core.Incorrect, false},
+		{"prints-factorial", map[string]int{"printWhat": 1}, "counter-is-printed", core.Incorrect, false},
+		{"labeled-print", map[string]int{"printWhat": 2}, "counter-is-printed", core.Correct, false},
+	})
+}
+
+func TestLab3P2V1ErrorFeedback(t *testing.T) {
+	runFeedbackCases(t, "esc-LAB-3-P2-V1", []feedbackCase{
+		{"second-seed-2", map[string]int{"bInit": 1}, "fib-advance", core.Incorrect, false},
+		{"first-seed-0", map[string]int{"aInit": 1}, "fib-advance", core.Incorrect, false},
+		{"rotation-order", map[string]int{"rotation": 1}, "fib-advance", core.NotExpected, false},
+		{"redundant-compound-bound", map[string]int{"advShape": 1}, "advance-condition-shape", core.Incorrect, true},
+		{"commuted-sum", map[string]int{"sumOrder": 1}, "sum-shape", core.Incorrect, true},
+		{"prints-fib", map[string]int{"printWhat": 1}, "counter-is-printed", core.Incorrect, false},
+		{"counter-from-1", map[string]int{"nInit": 1}, "counter-starts-at-2", core.Incorrect, false},
+	})
+}
+
+func TestLab3P2V2ErrorFeedback(t *testing.T) {
+	runFeedbackCases(t, "esc-LAB-3-P2-V2", []feedbackCase{
+		{"sum-from-1", map[string]int{"sumInit": 1}, "sum-of-cubes", core.Incorrect, false},
+		{"squares-not-cubes", map[string]int{"cube": 1}, "sum-of-cubes", core.Incorrect, false},
+		{"pow-variant", map[string]int{"cube": 2}, "sum-of-cubes", core.Incorrect, true},
+		{"subtract-not-divide", map[string]int{"divOp": 1}, "digit-extraction", core.Incorrect, false},
+		{"loop-to-zero", map[string]int{"condOp": 1}, "digit-extraction", core.Incorrect, false},
+	})
+}
+
+func TestLab3P3V1ErrorFeedback(t *testing.T) {
+	runFeedbackCases(t, "esc-LAB-3-P3-V1", []feedbackCase{
+		{"commuted-reverse-ok", map[string]int{"revStep": 1}, "reverse-step-shape", core.Correct, true},
+		{"mod-2-digits", map[string]int{"revStep": 2}, "reverse-step-shape", core.Incorrect, false},
+		{"reverse-from-1", map[string]int{"revInit": 1}, "reverse-accumulate", core.Incorrect, false},
+		{"swapped-difference", map[string]int{"diff": 1}, "difference-shape", core.Incorrect, false},
+		{"loop-to-zero", map[string]int{"cond": 1}, "digit-extraction", core.Incorrect, false},
+	})
+}
+
+func TestLab3P3V2ErrorFeedback(t *testing.T) {
+	runFeedbackCases(t, "esc-LAB-3-P3-V2", []feedbackCase{
+		// The paper's duplicate-count bug: i = 0 counts 1 as both 0! and 1!.
+		{"index-from-0", map[string]int{"iInit": 1}, "index-starts-at-1", core.Incorrect, false},
+		{"redundant-upper-filter", map[string]int{"filterShape": 1}, "interval-filter", core.NotExpected, true},
+		{"multiply-before-increment", map[string]int{"advance": 1}, "increment-feeds-product", core.Incorrect, false},
+		{"strict-loop-bound", map[string]int{"loopCmp": 1}, "loop-bound-shape", core.Incorrect, false},
+		{"count-from-1", map[string]int{"cInit": 1}, "guarded-counter", core.Incorrect, false},
+		{"prints-factorial", map[string]int{"printWhat": 1}, "count-is-printed", core.Incorrect, false},
+		{"strict-filter", map[string]int{"filterCmp": 1}, "interval-filter", core.Incorrect, false},
+	})
+}
+
+func TestLab3P4V1ErrorFeedback(t *testing.T) {
+	runFeedbackCases(t, "esc-LAB-3-P4-V1", []feedbackCase{
+		{"commuted-reverse-ok", map[string]int{"revStep": 1}, "reverse-step-shape", core.Correct, true},
+		{"mod-2-digits", map[string]int{"revStep": 2}, "reverse-step-shape", core.Incorrect, false},
+		{"reverse-from-1", map[string]int{"revInit": 1}, "reverse-accumulate", core.Incorrect, false},
+		{"flipped-equality-ok", map[string]int{"eqOrder": 1}, "equality-check", core.Correct, true},
+		{"braced-style-ok", map[string]int{"ifElse": 1}, "conditional-print", core.Correct, true},
+	})
+}
+
+func TestLab3P4V2ErrorFeedback(t *testing.T) {
+	runFeedbackCases(t, "esc-LAB-3-P4-V2", []feedbackCase{
+		// The paper's 248-submission class: sequence started at 0 — output
+		// unchanged, seed feedback negative.
+		{"seed-from-0", map[string]int{"seedA": 1}, "fib-advance", core.Incorrect, true},
+		{"second-seed-2", map[string]int{"seedB": 1}, "fib-advance", core.Incorrect, false},
+		{"bound-on-next-value", map[string]int{"loopVar": 1}, "loop-bound-shape", core.Incorrect, false},
+		{"advance-before-check", map[string]int{"body": 1}, "current-value-filtered", core.Incorrect, false},
+		{"redundant-upper-filter", map[string]int{"filterShape": 1}, "interval-filter", core.NotExpected, true},
+		{"count-from-1", map[string]int{"cInit": 1}, "guarded-counter", core.Incorrect, false},
+		{"strict-filter", map[string]int{"filterCmp": 1}, "interval-filter", core.Incorrect, false},
+	})
+}
+
+func TestMitxDerivativesErrorFeedback(t *testing.T) {
+	runFeedbackCases(t, "mitx-derivatives", []feedbackCase{
+		{"loop-from-0", map[string]int{"startIdx": 1}, "derivative-step", core.Incorrect, false},
+		{"result-not-shrunk", map[string]int{"sizeExpr": 1}, "new-result-array", core.Incorrect, false},
+		{"wrong-power-factor", map[string]int{"powFactor": 1}, "derivative-step", core.Incorrect, false},
+		{"inclusive-bound", map[string]int{"cmpOp": 1}, "power-loop-bound", core.Incorrect, false},
+		{"commuted-rule-ok", map[string]int{"powRule": 1}, "derivative-step", core.Correct, true},
+	})
+}
+
+func TestMitxPolynomialsErrorFeedback(t *testing.T) {
+	runFeedbackCases(t, "mitx-polynomials", []feedbackCase{
+		{"sum-from-1", map[string]int{"sumInit": 1}, "powsum-step", core.Incorrect, false},
+		{"skips-constant-term", map[string]int{"startIdx": 1}, "exponents-start-at-0", core.Incorrect, false},
+		{"inclusive-bound", map[string]int{"cmpOp": 1}, "coefficient-loop-bound", core.Incorrect, false},
+		{"swapped-pow-args", map[string]int{"powArgs": 1}, "powsum-step", core.Incorrect, false},
+		{"commuted-term-ok", map[string]int{"term": 1}, "powsum-step", core.Correct, true},
+	})
+}
+
+func TestRitGoldErrorFeedback(t *testing.T) {
+	runFeedbackCases(t, "rit-all-g-medals", []feedbackCase{
+		// Figure 7: duplicated position condition, functionally correct.
+		{"duplicate-guard", map[string]int{"skipBGuard": 1}, "last-name-position", core.Incorrect, true},
+		{"counts-silver", map[string]int{"goldVal": 1}, "gold-is-type-1", core.Incorrect, false},
+		{"count-from-1", map[string]int{"mInit": 1}, "guarded-counter", core.Incorrect, false},
+		{"or-instead-of-and", map[string]int{"filter": 2}, "filters-combined-with-and", core.Incorrect, false},
+		{"commuted-filter-ok", map[string]int{"filter": 1}, "filters-combined-with-and", core.Correct, true},
+	})
+}
+
+func TestRitAthleteErrorFeedback(t *testing.T) {
+	runFeedbackCases(t, "rit-medals-by-ath", []feedbackCase{
+		// == on Strings: never equal at runtime (reference semantics), and
+		// the .equals pattern flags it.
+		{"string-ref-equality", map[string]int{"filter": 2}, "string-field-compare", core.Incorrect, false},
+		{"duplicate-guard", map[string]int{"lGuard": 1}, "last-name-position", core.Incorrect, true},
+		{"count-from-1", map[string]int{"mInit": 1}, "guarded-counter", core.Incorrect, false},
+		{"commuted-filter-ok", map[string]int{"filter": 1}, "both-names-checked", core.Correct, true},
+		{"string-skip-style-ok", map[string]int{"mSkip": 1, "ySkip": 1}, "record-field-read", core.Correct, true},
+	})
+}

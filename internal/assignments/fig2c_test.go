@@ -1,0 +1,68 @@
+package assignments_test
+
+import (
+	"testing"
+
+	"semfeed/internal/assignments"
+	"semfeed/internal/core"
+)
+
+// TestFigure2c grades the paper's third sample submission (Figure 2c): the
+// student multiplies odd positions and adds even ones, with the accumulator
+// initializations crossed (x = 0 under *=, y = 1 under +=). The paper calls
+// out the initializations; the constraints additionally surface that the
+// parities drive the wrong operations.
+func TestFigure2c(t *testing.T) {
+	const fig2c = `void assignment1(int[] a) {
+	  int x = 0, y = 1;
+	  for (int i = 0;
+	    i < a.length; i++)
+	  if (i % 2 == 1)
+	    x *= a[i];
+	  for (int i = 0;
+	    i < a.length; i++)
+	  if (i % 2 == 0)
+	    y += a[i];
+	  System.out.print(
+	    "O: " + x + ", E: " + y);
+	}`
+	a := assignments.Get("assignment1")
+	rep, err := core.NewGrader(core.Options{}).Grade(fig2c, a.Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.AllCorrect() {
+		t.Fatalf("Figure 2c is incorrect and must get negative feedback:\n%s", rep)
+	}
+	status := map[string]core.Status{}
+	for _, c := range rep.Comments {
+		status[c.Source] = c.Status
+	}
+	// Both access patterns are structurally present.
+	if status["seq-odd-access"] != core.Correct || status["seq-even-access"] != core.Correct {
+		t.Errorf("access patterns should match: odd=%s even=%s", status["seq-odd-access"], status["seq-even-access"])
+	}
+	// The accumulators are found with crossed initializations.
+	if status["cond-accumulate-add"] != core.Incorrect {
+		t.Errorf("cond-accumulate-add = %s, want Incorrect (y starts at 1)", status["cond-accumulate-add"])
+	}
+	if status["cond-accumulate-mul"] != core.Incorrect {
+		t.Errorf("cond-accumulate-mul = %s, want Incorrect (x starts at 0)", status["cond-accumulate-mul"])
+	}
+	// The fine-grained constraints expose the crossed parities: the values
+	// read at odd positions are multiplied, not summed.
+	if status["odd-access-is-summed"] != core.Incorrect {
+		t.Errorf("odd-access-is-summed = %s, want Incorrect", status["odd-access-is-summed"])
+	}
+	if status["even-access-is-multiplied"] != core.Incorrect {
+		t.Errorf("even-access-is-multiplied = %s, want Incorrect", status["even-access-is-multiplied"])
+	}
+	// And the functional tests of course reject it.
+	verdict, err := a.Tests.RunSource(fig2c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if verdict.Pass {
+		t.Error("Figure 2c must fail functional testing")
+	}
+}

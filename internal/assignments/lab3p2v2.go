@@ -1,0 +1,127 @@
+package assignments
+
+import (
+	"semfeed/internal/constraint"
+	"semfeed/internal/core"
+	"semfeed/internal/functest"
+	"semfeed/internal/interp"
+	"semfeed/internal/synth"
+)
+
+// esc-LAB-3-P2-V2 (IIT Kanpur): a number is special when the sum of the
+// cubes of its digits equals the number itself.
+//
+// |S| = 3^2 * 2^4 = 144, the smallest space of Table I — small enough that
+// the benchmark harness enumerates it exhaustively. The Math.pow(d, 3)
+// variant is functionally correct but outside the cube template, giving the
+// "pattern variability" discrepancy flavour.
+func init() {
+	spec := &synth.Spec{
+		Name: "esc-LAB-3-P2-V2",
+		Template: `void lab3p2v2(int k) {
+  int @{sumName} = @{sumInit};
+  int t = k;
+  while (t @{condOp}) {
+    int @{dName} = t % 10;
+    @{sumName} += @{cube};
+    t @{divOp};
+  }
+  if (@{sumName} == k)
+    System.out.println("special");
+  else
+    System.out.println("not special");
+}`,
+		Choices: []synth.Choice{
+			{ID: "sumName", Options: []string{"sum", "s", "total"}},
+			{ID: "cube", Options: []string{
+				"@{dName} * @{dName} * @{dName}",
+				"@{dName} * @{dName}",
+				"(int) Math.pow(@{dName}, 3)",
+			}},
+			{ID: "sumInit", Options: []string{"0", "1"}},
+			{ID: "divOp", Options: []string{"/= 10", "-= 10"}},
+			{ID: "dName", Options: []string{"d", "dig"}},
+			{ID: "condOp", Options: []string{"> 0", ">= 0"}},
+		},
+	}
+
+	tests := &functest.Suite{
+		Entry:    "lab3p2v2",
+		MaxSteps: 100_000, // t >= 0 variants never terminate
+		Cases: []functest.Case{
+			{Name: "153", Args: []interp.Value{int64(153)}},   // special
+			{Name: "371", Args: []interp.Value{int64(371)}},   // special
+			{Name: "100", Args: []interp.Value{int64(100)}},   // not special
+			{Name: "2", Args: []interp.Value{int64(2)}},       // 2^3 = 8 != 2
+			{Name: "1", Args: []interp.Value{int64(1)}},       // special
+			{Name: "9474", Args: []interp.Value{int64(9474)}}, // 4th powers, not cubes
+		},
+	}
+
+	grading := &core.AssignmentSpec{
+		Name: "esc-LAB-3-P2-V2",
+		Methods: []core.MethodSpec{{
+			Name: "lab3p2v2",
+			Patterns: []core.PatternUse{
+				use("digit-extraction", 1),
+				use("sum-of-cubes", 1),
+				use("equality-check", 1),
+				use("conditional-print", 2),
+			},
+			Constraints: []*constraint.Compiled{
+				con(&constraint.Constraint{
+					Name: "cubes-under-digit-loop", Kind: constraint.Equality,
+					Pi: "sum-of-cubes", Ui: "u2", Pj: "digit-extraction", Uj: "u1",
+					Feedback: constraint.Feedback{
+						Satisfied: "The cube sum accumulates inside the digit loop",
+						Violated:  "Accumulate the cubes inside the digit-extraction loop",
+					},
+				}),
+				con(&constraint.Constraint{
+					Name: "digit-feeds-cubes", Kind: constraint.EdgeExistence,
+					Pi: "digit-extraction", Ui: "u2", Pj: "sum-of-cubes", Uj: "u1", EdgeType: "Data",
+					Feedback: constraint.Feedback{
+						Satisfied: "Each extracted digit flows into the cube sum",
+						Violated:  "The extracted digit never reaches the cube sum",
+					},
+				}),
+				con(&constraint.Constraint{
+					Name: "comparison-uses-cube-sum", Kind: constraint.Containment,
+					Pi: "equality-check", Ui: "u0", Expr: `re:\b${c3}\b`,
+					Supporting: []string{"sum-of-cubes"},
+					Feedback: constraint.Feedback{
+						Satisfied: "The final comparison reads the cube sum {c3}",
+						Violated:  "Compare the cube sum {c3} against the input in the final check",
+					},
+				}),
+				con(&constraint.Constraint{
+					Name: "verdict-from-equality", Kind: constraint.Equality,
+					Pi: "conditional-print", Ui: "u0", Pj: "equality-check", Uj: "u0",
+					Feedback: constraint.Feedback{
+						Satisfied: "The verdict is printed from the equality decision",
+						Violated:  "Print the verdict from the equality comparison itself",
+					},
+				}),
+				con(&constraint.Constraint{
+					Name: "cube-sum-reaches-comparison", Kind: constraint.EdgeExistence,
+					Pi: "sum-of-cubes", Ui: "u1", Pj: "equality-check", Uj: "u0", EdgeType: "Data",
+					Feedback: constraint.Feedback{
+						Satisfied: "The accumulated cube sum reaches the final comparison",
+						Violated:  "The accumulated cube sum never reaches the final comparison",
+					},
+				}),
+			},
+		}},
+	}
+
+	register(&Assignment{
+		ID:          "esc-LAB-3-P2-V2",
+		Course:      "IIT Kanpur ESC101",
+		Description: "Decide whether the sum of cubes of the digits equals the number itself.",
+		Entry:       "lab3p2v2",
+		Synth:       spec,
+		Tests:       tests,
+		Spec:        grading,
+		Paper:       PaperRow{S: 144, L: 7.67, T: 0.17, P: 4, C: 5, M: 0.01, D: 0},
+	})
+}

@@ -1,0 +1,141 @@
+package assignments
+
+import (
+	"semfeed/internal/constraint"
+	"semfeed/internal/core"
+	"semfeed/internal/functest"
+	"semfeed/internal/interp"
+	"semfeed/internal/synth"
+)
+
+// esc-LAB-3-P3-V1 (IIT Kanpur): print the difference between a positive
+// number and its decimal reverse.
+//
+// |S| = 3^4 * 2^7 = 10,368. The paper's single discrepancy came from an
+// alternative digit-count computation the patterns did not cover; here the
+// equivalents are the commuted reverse step (10 * r + ...) and the reversed
+// subtraction, both flagged by containment constraints.
+func init() {
+	spec := &synth.Spec{
+		Name: "esc-LAB-3-P3-V1",
+		Template: `void lab3p3v1(int k) {
+  @{guardNeg}@{extraTemp}@{digitCount}int @{revName} = @{revInit};
+  int @{tName} = k;
+  while (@{cond}) {
+    @{revStep}
+    @{tName} @{divOp};
+  }
+  System.out.@{printCall}(@{diff});
+}`,
+		Choices: []synth.Choice{
+			{ID: "revName", Options: []string{"rev", "r", "back"}},
+			{ID: "tName", Options: []string{"t", "temp", "m"}},
+			{ID: "revStep", Options: []string{
+				"@{revName} = @{revName} * 10 + @{tName} % 10;",
+				"@{revName} = 10 * @{revName} + @{tName} % 10;",
+				"@{revName} = @{revName} * 10 + @{tName} % 2;",
+			}},
+			{ID: "digitCount", Options: []string{
+				"",
+				"int nd = (int) Math.log10(k) + 1;\n  ",
+				"int nd = (int) Math.log10(k);\n  ",
+			}},
+			{ID: "revInit", Options: []string{"0", "1"}},
+			{ID: "cond", Options: []string{"@{tName} > 0", "@{tName} >= 0"}},
+			{ID: "divOp", Options: []string{"/= 10", "= @{tName} / 10"}},
+			{ID: "printCall", Options: []string{"println", "print"}},
+			{ID: "diff", Options: []string{"k - @{revName}", "@{revName} - k"}},
+			{ID: "guardNeg", Options: []string{"", "if (k < 0) {\n    return;\n  }\n  "}},
+			{ID: "extraTemp", Options: []string{"", "int digits = 0;\n  "}},
+		},
+	}
+
+	tests := &functest.Suite{
+		Entry:    "lab3p3v1",
+		MaxSteps: 100_000,
+		Cases: []functest.Case{
+			{Name: "91", Args: []interp.Value{int64(91)}},   // 91 - 19 = 72
+			{Name: "120", Args: []interp.Value{int64(120)}}, // 120 - 21 = 99
+			{Name: "7", Args: []interp.Value{int64(7)}},     // 0
+			{Name: "1000", Args: []interp.Value{int64(1000)}},
+			{Name: "12345", Args: []interp.Value{int64(12345)}},
+			{Name: "19", Args: []interp.Value{int64(19)}}, // 19 - 91 = -72 (sign matters)
+		},
+	}
+
+	grading := &core.AssignmentSpec{
+		Name: "esc-LAB-3-P3-V1",
+		Methods: []core.MethodSpec{{
+			Name: "lab3p3v1",
+			Patterns: []core.PatternUse{
+				use("digit-extraction", 1),
+				use("reverse-accumulate", 1),
+				use("assign-print", 1),
+				use("double-index-update", 0),
+				use("conditional-print", 0),
+			},
+			Constraints: []*constraint.Compiled{
+				con(&constraint.Constraint{
+					Name: "reverse-under-digit-loop", Kind: constraint.Equality,
+					Pi: "reverse-accumulate", Ui: "u2", Pj: "digit-extraction", Uj: "u1",
+					Feedback: constraint.Feedback{
+						Satisfied: "The reverse accumulates inside the digit loop",
+						Violated:  "Build the reverse inside the digit-extraction loop",
+					},
+				}),
+				con(&constraint.Constraint{
+					Name: "reverse-step-shape", Kind: constraint.Containment,
+					Pi: "reverse-accumulate", Ui: "u1", Expr: `re:^${rv} = (${rv} \* 10|10 \* ${rv}) \+ ${rt} % 10$`,
+					Feedback: constraint.Feedback{
+						Satisfied: "The reverse step is {rv} = {rv} * 10 + {rt} % 10",
+						Violated:  "Write the reverse step exactly as {rv} = {rv} * 10 + {rt} % 10",
+					},
+				}),
+				con(&constraint.Constraint{
+					Name: "reverse-reaches-print", Kind: constraint.EdgeExistence,
+					Pi: "reverse-accumulate", Ui: "u1", Pj: "assign-print", Uj: "u1", EdgeType: "Data",
+					Feedback: constraint.Feedback{
+						Satisfied: "The computed reverse reaches the printed difference",
+						Violated:  "The computed reverse never reaches the printed result",
+					},
+				}),
+				con(&constraint.Constraint{
+					Name: "copy-of-input", Kind: constraint.Containment,
+					Pi: "digit-extraction", Ui: "u0", Expr: "dg = k",
+					Feedback: constraint.Feedback{
+						Satisfied: "You destructively iterate a copy of the input",
+						Violated:  "Work on a copy of the input (t = k) so k stays available for the difference",
+					},
+				}),
+				con(&constraint.Constraint{
+					Name: "reverse-reads-digits", Kind: constraint.Equality,
+					Pi: "digit-extraction", Ui: "u2", Pj: "reverse-accumulate", Uj: "u1",
+					Feedback: constraint.Feedback{
+						Satisfied: "The reverse step consumes the extracted digit directly",
+						Violated:  "The reverse step should consume the digit extracted with % 10",
+					},
+				}),
+				con(&constraint.Constraint{
+					Name: "difference-shape", Kind: constraint.Containment,
+					Pi: "assign-print", Ui: "u1", Expr: "k - rv",
+					Supporting: []string{"reverse-accumulate"},
+					Feedback: constraint.Feedback{
+						Satisfied: "You print k - {rv}, the number minus its reverse",
+						Violated:  "Print k - {rv}: the number minus its reverse, in that order",
+					},
+				}),
+			},
+		}},
+	}
+
+	register(&Assignment{
+		ID:          "esc-LAB-3-P3-V1",
+		Course:      "IIT Kanpur ESC101",
+		Description: "Print the difference between a positive number and its decimal reverse.",
+		Entry:       "lab3p3v1",
+		Synth:       spec,
+		Tests:       tests,
+		Spec:        grading,
+		Paper:       PaperRow{S: 10368, L: 10.5, T: 0.10, P: 7, C: 6, M: 0.01, D: 1},
+	})
+}

@@ -1,0 +1,177 @@
+package assignments
+
+import (
+	"semfeed/internal/constraint"
+	"semfeed/internal/core"
+	"semfeed/internal/functest"
+	"semfeed/internal/interp"
+	"semfeed/internal/synth"
+)
+
+// esc-LAB-3-P3-V2 (IIT Kanpur): given n and m, print how many factorial
+// numbers lie in [n, m].
+//
+// |S| = 3^2 * 2^16 = 589,824. The paper's four discrepancies came from
+// submissions that count 1 twice (as 0! and 1!); the iInit = 0 choice
+// reproduces exactly that bug, and the redundant compound filter reproduces
+// the functionally-equivalent-but-flagged class.
+func init() {
+	spec := &synth.Spec{
+		Name: "esc-LAB-3-P3-V2",
+		Template: `void lab3p3v2(int n, int m) {
+  @{guardEmpty}@{extraTemp}@{cDecl}
+  long @{fName} = @{fInit};
+  long @{iName} = @{iInit};
+  while (@{fName} @{loopCmp} m) {
+    if (@{filterShape})
+      @{countInc}
+    @{advance}
+  }
+  System.out.@{printCall}(@{printWhat});
+}`,
+		Choices: []synth.Choice{
+			{ID: "cName", Options: []string{"count", "cnt", "c"}},
+			{ID: "fName", Options: []string{"f", "fact", "prod"}},
+			{ID: "cInit", Options: []string{"0", "1"}},
+			{ID: "fInit", Options: []string{"1", "0"}},
+			{ID: "iName", Options: []string{"i", "j"}},
+			{ID: "iInit", Options: []string{"1", "0"}},
+			{ID: "filterCmp", Options: []string{">=", ">"}},
+			{ID: "filterShape", Options: []string{"@{fName} @{filterCmp} n", "@{fName} @{filterCmp} n && @{fName} <= m"}},
+			{ID: "countInc", Options: []string{"@{cName}++;", "@{cName} = @{cName} + 1;"}},
+			{ID: "iInc", Options: []string{"@{iName} = @{iName} + 1;", "@{iName}++;"}},
+			{ID: "mulStmt", Options: []string{"@{fName} = @{fName} * @{iName};", "@{fName} *= @{iName};"}},
+			{ID: "advance", Options: []string{"@{iInc}\n    @{mulStmt}", "@{mulStmt}\n    @{iInc}"}},
+			{ID: "loopCmp", Options: []string{"<=", "<"}},
+			{ID: "printWhat", Options: []string{"@{cName}", "@{fName}"}},
+			{ID: "printCall", Options: []string{"println", "print"}},
+			{ID: "guardEmpty", Options: []string{"", "if (m < 1) {\n    System.out.println(0);\n    return;\n  }\n  "}},
+			{ID: "extraTemp", Options: []string{"", "long last = 0;\n  "}},
+			{ID: "cDecl", Options: []string{"int @{cName} = @{cInit};", "int @{cName};\n  @{cName} = @{cInit};"}},
+		},
+	}
+
+	tests := &functest.Suite{
+		Entry:    "lab3p3v2",
+		MaxSteps: 100_000,
+		Cases: []functest.Case{
+			{Name: "1..15", Args: []interp.Value{int64(1), int64(15)}},   // 1, 2, 6 -> 3
+			{Name: "1..6", Args: []interp.Value{int64(1), int64(6)}},     // 1, 2, 6 -> 3
+			{Name: "2..24", Args: []interp.Value{int64(2), int64(24)}},   // 2, 6, 24 -> 3
+			{Name: "3..5", Args: []interp.Value{int64(3), int64(5)}},     // none
+			{Name: "1..720", Args: []interp.Value{int64(1), int64(720)}}, // 1,2,6,24,120,720 -> 6
+			{Name: "7..100", Args: []interp.Value{int64(7), int64(100)}}, // 24 -> 1
+		},
+	}
+
+	grading := &core.AssignmentSpec{
+		Name: "esc-LAB-3-P3-V2",
+		Methods: []core.MethodSpec{{
+			Name: "lab3p3v2",
+			Patterns: []core.PatternUse{
+				use("guarded-counter", 1),
+				use("counter-increment", 2),
+				use("running-product", 1),
+				use("bounded-loop", 1),
+				use("interval-filter", 1),
+				use("assign-print", 1),
+				use("double-index-update", 0),
+			},
+			Constraints: []*constraint.Compiled{
+				con(&constraint.Constraint{
+					Name: "index-starts-at-1", Kind: constraint.Containment,
+					Pi: "counter-increment", Ui: "u0", Expr: "ni = 1",
+					Feedback: constraint.Feedback{
+						Satisfied: "The factorial index starts at 1, so 1 is counted once",
+						Violated:  "Start the factorial index at 1 — starting at 0 counts 1 twice (as 0! and 1!)",
+					},
+				}),
+				con(&constraint.Constraint{
+					Name: "increment-feeds-product", Kind: constraint.EdgeExistence,
+					Pi: "counter-increment", Ui: "u2", Pj: "running-product", Uj: "u2", EdgeType: "Data",
+					Feedback: constraint.Feedback{
+						Satisfied: "The index is incremented before it multiplies into the factorial",
+						Violated:  "Increment the index before multiplying, or the factorial repeats a value",
+					},
+				}),
+				con(&constraint.Constraint{
+					Name: "filter-shape", Kind: constraint.Containment,
+					Pi: "interval-filter", Ui: "u1", Expr: "re:^${rp} >= ${qn}$",
+					Supporting: []string{"running-product"},
+					Feedback: constraint.Feedback{
+						Satisfied: "The filter is exactly {rp} >= {qn}",
+						Violated:  "The filter should be exactly {rp} >= {qn}; the loop bound already enforces the upper limit",
+					},
+				}),
+				con(&constraint.Constraint{
+					Name: "filter-guards-count", Kind: constraint.Equality,
+					Pi: "interval-filter", Ui: "u1", Pj: "guarded-counter", Uj: "u1",
+					Feedback: constraint.Feedback{
+						Satisfied: "The lower-bound filter is what admits values into the count",
+						Violated:  "Count values under the lower-bound filter itself",
+					},
+				}),
+				con(&constraint.Constraint{
+					Name: "product-under-loop", Kind: constraint.Equality,
+					Pi: "running-product", Ui: "u1", Pj: "bounded-loop", Uj: "u1",
+					Feedback: constraint.Feedback{
+						Satisfied: "The factorial advances inside the bounded loop",
+						Violated:  "Advance the factorial inside the loop bounded by m",
+					},
+				}),
+				con(&constraint.Constraint{
+					Name: "loop-bound-shape", Kind: constraint.Containment,
+					Pi: "bounded-loop", Ui: "u1", Expr: "re:^${rp} <= ${wk}$",
+					Supporting: []string{"running-product"},
+					Feedback: constraint.Feedback{
+						Satisfied: "The loop runs exactly while the factorial stays within m",
+						Violated:  "Loop exactly while {rp} <= {wk}: the factorial equal to m is still in range",
+					},
+				}),
+				con(&constraint.Constraint{
+					Name: "product-seed-one", Kind: constraint.Containment,
+					Pi: "running-product", Ui: "u0", Expr: "rp = 1",
+					Feedback: constraint.Feedback{
+						Satisfied: "The factorial starts at 1 (= 1!)",
+						Violated:  "Seed the factorial with 1: starting at 0 keeps it at 0 forever",
+					},
+				}),
+				con(&constraint.Constraint{
+					Name: "count-seed-zero", Kind: constraint.Containment,
+					Pi: "guarded-counter", Ui: "u0", Expr: "gc = 0",
+					Feedback: constraint.Feedback{
+						Satisfied: "The count starts at 0",
+						Violated:  "Start the count at 0",
+					},
+				}),
+				con(&constraint.Constraint{
+					Name: "filter-reads-product", Kind: constraint.EdgeExistence,
+					Pi: "running-product", Ui: "u0", Pj: "interval-filter", Uj: "u1", EdgeType: "Data",
+					Feedback: constraint.Feedback{
+						Satisfied: "The filtered value is the running factorial",
+						Violated:  "Filter the running factorial itself against the lower bound",
+					},
+				}),
+				con(&constraint.Constraint{
+					Name: "count-is-printed", Kind: constraint.EdgeExistence,
+					Pi: "counter-increment", Ui: "u2", Pj: "assign-print", Uj: "u1", EdgeType: "Data",
+					Feedback: constraint.Feedback{
+						Satisfied: "You print the count, which is the requested answer",
+						Violated:  "Print the count — the assignment asks how many factorials fall in the interval",
+					},
+				}),
+			},
+		}},
+	}
+
+	register(&Assignment{
+		ID:          "esc-LAB-3-P3-V2",
+		Course:      "IIT Kanpur ESC101",
+		Description: "Print how many factorial numbers lie in [n, m].",
+		Entry:       "lab3p3v2",
+		Synth:       spec,
+		Tests:       tests,
+		Spec:        grading,
+		Paper:       PaperRow{S: 589824, L: 15.42, T: 0.19, P: 8, C: 10, M: 0.03, D: 4},
+	})
+}

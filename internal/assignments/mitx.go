@@ -1,0 +1,228 @@
+package assignments
+
+import (
+	"semfeed/internal/constraint"
+	"semfeed/internal/core"
+	"semfeed/internal/functest"
+	"semfeed/internal/interp"
+	"semfeed/internal/synth"
+)
+
+func dblArray(vals ...float64) *interp.Array {
+	a := &interp.Array{Elem: "double"}
+	for _, v := range vals {
+		a.Elems = append(a.Elems, v)
+	}
+	return a
+}
+
+// mitx-derivatives (MIT 6.00x): print the coefficients of the derivative of
+// the polynomial whose coefficients are the input array (a[i] is the
+// coefficient of x^i).
+//
+// |S| = 3^2 * 2^6 = 576. Table I reports zero discrepancies, so every choice
+// is either an exact-template variant or a genuine error.
+func init() {
+	spec := &synth.Spec{
+		Name: "mitx-derivatives",
+		Template: `void derivative(double[] a) {
+  double[] @{rName} = new double[@{sizeExpr}];
+  for (int @{idxName} = @{startIdx}; @{idxName} @{cmpOp} a.length; @{idxName}++)
+    @{rName}[@{idxName} - 1] = @{powRule};
+  for (int j = 0; j < @{rName}.length; j++)
+    System.out.print(@{rName}[j] + @{printSep});
+}`,
+		Choices: []synth.Choice{
+			{ID: "rName", Options: []string{"r", "res", "deriv"}},
+			{ID: "idxName", Options: []string{"i", "p", "q"}},
+			{ID: "startIdx", Options: []string{"1", "0"}},
+			{ID: "sizeExpr", Options: []string{"a.length - 1", "a.length"}},
+			{ID: "powRule", Options: []string{"a[@{idxName}] * @{powFactor}", "@{powFactor} * a[@{idxName}]"}},
+			{ID: "powFactor", Options: []string{"@{idxName}", "(@{idxName} + 1)"}},
+			{ID: "cmpOp", Options: []string{"<", "<="}},
+			{ID: "printSep", Options: []string{"\" \"", "\"\\n\""}},
+		},
+	}
+
+	tests := &functest.Suite{
+		Entry: "derivative",
+		Cases: []functest.Case{
+			{Name: "linear", Args: []interp.Value{dblArray(3, 2)}},              // d(2x+3) = 2
+			{Name: "quadratic", Args: []interp.Value{dblArray(1, 0, 5)}},        // 0, 10
+			{Name: "cubic", Args: []interp.Value{dblArray(4, 3, 2, 1)}},         // 3, 4, 3
+			{Name: "quartic", Args: []interp.Value{dblArray(0, 1, 1, 1, 1)}},    // 1, 2, 3, 4
+			{Name: "fractions", Args: []interp.Value{dblArray(0.5, 1.5, -2.5)}}, // 1.5, -5
+		},
+	}
+
+	grading := &core.AssignmentSpec{
+		Name: "mitx-derivatives",
+		Methods: []core.MethodSpec{{
+			Name: "derivative",
+			Patterns: []core.PatternUse{
+				use("new-result-array", 1),
+				use("derivative-step", 1),
+				// Three data flows reach the print: the allocation of r, the
+				// power-rule store into r, and the print loop's own index.
+				use("assign-print", 3),
+			},
+			Constraints: []*constraint.Compiled{
+				con(&constraint.Constraint{
+					Name: "result-array-is-written", Kind: constraint.EdgeExistence,
+					Pi: "new-result-array", Ui: "u1", Pj: "derivative-step", Uj: "u0", EdgeType: "Data",
+					Feedback: constraint.Feedback{
+						Satisfied: "The power-rule step writes into the allocated result array",
+						Violated:  "The allocated result array is never written by the power-rule step",
+					},
+				}),
+				con(&constraint.Constraint{
+					Name: "store-shifts-down", Kind: constraint.Containment,
+					Pi: "derivative-step", Ui: "u0", Expr: `re:^${dr}\[${dx} - 1\]`,
+					Feedback: constraint.Feedback{
+						Satisfied: "Coefficient i lands at position i - 1",
+						Violated:  "Store coefficient i at position i - 1: the derivative loses the constant term",
+					},
+				}),
+				con(&constraint.Constraint{
+					Name: "derivative-reaches-print", Kind: constraint.EdgeExistence,
+					Pi: "derivative-step", Ui: "u0", Pj: "assign-print", Uj: "u1", EdgeType: "Data",
+					Feedback: constraint.Feedback{
+						Satisfied: "The computed derivative reaches the print loop",
+						Violated:  "The computed derivative is never printed",
+					},
+				}),
+				con(&constraint.Constraint{
+					Name: "result-size-shape", Kind: constraint.Containment,
+					Pi: "new-result-array", Ui: "u1", Expr: "na.length - 1",
+					Feedback: constraint.Feedback{
+						Satisfied: "The result has one coefficient fewer than the input",
+						Violated:  "Size the result as {na}.length - 1: differentiating drops the constant term",
+					},
+				}),
+				con(&constraint.Constraint{
+					Name: "power-loop-bound", Kind: constraint.Containment,
+					Pi: "derivative-step", Ui: "u1", Expr: `re:^${dx} <[^=]`,
+					Feedback: constraint.Feedback{
+						Satisfied: "The power loop stops strictly below the array length",
+						Violated:  "The power loop must stop strictly below the array length (use <, not <=)",
+					},
+				}),
+			},
+		}},
+	}
+
+	register(&Assignment{
+		ID:          "mitx-derivatives",
+		Course:      "MIT 6.00x",
+		Description: "Print the coefficients of the derivative of the input polynomial.",
+		Entry:       "derivative",
+		Synth:       spec,
+		Tests:       tests,
+		Spec:        grading,
+		Paper:       PaperRow{S: 576, L: 5.75, T: 0.12, P: 3, C: 4, M: 0.03, D: 0},
+	})
+}
+
+// mitx-polynomials (MIT 6.00x): print the value of the polynomial at x.
+//
+// |S| = 3 * 2^8 = 768.
+func init() {
+	spec := &synth.Spec{
+		Name: "mitx-polynomials",
+		Template: `void evaluate(double[] a, double x) {
+  double @{sumName} = @{sumInit};
+  for (int @{idxName} = @{startIdx}; @{idxName} @{cmpOp} a.length; @{idxName}++)
+    @{sumName} @{accStep};
+  System.out.@{printCall}(@{sumName});
+}`,
+		Choices: []synth.Choice{
+			{ID: "sumName", Options: []string{"sum", "s", "val"}},
+			{ID: "sumInit", Options: []string{"0", "1"}},
+			{ID: "startIdx", Options: []string{"0", "1"}},
+			{ID: "cmpOp", Options: []string{"<", "<="}},
+			{ID: "powArgs", Options: []string{"Math.pow(x, @{idxName})", "Math.pow(@{idxName}, x)"}},
+			{ID: "term", Options: []string{"a[@{idxName}] * @{powArgs}", "@{powArgs} * a[@{idxName}]"}},
+			{ID: "accStep", Options: []string{"+= @{term}", "= @{sumName} + @{term}"}},
+			{ID: "idxName", Options: []string{"i", "j"}},
+			{ID: "printCall", Options: []string{"println", "print"}},
+		},
+	}
+
+	tests := &functest.Suite{
+		Entry: "evaluate",
+		Cases: []functest.Case{
+			{Name: "constant", Args: []interp.Value{dblArray(7), float64(3)}},            // 7
+			{Name: "line-at-2", Args: []interp.Value{dblArray(1, 2), float64(2)}},        // 5
+			{Name: "quad-at-3", Args: []interp.Value{dblArray(1, 0, 2), float64(3)}},     // 19
+			{Name: "cubic-at-1", Args: []interp.Value{dblArray(1, 1, 1, 1), float64(1)}}, // 4
+			{Name: "at-zero", Args: []interp.Value{dblArray(5, 4, 3), float64(0)}},       // 5
+			{Name: "negative-x", Args: []interp.Value{dblArray(0, 1, 1), float64(-2)}},   // 2
+		},
+	}
+
+	grading := &core.AssignmentSpec{
+		Name: "mitx-polynomials",
+		Methods: []core.MethodSpec{{
+			Name: "evaluate",
+			Patterns: []core.PatternUse{
+				use("powsum-step", 1),
+				use("counter-increment", 1),
+				use("assign-print", 1),
+				use("conditional-print", 0),
+			},
+			Constraints: []*constraint.Compiled{
+				con(&constraint.Constraint{
+					Name: "terms-under-loop", Kind: constraint.Equality,
+					Pi: "powsum-step", Ui: "u2", Pj: "counter-increment", Uj: "u1",
+					Feedback: constraint.Feedback{
+						Satisfied: "The terms accumulate inside the coefficient loop",
+						Violated:  "Accumulate the terms inside the loop over coefficients",
+					},
+				}),
+				con(&constraint.Constraint{
+					Name: "loop-drives-terms", Kind: constraint.EdgeExistence,
+					Pi: "counter-increment", Ui: "u0", Pj: "powsum-step", Uj: "u1", EdgeType: "Data",
+					Feedback: constraint.Feedback{
+						Satisfied: "The loop index selects both the coefficient and the exponent",
+						Violated:  "The loop index must select the coefficient a[i] and the exponent i",
+					},
+				}),
+				con(&constraint.Constraint{
+					Name: "sum-reaches-print", Kind: constraint.EdgeExistence,
+					Pi: "powsum-step", Ui: "u1", Pj: "assign-print", Uj: "u1", EdgeType: "Data",
+					Feedback: constraint.Feedback{
+						Satisfied: "The accumulated value reaches the print statement",
+						Violated:  "The accumulated value is never printed",
+					},
+				}),
+				con(&constraint.Constraint{
+					Name: "exponents-start-at-0", Kind: constraint.Containment,
+					Pi: "counter-increment", Ui: "u0", Expr: "ni = 0",
+					Feedback: constraint.Feedback{
+						Satisfied: "The exponent starts at 0, including the constant term",
+						Violated:  "Start the exponent at 0 — skipping it drops the constant term",
+					},
+				}),
+				con(&constraint.Constraint{
+					Name: "coefficient-loop-bound", Kind: constraint.Containment,
+					Pi: "counter-increment", Ui: "u1", Expr: `re:^${ni} <[^=]`,
+					Feedback: constraint.Feedback{
+						Satisfied: "The coefficient loop stops strictly below the array length",
+						Violated:  "The coefficient loop must stop strictly below the array length (use <, not <=)",
+					},
+				}),
+			},
+		}},
+	}
+
+	register(&Assignment{
+		ID:          "mitx-polynomials",
+		Course:      "MIT 6.00x",
+		Description: "Print the value of the input polynomial at the given x.",
+		Entry:       "evaluate",
+		Synth:       spec,
+		Tests:       tests,
+		Spec:        grading,
+		Paper:       PaperRow{S: 768, L: 6.67, T: 0.12, P: 4, C: 4, M: 0.01, D: 0},
+	})
+}

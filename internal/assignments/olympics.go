@@ -1,0 +1,42 @@
+package assignments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// The RIT assignments read a records file of Summer Olympic Games medals.
+// Each record has five whitespace-separated fields, matching the format the
+// paper describes: first name, last name, medal type (1 gold, 2 silver,
+// 3 bronze), year, and a separator token.
+//
+// The file is generated deterministically (the paper's real file is not
+// distributable); the reference solutions define the expected counts.
+
+var olympicsFirst = []string{"Alice", "Boris", "Carl", "Dana", "Elena", "Farid", "Grace", "Hugo"}
+var olympicsLast = []string{"Stone", "Ivanov", "Lewis", "Moss", "Petrova", "Khan", "Otieno", "Weiss"}
+var olympicsYears = []int{1984, 1988, 1992, 1996, 2000, 2004, 2008, 2012}
+
+// olympicsFile renders n records using a small LCG so the distribution is
+// fixed across runs and platforms.
+func olympicsFile(n int) string {
+	var sb strings.Builder
+	state := uint64(0x5eed_cafe)
+	next := func(mod int) int {
+		state = state*6364136223846793005 + 1442695040888963407
+		return int((state >> 33) % uint64(mod))
+	}
+	for i := 0; i < n; i++ {
+		first := olympicsFirst[next(len(olympicsFirst))]
+		last := olympicsLast[next(len(olympicsLast))]
+		medal := 1 + next(3)
+		year := olympicsYears[next(len(olympicsYears))]
+		fmt.Fprintf(&sb, "%s %s %d %d ;\n", first, last, medal, year)
+	}
+	return sb.String()
+}
+
+// olympicsFiles is the virtual file system handed to the interpreter.
+func olympicsFiles(records int) map[string]string {
+	return map[string]string{"summer_olympics.txt": olympicsFile(records)}
+}

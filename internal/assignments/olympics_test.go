@@ -1,0 +1,60 @@
+package assignments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestOlympicsFileFormat(t *testing.T) {
+	content := olympicsFile(60)
+	lines := strings.Split(strings.TrimSpace(content), "\n")
+	if len(lines) != 60 {
+		t.Fatalf("records = %d, want 60", len(lines))
+	}
+	for i, line := range lines {
+		fields := strings.Fields(line)
+		if len(fields) != 5 {
+			t.Fatalf("record %d has %d fields: %q", i, len(fields), line)
+		}
+		medal, err := strconv.Atoi(fields[2])
+		if err != nil || medal < 1 || medal > 3 {
+			t.Errorf("record %d medal = %q", i, fields[2])
+		}
+		year, err := strconv.Atoi(fields[3])
+		if err != nil || year < 1984 || year > 2012 {
+			t.Errorf("record %d year = %q", i, fields[3])
+		}
+		if fields[4] != ";" {
+			t.Errorf("record %d separator = %q", i, fields[4])
+		}
+	}
+}
+
+func TestOlympicsFileDeterministic(t *testing.T) {
+	if olympicsFile(40) != olympicsFile(40) {
+		t.Error("the synthetic records file must be identical across runs")
+	}
+	// Prefix-stability: the first n records do not depend on the total.
+	if !strings.HasPrefix(olympicsFile(40), olympicsFile(10)) {
+		t.Error("records are generated as a deterministic stream")
+	}
+}
+
+// TestOlympicsQueriesNonTrivial: the test queries used by the RIT suites
+// must have non-zero answers under the reference, or the suites could pass
+// vacuously.
+func TestOlympicsQueriesNonTrivial(t *testing.T) {
+	for _, id := range []string{"rit-all-g-medals", "rit-medals-by-ath"} {
+		a := Get(id)
+		nonZero := 0
+		for _, c := range a.Tests.Cases {
+			if strings.TrimSpace(c.Want) != "0" {
+				nonZero++
+			}
+		}
+		if nonZero < 2 {
+			t.Errorf("%s: only %d queries with non-zero expected counts", id, nonZero)
+		}
+	}
+}

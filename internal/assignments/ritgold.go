@@ -1,0 +1,151 @@
+package assignments
+
+import (
+	"semfeed/internal/constraint"
+	"semfeed/internal/core"
+	"semfeed/internal/functest"
+	"semfeed/internal/interp"
+	"semfeed/internal/synth"
+)
+
+// rit-all-g-medals (RIT CS1): count all gold medals awarded in a given year,
+// reading the records file position by position (i % 5 guards).
+//
+// |S| = 3^7 * 2^8 = 559,872. The paper's 1,872 discrepancies are
+// functionally-correct-but-semantically-odd submissions (Figure 7) that use
+// the same position condition twice to advance the file cursor; the guard
+// choices below generate exactly such combinations, and the per-position
+// containment constraints flag them.
+func init() {
+	spec := &synth.Spec{
+		Name: "rit-all-g-medals",
+		Template: `void countGoldMedals(int year) {
+  int @{iName} = 1;
+  int @{mName} = @{mInit};
+  int @{pName} = 0;
+  int @{yName} = 0;
+  Scanner @{sName} = new Scanner(new File("summer_olympics.txt"));
+  while (@{sName}.hasNext()) {
+    if (@{iName} % 5 == @{skipAGuard})
+      @{sName}.next();
+    if (@{iName} % 5 == @{skipBGuard})
+      @{sName}.next();
+    if (@{iName} % 5 == @{medalGuard})
+      @{pName} = @{sName}.nextInt();
+    if (@{iName} % 5 == @{yearGuard})
+      @{yName} = @{sName}.nextInt();
+    if (@{iName} % 5 == @{sepGuard}) {
+      @{sName}.next();
+      if (@{filter})
+        @{mName}@{inc};
+    }
+    @{iName}++;
+  }
+  @{sName}.close();
+  System.out.@{printCall}(@{mName});
+}`,
+		Choices: []synth.Choice{
+			{ID: "skipAGuard", Options: []string{"1", "2", "3"}},
+			{ID: "skipBGuard", Options: []string{"2", "1", "4"}},
+			{ID: "medalGuard", Options: []string{"3", "4", "1"}},
+			{ID: "yearGuard", Options: []string{"4", "3", "2"}},
+			{ID: "sepGuard", Options: []string{"0", "4", "2"}},
+			{ID: "filter", Options: []string{
+				"@{yName} == year && @{pName} == @{goldVal}",
+				"@{pName} == @{goldVal} && @{yName} == year",
+				"@{yName} == year || @{pName} == @{goldVal}",
+			}},
+			{ID: "pName", Options: []string{"p", "mt", "typ"}},
+			{ID: "iName", Options: []string{"i", "idx"}},
+			{ID: "mName", Options: []string{"medals", "count"}},
+			{ID: "yName", Options: []string{"y", "yr"}},
+			{ID: "sName", Options: []string{"s", "sc"}},
+			{ID: "mInit", Options: []string{"0", "1"}},
+			{ID: "inc", Options: []string{"++", " += 1"}},
+			{ID: "printCall", Options: []string{"println", "print"}},
+			{ID: "goldVal", Options: []string{"1", "2"}},
+		},
+	}
+
+	files := olympicsFiles(60)
+	tests := &functest.Suite{
+		Entry:    "countGoldMedals",
+		MaxSteps: 500_000,
+		Cases: []functest.Case{
+			{Name: "y1984", Args: []interp.Value{int64(1984)}, Files: files},
+			{Name: "y1992", Args: []interp.Value{int64(1992)}, Files: files},
+			{Name: "y2000", Args: []interp.Value{int64(2000)}, Files: files},
+			{Name: "y2012", Args: []interp.Value{int64(2012)}, Files: files},
+			{Name: "unknown-year", Args: []interp.Value{int64(1900)}, Files: files},
+		},
+	}
+
+	positionConstraint := func(name, residue, field string) *constraint.Compiled {
+		return con(&constraint.Constraint{
+			Name: name, Kind: constraint.Containment,
+			Pi: "record-field-read", Ui: "u0", Expr: "rf % 5 == " + residue,
+			Feedback: constraint.Feedback{
+				Satisfied: "Position " + residue + " (" + field + ") is consumed by its own guard",
+				Violated:  "No read is guarded by i % 5 == " + residue + " — the " + field + " field must be consumed at its own position, not by reusing another condition",
+			},
+		})
+	}
+
+	grading := &core.AssignmentSpec{
+		Name: "rit-all-g-medals",
+		Methods: []core.MethodSpec{{
+			Name: "countGoldMedals",
+			Patterns: []core.PatternUse{
+				use("scanner-file-loop", 1),
+				use("record-field-read", 5),
+				use("guarded-counter", 1),
+				use("int-field-compare", 1),
+				use("counter-increment", 2),
+				use("assign-print", 1),
+				use("double-index-update", 0),
+			},
+			Constraints: []*constraint.Compiled{
+				positionConstraint("first-name-position", "1", "first name"),
+				positionConstraint("last-name-position", "2", "last name"),
+				positionConstraint("medal-position", "3", "medal type"),
+				positionConstraint("year-position", "4", "year"),
+				positionConstraint("separator-position", "0", "separator"),
+				con(&constraint.Constraint{
+					Name: "filter-guards-count", Kind: constraint.Equality,
+					Pi: "int-field-compare", Ui: "u0", Pj: "guarded-counter", Uj: "u1",
+					Feedback: constraint.Feedback{
+						Satisfied: "The year/medal filter is what admits records into the count",
+						Violated:  "Count records under the year/medal filter itself",
+					},
+				}),
+				con(&constraint.Constraint{
+					Name: "gold-is-type-1", Kind: constraint.Containment,
+					Pi: "guarded-counter", Ui: "u1", Expr: "== 1",
+					Feedback: constraint.Feedback{
+						Satisfied: "You filter medal type 1 — gold",
+						Violated:  "Gold medals are type 1 in the records file",
+					},
+				}),
+				con(&constraint.Constraint{
+					Name: "filters-combined-with-and", Kind: constraint.Containment,
+					Pi: "guarded-counter", Ui: "u1", Expr: "re:&&",
+					Feedback: constraint.Feedback{
+						Satisfied: "Year and medal type are required together (&&)",
+						Violated:  "Require the year AND the medal type together — || counts far too much",
+					},
+				}),
+			},
+		}},
+	}
+
+	register(&Assignment{
+		ID:          "rit-all-g-medals",
+		Course:      "RIT CS1",
+		Description: "Count all gold medals awarded in a given year of the Summer Olympics records file.",
+		Entry:       "countGoldMedals",
+		Synth:       spec,
+		Tests:       tests,
+		Spec:        grading,
+		Paper:       PaperRow{S: 559872, L: 24.67, T: 0.32, P: 9, C: 7, M: 0.13, D: 1872},
+	})
+}

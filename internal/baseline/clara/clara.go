@@ -1,0 +1,364 @@
+// Package clara is a simplified reproduction of CLARA (Gulwani, Radicek,
+// Zuleger 2016), the second comparison baseline of Section VI-C. CLARA
+// clusters correct submissions by their variable traces on instructor-given
+// inputs, picks one representative per cluster, matches an incorrect
+// submission to the nearest representative, and derives line repairs from
+// the trace differences.
+//
+// The reproduction preserves the reported behaviour the paper contrasts
+// against:
+//
+//   - one reference (cluster) is needed per structural variation: traces
+//     are compared as a whole;
+//   - the standard output is just another traced variable, so print order
+//     matters;
+//   - matching cost grows with input magnitude (trace length), and large
+//     inputs time out;
+//   - submissions that duplicate logic across methods produce extra trace
+//     streams and fail to match single-method references;
+//   - matching is disconnected from repair: structurally different programs
+//     with identical traces share a cluster, so repairs may tell the student
+//     to rewrite loop syntax.
+package clara
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"semfeed/internal/functest"
+	"semfeed/internal/interp"
+	"semfeed/internal/java/parser"
+)
+
+// ErrTimeout is returned when trace collection exceeds the step budget
+// (CLARA's observed behaviour on large inputs and infinite loops).
+var ErrTimeout = errors.New("clara: timeout collecting variable traces")
+
+// ErrNoCluster is returned when no trained cluster is close enough.
+var ErrNoCluster = errors.New("clara: no matching cluster (a reference per variation is required)")
+
+// traceSet maps "method.variable" to the sequence of value snapshots.
+type traceSet map[string][]string
+
+type collector struct {
+	traces   traceSet
+	events   int
+	cap      int
+	overflow bool
+}
+
+func (c *collector) OnAssign(method string, line int, name string, v interp.Value) {
+	c.events++
+	if c.events > c.cap {
+		c.overflow = true
+		return
+	}
+	key := method + "." + name
+	snap := interp.Snapshot(v)
+	c.traces[key] = append(c.traces[key], snap)
+	// The interleaved timeline (names abstracted) keeps the comparison
+	// order-sensitive across variables, like CLARA's whole-trace alignment:
+	// computing the same values in a different order is a different trace.
+	c.traces["_.timeline"] = append(c.traces["_.timeline"], snap)
+}
+
+// Cluster is a group of correct submissions with identical normalized traces.
+type Cluster struct {
+	Representative string // source of the first member
+	Size           int
+	key            string
+	traces         []traceSet // one per training input
+}
+
+// Options configure the baseline.
+type Options struct {
+	MaxSteps    int // trace-collection budget per run (default 500k)
+	MaxDistance int // per-input trace distance accepted as a match (default 6)
+	MaxTraceLen int // snapshot budget per run before "timeout" (default 200k)
+}
+
+func (o Options) maxSteps() int {
+	if o.MaxSteps > 0 {
+		return o.MaxSteps
+	}
+	return 500_000
+}
+
+func (o Options) maxTraceLen() int {
+	if o.MaxTraceLen > 0 {
+		return o.MaxTraceLen
+	}
+	return 200_000
+}
+
+func (o Options) maxDistance() int {
+	if o.MaxDistance > 0 {
+		return o.MaxDistance
+	}
+	return 6
+}
+
+// Grader is a trained CLARA-style grader for one assignment.
+type Grader struct {
+	Entry    string
+	Inputs   []functest.Case
+	Opts     Options
+	clusters []*Cluster
+}
+
+// New returns an untrained grader; Inputs are the instructor-provided runs
+// used to collect traces ("meaningful inputs" in the paper's discussion).
+func New(entry string, inputs []functest.Case, opts Options) *Grader {
+	return &Grader{Entry: entry, Inputs: inputs, Opts: opts}
+}
+
+// collect runs the source on every input and returns one trace set per input.
+func (g *Grader) collect(src string) ([]traceSet, error) {
+	unit, err := parser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]traceSet, 0, len(g.Inputs))
+	for _, in := range g.Inputs {
+		col := &collector{traces: traceSet{}, cap: g.Opts.maxTraceLen()}
+		cfg := interp.Config{
+			Stdin:    in.Stdin,
+			Files:    in.Files,
+			MaxSteps: g.Opts.maxSteps(),
+			Tracer:   col,
+		}
+		res, err := interp.Run(unit, g.Entry, in.Args, cfg)
+		if err != nil {
+			if errors.Is(err, interp.ErrStepLimit) {
+				return nil, ErrTimeout
+			}
+			return nil, err
+		}
+		if col.overflow {
+			// The paper's observation: CLARA times out once the traces grow
+			// past what whole-trace comparison can handle (k = 100,000).
+			return nil, ErrTimeout
+		}
+		// CLARA treats standard output as one more traced variable.
+		col.traces["_.out"] = strings.Fields(res.Stdout)
+		out = append(out, col.traces)
+		_ = res
+	}
+	return out, nil
+}
+
+// normalKey abstracts variable names away: the multiset of value sequences,
+// sorted, identifies the cluster.
+func normalKey(runs []traceSet) string {
+	var parts []string
+	for i, ts := range runs {
+		var seqs []string
+		for _, seq := range ts {
+			seqs = append(seqs, strings.Join(seq, "→"))
+		}
+		sort.Strings(seqs)
+		parts = append(parts, fmt.Sprintf("run%d{%s}", i, strings.Join(seqs, "|")))
+	}
+	return strings.Join(parts, ";")
+}
+
+// Train clusters the given correct submissions. It returns the number of
+// submissions accepted; sources whose trace collection fails are skipped
+// (CLARA requires runnable references).
+func (g *Grader) Train(correct []string) int {
+	accepted := 0
+	for _, src := range correct {
+		runs, err := g.collect(src)
+		if err != nil {
+			continue
+		}
+		accepted++
+		key := normalKey(runs)
+		found := false
+		for _, c := range g.clusters {
+			if c.key == key {
+				c.Size++
+				found = true
+				break
+			}
+		}
+		if !found {
+			g.clusters = append(g.clusters, &Cluster{
+				Representative: src, Size: 1, key: key, traces: runs,
+			})
+		}
+	}
+	return accepted
+}
+
+// Clusters returns the number of clusters (references) after training.
+func (g *Grader) Clusters() int { return len(g.clusters) }
+
+// Result is CLARA-style feedback.
+type Result struct {
+	Cluster  *Cluster
+	Distance int
+	Repairs  []string
+	Correct  bool // distance zero: the traces match a cluster exactly
+	TraceLen int  // total snapshots collected (cost proxy)
+	Elapsed  time.Duration
+}
+
+// Feedback matches the submission against the trained clusters and derives
+// repairs from the nearest representative's traces.
+func (g *Grader) Feedback(src string) (*Result, error) {
+	start := time.Now()
+	runs, err := g.collect(src)
+	if err != nil {
+		return nil, err
+	}
+	traceLen := 0
+	for _, ts := range runs {
+		for _, seq := range ts {
+			traceLen += len(seq)
+		}
+	}
+	var best *Cluster
+	bestDist := -1
+	for _, c := range g.clusters {
+		d := distance(runs, c.traces)
+		if bestDist < 0 || d < bestDist {
+			best, bestDist = c, d
+		}
+	}
+	if best == nil || bestDist > g.Opts.maxDistance()*len(g.Inputs) {
+		return nil, ErrNoCluster
+	}
+	res := &Result{
+		Cluster:  best,
+		Distance: bestDist,
+		Correct:  bestDist == 0,
+		TraceLen: traceLen,
+		Elapsed:  time.Since(start),
+	}
+	if !res.Correct {
+		res.Repairs = repairs(runs, best.traces)
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// distance sums, over runs, the edit distance between greedily-paired
+// variable sequences. Sequences are paired after sorting, mirroring CLARA's
+// whole-trace comparison.
+func distance(a, b []traceSet) int {
+	if len(a) != len(b) {
+		return 1 << 20
+	}
+	total := 0
+	for i := range a {
+		sa := sortedSeqs(a[i])
+		sb := sortedSeqs(b[i])
+		n := len(sa)
+		if len(sb) > n {
+			n = len(sb)
+		}
+		for j := 0; j < n; j++ {
+			var x, y []string
+			if j < len(sa) {
+				x = sa[j]
+			}
+			if j < len(sb) {
+				y = sb[j]
+			}
+			total += editDistance(x, y)
+		}
+	}
+	return total
+}
+
+func sortedSeqs(ts traceSet) [][]string {
+	keys := make([]string, 0, len(ts))
+	for k := range ts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		return strings.Join(ts[keys[i]], "→") < strings.Join(ts[keys[j]], "→")
+	})
+	out := make([][]string, len(keys))
+	for i, k := range keys {
+		out[i] = ts[k]
+	}
+	return out
+}
+
+// editDistance is Levenshtein over snapshot sequences, capped at the sum of
+// lengths.
+func editDistance(a, b []string) int {
+	if len(a) == 0 {
+		return len(b)
+	}
+	if len(b) == 0 {
+		return len(a)
+	}
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
+// repairs derives CLARA-style low-level feedback: which traced streams
+// diverge from the representative's.
+func repairs(got, want []traceSet) []string {
+	var out []string
+	for i := range got {
+		if i >= len(want) {
+			break
+		}
+		gs := sortedSeqs(got[i])
+		ws := sortedSeqs(want[i])
+		n := len(gs)
+		if len(ws) > n {
+			n = len(ws)
+		}
+		for j := 0; j < n; j++ {
+			var g, w []string
+			if j < len(gs) {
+				g = gs[j]
+			}
+			if j < len(ws) {
+				w = ws[j]
+			}
+			if editDistance(g, w) > 0 {
+				out = append(out, fmt.Sprintf(
+					"run %d: change your variable updates so its trace becomes [%s] instead of [%s]",
+					i, strings.Join(w, " "), strings.Join(g, " ")))
+			}
+		}
+	}
+	if len(out) > 8 {
+		out = out[:8]
+	}
+	return out
+}

@@ -1,0 +1,107 @@
+package clara_test
+
+import (
+	"errors"
+	"testing"
+
+	"semfeed/internal/baseline/clara"
+	"semfeed/internal/functest"
+	"semfeed/internal/interp"
+)
+
+var sumInputs = []functest.Case{
+	{Name: "n4", Args: []interp.Value{int64(4)}},
+	{Name: "n1", Args: []interp.Value{int64(1)}},
+}
+
+const sumFor = `int sum(int n) { int s = 0; for (int i = 1; i <= n; i++) s += i; return s; }`
+const sumWhile = `int sum(int n) { int s = 0; int i = 1; while (i <= n) { s += i; i++; } return s; }`
+const sumRenamed = `int sum(int n) { int total = 0; for (int k = 1; k <= n; k++) total += k; return total; }`
+const sumWrongInit = `int sum(int n) { int s = 1; for (int i = 1; i <= n; i++) s += i; return s; }`
+
+func TestClusteringAbstractsNamesAndSyntax(t *testing.T) {
+	g := clara.New("sum", sumInputs, clara.Options{})
+	if got := g.Train([]string{sumFor, sumWhile, sumRenamed}); got != 3 {
+		t.Fatalf("trained %d", got)
+	}
+	if g.Clusters() != 1 {
+		t.Errorf("for/while/renamed variants share traces: %d clusters", g.Clusters())
+	}
+}
+
+func TestExactMatchIsCorrect(t *testing.T) {
+	g := clara.New("sum", sumInputs, clara.Options{})
+	g.Train([]string{sumFor})
+	res, err := g.Feedback(sumWhile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Correct || res.Distance != 0 {
+		t.Errorf("res = %+v", res)
+	}
+}
+
+func TestRepairsForWrongInit(t *testing.T) {
+	g := clara.New("sum", sumInputs, clara.Options{MaxDistance: 40})
+	g.Train([]string{sumFor})
+	res, err := g.Feedback(sumWrongInit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Correct {
+		t.Fatal("wrong init must not be trace-identical")
+	}
+	if len(res.Repairs) == 0 {
+		t.Error("expected trace-diff repairs")
+	}
+}
+
+func TestNoClusterForDistantSubmission(t *testing.T) {
+	g := clara.New("sum", sumInputs, clara.Options{MaxDistance: 1})
+	g.Train([]string{sumFor})
+	weird := `int sum(int n) {
+	  int s = 0;
+	  for (int i = 1; i <= n; i++)
+	    for (int j = 0; j < i; j++)
+	      s += 1;
+	  return s;
+	}`
+	if _, err := g.Feedback(weird); !errors.Is(err, clara.ErrNoCluster) {
+		t.Errorf("err = %v, want ErrNoCluster", err)
+	}
+}
+
+func TestTimeout(t *testing.T) {
+	g := clara.New("sum", sumInputs, clara.Options{MaxSteps: 1_000})
+	g.Train([]string{sumFor})
+	infinite := `int sum(int n) { int s = 0; while (true) { s += 1; } }`
+	if _, err := g.Feedback(infinite); !errors.Is(err, clara.ErrTimeout) {
+		t.Errorf("err = %v, want ErrTimeout", err)
+	}
+}
+
+func TestTrainSkipsBrokenSources(t *testing.T) {
+	g := clara.New("sum", sumInputs, clara.Options{})
+	got := g.Train([]string{sumFor, "not java {", `int sum(int n) { return n / 0; }`})
+	if got != 1 {
+		t.Errorf("accepted %d, want 1", got)
+	}
+}
+
+func TestTraceLenGrowsWithInput(t *testing.T) {
+	small := clara.New("sum", []functest.Case{{Name: "s", Args: []interp.Value{int64(5)}}}, clara.Options{})
+	large := clara.New("sum", []functest.Case{{Name: "l", Args: []interp.Value{int64(500)}}}, clara.Options{})
+	small.Train([]string{sumFor})
+	large.Train([]string{sumFor})
+	rs, err := small.Feedback(sumFor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl, err := large.Feedback(sumFor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rl.TraceLen <= rs.TraceLen*10 {
+		t.Errorf("trace length should scale with the input: %d vs %d", rs.TraceLen, rl.TraceLen)
+	}
+}

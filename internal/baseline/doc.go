@@ -1,0 +1,7 @@
+// Package baseline groups the Section VI-C comparison baselines: an
+// AutoGrader/Sketch-style repair search (autograder) and a CLARA-style
+// trace-clustering grader (clara). The comparison matrix of the paper —
+// reference solutions, printing to console, loops, multiple methods,
+// structural requirements, scalability, matching vs repair — is exercised by
+// the tests in this directory and by the benchmarks at the repository root.
+package baseline

@@ -1,0 +1,127 @@
+// Package bench regenerates Table I of the paper: for every assignment it
+// measures |S|, average lines L, functional-testing time T, pattern count P,
+// constraint count C, matching time M, and the number of discrepancies D
+// between functional testing and the personalized feedback.
+//
+// Small spaces are enumerated exhaustively; large ones are sampled with a
+// deterministic coprime stride and D is extrapolated to the full space.
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"semfeed/internal/assignments"
+	"semfeed/internal/core"
+	"semfeed/internal/java/parser"
+	"semfeed/internal/synth"
+)
+
+// Row is one measured Table I row.
+type Row struct {
+	Assignment string
+	S          int64
+	Evaluated  int
+	Exhaustive bool
+	L          float64
+	T          time.Duration // mean functional-testing time per submission
+	P, C       int
+	M          time.Duration // mean feedback (EPDG + matching) time per submission
+	D          int           // discrepancies among evaluated submissions
+	DScaled    int64         // D extrapolated to the full space
+	ParseFail  int
+}
+
+// MeasureRow evaluates up to maxSubs submissions of the assignment's space.
+func MeasureRow(a *assignments.Assignment, maxSubs int) Row {
+	row := Row{
+		Assignment: a.ID,
+		S:          a.Synth.Size(),
+		P:          a.Spec.PatternCount(),
+		C:          a.Spec.ConstraintCount(),
+	}
+	sample := a.Synth.Sample(maxSubs)
+	row.Evaluated = len(sample)
+	row.Exhaustive = int64(len(sample)) == row.S
+
+	grader := core.NewGrader(core.Options{})
+	var lines int
+	var funcTotal, matchTotal time.Duration
+	for _, k := range sample {
+		src := a.Synth.Render(k)
+		lines += synth.Lines(src)
+
+		unit, err := parser.Parse(src)
+		if err != nil {
+			row.ParseFail++
+			continue
+		}
+
+		t0 := time.Now()
+		verdict := a.Tests.Run(unit)
+		funcTotal += time.Since(t0)
+
+		t1 := time.Now()
+		rep := grader.GradeUnit(unit, a.Spec)
+		matchTotal += time.Since(t1)
+
+		if verdict.Pass != rep.AllCorrect() {
+			row.D++
+		}
+	}
+	n := len(sample) - row.ParseFail
+	if n > 0 {
+		row.L = float64(lines) / float64(len(sample))
+		row.T = funcTotal / time.Duration(n)
+		row.M = matchTotal / time.Duration(n)
+	}
+	if row.Exhaustive {
+		row.DScaled = int64(row.D)
+	} else if row.Evaluated > 0 {
+		row.DScaled = int64(float64(row.D) / float64(row.Evaluated) * float64(row.S))
+	}
+	return row
+}
+
+// FormatTable renders measured rows next to the paper's published numbers.
+func FormatTable(rows []Row) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-18s %12s %7s %9s %3s %3s %9s %9s %10s\n",
+		"Assignment", "S", "L", "T", "P", "C", "M", "D(eval)", "D(scaled)")
+	for _, r := range rows {
+		mode := "sampled"
+		if r.Exhaustive {
+			mode = "full"
+		}
+		fmt.Fprintf(&sb, "%-18s %12d %7.2f %9s %3d %3d %9s %4d/%-5d %10d  [%s, n=%d]\n",
+			r.Assignment, r.S, r.L, fmtDur(r.T), r.P, r.C, fmtDur(r.M),
+			r.D, r.Evaluated, r.DScaled, mode, r.Evaluated)
+		if a := assignments.Get(r.Assignment); a != nil {
+			p := a.Paper
+			fmt.Fprintf(&sb, "%-18s %12d %7.2f %8.2fs %3d %3d %8.2fs %11s %10d  [paper]\n",
+				"  (paper)", p.S, p.L, p.T, p.P, p.C, p.M, "-", int64(p.D))
+		}
+	}
+	return sb.String()
+}
+
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d.Microseconds())/1000)
+	default:
+		return fmt.Sprintf("%dµs", d.Microseconds())
+	}
+}
+
+// MeasureAll measures every Table I row with the given per-assignment budget.
+func MeasureAll(maxSubs int) []Row {
+	var rows []Row
+	for _, a := range assignments.All() {
+		rows = append(rows, MeasureRow(a, maxSubs))
+	}
+	return rows
+}

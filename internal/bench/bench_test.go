@@ -1,0 +1,56 @@
+package bench_test
+
+import (
+	"strings"
+	"testing"
+
+	"semfeed/internal/assignments"
+	"semfeed/internal/bench"
+)
+
+func TestMeasureRowExhaustiveSmallSpace(t *testing.T) {
+	a := assignments.Get("esc-LAB-3-P2-V2") // |S| = 144
+	row := bench.MeasureRow(a, 1000)
+	if !row.Exhaustive || row.Evaluated != 144 {
+		t.Errorf("small space should be enumerated fully: %+v", row)
+	}
+	if row.S != 144 || row.DScaled != int64(row.D) {
+		t.Errorf("exhaustive row: %+v", row)
+	}
+	if row.ParseFail != 0 {
+		t.Errorf("every generated submission must parse: %d failures", row.ParseFail)
+	}
+	if row.L <= 0 || row.T <= 0 || row.M <= 0 {
+		t.Errorf("averages must be positive: %+v", row)
+	}
+	if row.P != a.Spec.PatternCount() || row.C != a.Spec.ConstraintCount() {
+		t.Errorf("P/C mismatch: %+v", row)
+	}
+}
+
+func TestMeasureRowSampledLargeSpace(t *testing.T) {
+	a := assignments.Get("assignment1")
+	row := bench.MeasureRow(a, 50)
+	if row.Exhaustive || row.Evaluated != 50 {
+		t.Errorf("large space should be sampled: %+v", row)
+	}
+	if row.S != 640000 {
+		t.Errorf("S = %d", row.S)
+	}
+	// Extrapolation: D scaled by S / evaluated.
+	want := int64(float64(row.D) / 50 * 640000)
+	if row.DScaled != want {
+		t.Errorf("DScaled = %d, want %d", row.DScaled, want)
+	}
+}
+
+func TestFormatTable(t *testing.T) {
+	a := assignments.Get("mitx-polynomials")
+	rows := []bench.Row{bench.MeasureRow(a, 30)}
+	out := bench.FormatTable(rows)
+	for _, want := range []string{"mitx-polynomials", "(paper)", "Assignment", "768"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}

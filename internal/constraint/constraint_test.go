@@ -1,0 +1,185 @@
+package constraint_test
+
+import (
+	"strings"
+	"testing"
+
+	"semfeed/internal/constraint"
+	"semfeed/internal/java/parser"
+	"semfeed/internal/match"
+	"semfeed/internal/pattern"
+	"semfeed/internal/pdg"
+)
+
+// Two tiny patterns used across the constraint tests.
+func registry() map[string]*pattern.Compiled {
+	acc := pattern.MustCompile(&pattern.Pattern{
+		Name: "acc",
+		Vars: []string{"c"},
+		Nodes: []pattern.Node{
+			{ID: "init", Type: "Assign", Exact: []string{"c = 0"}, Approx: []string{"c ="}},
+			{ID: "step", Type: "Assign", Exact: []string{"c +="}},
+		},
+		Edges: []pattern.Edge{{From: "init", To: "step", Type: "Data"}},
+	})
+	pr := pattern.MustCompile(&pattern.Pattern{
+		Name: "pr",
+		Vars: []string{"d"},
+		Nodes: []pattern.Node{
+			{ID: "val", Type: "Assign", Exact: []string{"d"}},
+			{ID: "out", Type: "Call", Exact: []string{`re:System\.out\.println\(.*\b${d}\b.*\)`}},
+		},
+		Edges: []pattern.Edge{{From: "val", To: "out", Type: "Data"}},
+	})
+	return map[string]*pattern.Compiled{"acc": acc, "pr": pr}
+}
+
+func graphAndEmbeddings(t *testing.T, src string, reg map[string]*pattern.Compiled) (*pdg.Graph, map[string][]match.Embedding) {
+	t.Helper()
+	m, err := parser.ParseMethod(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := pdg.Build(m)
+	embs := map[string][]match.Embedding{}
+	for name, p := range reg {
+		embs[name] = match.Find(p, g)
+	}
+	return g, embs
+}
+
+const goodSrc = `void f(int[] a) {
+  int total = 0;
+  for (int i = 0; i < a.length; i++)
+    total += a[i];
+  System.out.println(total);
+}`
+
+// badSrc computes into total but prints a different variable.
+const badSrc = `void f(int[] a) {
+  int total = 0;
+  int shown = 0;
+  for (int i = 0; i < a.length; i++)
+    total += a[i];
+  shown = a.length;
+  System.out.println(shown);
+}`
+
+func TestEqualityConstraint(t *testing.T) {
+	reg := registry()
+	eq := constraint.MustCompile(&constraint.Constraint{
+		Name: "acc-is-printed-value", Kind: constraint.Equality,
+		Pi: "acc", Ui: "step", Pj: "pr", Uj: "val",
+		Feedback: constraint.Feedback{Satisfied: "ok {c}", Violated: "bad {c}"},
+	}, reg)
+
+	g, embs := graphAndEmbeddings(t, goodSrc, reg)
+	res := eq.Check(g, embs)
+	if res.Status != constraint.Correct {
+		t.Errorf("good: %s", res.Status)
+	}
+	if res.Message() != "ok total" {
+		t.Errorf("message = %q", res.Message())
+	}
+
+	g, embs = graphAndEmbeddings(t, badSrc, reg)
+	res = eq.Check(g, embs)
+	if res.Status != constraint.Incorrect {
+		t.Errorf("bad: %s, want Incorrect", res.Status)
+	}
+	if !strings.HasPrefix(res.Message(), "bad") {
+		t.Errorf("message = %q", res.Message())
+	}
+}
+
+func TestEdgeExistenceConstraint(t *testing.T) {
+	reg := registry()
+	edge := constraint.MustCompile(&constraint.Constraint{
+		Name: "acc-flows-to-print", Kind: constraint.EdgeExistence,
+		Pi: "acc", Ui: "step", Pj: "pr", Uj: "out", EdgeType: "Data",
+	}, reg)
+
+	g, embs := graphAndEmbeddings(t, goodSrc, reg)
+	if res := edge.Check(g, embs); res.Status != constraint.Correct {
+		t.Errorf("good: %s", res.Status)
+	}
+	g, embs = graphAndEmbeddings(t, badSrc, reg)
+	if res := edge.Check(g, embs); res.Status != constraint.Incorrect {
+		t.Errorf("bad: %s", res.Status)
+	}
+}
+
+func TestContainmentConstraint(t *testing.T) {
+	reg := registry()
+	cont := constraint.MustCompile(&constraint.Constraint{
+		Name: "printed-is-acc", Kind: constraint.Containment,
+		Pi: "pr", Ui: "out", Expr: `re:println\(${c}\)`,
+		Supporting: []string{"acc"},
+	}, reg)
+
+	g, embs := graphAndEmbeddings(t, goodSrc, reg)
+	if res := cont.Check(g, embs); res.Status != constraint.Correct {
+		t.Errorf("good: %s", res.Status)
+	}
+	g, embs = graphAndEmbeddings(t, badSrc, reg)
+	if res := cont.Check(g, embs); res.Status != constraint.Incorrect {
+		t.Errorf("bad: %s", res.Status)
+	}
+}
+
+func TestNotExpectedWhenPatternAbsent(t *testing.T) {
+	reg := registry()
+	eq := constraint.MustCompile(&constraint.Constraint{
+		Name: "x", Kind: constraint.Equality,
+		Pi: "acc", Ui: "step", Pj: "pr", Uj: "val",
+	}, reg)
+	src := `void f() { System.out.println(42); }`
+	g, embs := graphAndEmbeddings(t, src, reg)
+	if res := eq.Check(g, embs); res.Status != constraint.NotExpected {
+		t.Errorf("got %s, want NotExpected", res.Status)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	reg := registry()
+	bad := []*constraint.Constraint{
+		{Name: "a", Kind: constraint.Equality, Pi: "nope", Ui: "u0", Pj: "pr", Uj: "out"},
+		{Name: "b", Kind: constraint.Equality, Pi: "acc", Ui: "zz", Pj: "pr", Uj: "out"},
+		{Name: "c", Kind: constraint.EdgeExistence, Pi: "acc", Ui: "step", Pj: "pr", Uj: "out", EdgeType: "Sideways"},
+		{Name: "d", Kind: "weird", Pi: "acc", Ui: "step"},
+		{Name: "e", Kind: constraint.Containment, Pi: "acc", Ui: "step", Expr: "c", Supporting: []string{"ghost"}},
+	}
+	for _, c := range bad {
+		if _, err := constraint.Compile(c, reg); err == nil {
+			t.Errorf("constraint %s: expected compile error", c.Name)
+		}
+	}
+}
+
+func TestDisjointVariableSetsEnforced(t *testing.T) {
+	reg := registry()
+	// A second pattern reusing variable name "c" — Definition 10 forbids it.
+	dup := pattern.MustCompile(&pattern.Pattern{
+		Name:  "dup",
+		Vars:  []string{"c"},
+		Nodes: []pattern.Node{{ID: "n", Type: "Assign", Exact: []string{"c"}}},
+	})
+	reg["dup"] = dup
+	_, err := constraint.Compile(&constraint.Constraint{
+		Name: "clash", Kind: constraint.Containment,
+		Pi: "acc", Ui: "step", Expr: "c", Supporting: []string{"dup"},
+	}, reg)
+	if err == nil || !strings.Contains(err.Error(), "disjoint") {
+		t.Errorf("expected a disjointness error, got %v", err)
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	reg := registry()
+	eq := constraint.MustCompile(&constraint.Constraint{
+		Name: "n", Kind: constraint.Equality, Pi: "acc", Ui: "step", Pj: "pr", Uj: "val",
+	}, reg)
+	if got := eq.Describe(); got != "(acc, step, pr, val)" {
+		t.Errorf("Describe = %q", got)
+	}
+}

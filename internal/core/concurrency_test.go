@@ -1,0 +1,55 @@
+package core_test
+
+import (
+	"sync"
+	"testing"
+
+	"semfeed/internal/assignments"
+	"semfeed/internal/core"
+)
+
+// TestConcurrentGrading exercises the MOOC deployment shape: one shared
+// grader and assignment spec, many submissions graded in parallel. The
+// knowledge base, compiled patterns and constraints must be safely shareable.
+func TestConcurrentGrading(t *testing.T) {
+	a := assignments.Get("assignment1")
+	g := core.NewGrader(core.Options{})
+	sample := a.Synth.Sample(64)
+
+	// Sequential baseline for cross-checking results.
+	wantCorrect := make([]bool, len(sample))
+	for i, k := range sample {
+		rep, err := g.Grade(a.Synth.Render(k), a.Spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantCorrect[i] = rep.AllCorrect()
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, len(sample))
+	got := make([]bool, len(sample))
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(sample); i += 8 {
+				rep, err := g.Grade(a.Synth.Render(sample[i]), a.Spec)
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				got[i] = rep.AllCorrect()
+			}
+		}(w)
+	}
+	wg.Wait()
+	for i := range sample {
+		if errs[i] != nil {
+			t.Fatalf("submission %d: %v", sample[i], errs[i])
+		}
+		if got[i] != wantCorrect[i] {
+			t.Errorf("submission %d: concurrent verdict %v != sequential %v", sample[i], got[i], wantCorrect[i])
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package core_test
+
+import (
+	"testing"
+
+	"semfeed/internal/assignments"
+	"semfeed/internal/core"
+	"semfeed/internal/pdg"
+)
+
+// TestElseNormalizationUnderFullSpec documents a structural subtlety of the
+// else extension: under if/else, the branch-untaken path keeps the
+// initializations alive, so the data-flow count expected by assign-print
+// (t = 2) legitimately becomes 4 and the occurrence check fires. The
+// pattern-level parity feedback is fully positive; only the count-based
+// pieces remain structure-dependent — the residual variability the paper's
+// future-work section anticipates.
+func TestElseNormalizationUnderFullSpec(t *testing.T) {
+	elseSrc := `void assignment1(int[] a) {
+  int odd = 0;
+  int even = 1;
+  for (int i = 0; i < a.length; i++)
+    if (i % 2 == 0)
+      even *= a[i];
+    else
+      odd += a[i];
+  System.out.println(odd);
+  System.out.println(even);
+}`
+	a := assignments.Get("assignment1")
+	g := core.NewGrader(core.Options{BuildOptions: pdg.BuildOpts{NormalizeElse: true}})
+	rep, err := g.Grade(elseSrc, a.Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	status := map[string]core.Status{}
+	for _, c := range rep.Comments {
+		status[c.Source] = c.Status
+	}
+	for _, src := range []string{"seq-odd-access", "seq-even-access",
+		"cond-accumulate-add", "cond-accumulate-mul",
+		"odd-access-is-summed", "even-access-is-multiplied"} {
+		if status[src] != core.Correct {
+			t.Errorf("%s = %s, want Correct\n%s", src, status[src], rep)
+		}
+	}
+	if status["assign-print"] != core.NotExpected {
+		t.Errorf("assign-print = %s; the if/else structure doubles the print flows", status["assign-print"])
+	}
+}

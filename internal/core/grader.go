@@ -1,0 +1,477 @@
+// Package core implements the paper's grading engine: Algorithm 2
+// (SubmissionMatching) on top of the EPDG builder, the pattern matcher and
+// the constraint checker. This is the public API a course platform embeds.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"semfeed/internal/constraint"
+	"semfeed/internal/java/ast"
+	"semfeed/internal/java/inline"
+	"semfeed/internal/java/parser"
+	"semfeed/internal/match"
+	"semfeed/internal/pattern"
+	"semfeed/internal/pdg"
+)
+
+// PatternUse attaches a pattern to an expected method with its expected
+// number of occurrences t̄(q, p). Count 0 declares a "bad pattern" that must
+// not appear (e.g. updating a sentinel index twice).
+type PatternUse struct {
+	Pattern *pattern.Compiled
+	Count   int
+}
+
+// GroupUse attaches a pattern group (a cluster of alternative patterns with
+// the same semantics — the paper's variability extension) to an expected
+// method with its expected occurrence count.
+type GroupUse struct {
+	Group *pattern.Group
+	Count int
+}
+
+// MethodSpec describes one expected method q: the patterns the instructor
+// expects to find in it, pattern groups covering strategy variability, and
+// the constraints correlating patterns.
+type MethodSpec struct {
+	Name        string
+	Patterns    []PatternUse
+	Groups      []GroupUse
+	Constraints []*constraint.Compiled
+}
+
+// AssignmentSpec wires patterns and constraints to the expected methods of
+// one assignment (the mappings p̄, t̄ and c̄ of Algorithm 2).
+type AssignmentSpec struct {
+	Name    string
+	Methods []MethodSpec
+}
+
+// PatternCount returns the total number of pattern uses across methods
+// (column P of Table I counts per-assignment pattern selections).
+func (s *AssignmentSpec) PatternCount() int {
+	n := 0
+	for _, m := range s.Methods {
+		n += len(m.Patterns) + len(m.Groups)
+	}
+	return n
+}
+
+// ConstraintCount returns the total number of constraints across methods.
+func (s *AssignmentSpec) ConstraintCount() int {
+	n := 0
+	for _, m := range s.Methods {
+		n += len(m.Constraints)
+	}
+	return n
+}
+
+// Status classifies one feedback comment.
+type Status int
+
+// Comment statuses, with the Λ weights of Equation 3.
+const (
+	Correct     Status = iota // λ = 1
+	Incorrect                 // λ = 0.5
+	NotExpected               // λ = 0
+)
+
+// String renders the status.
+func (s Status) String() string {
+	switch s {
+	case Correct:
+		return "Correct"
+	case Incorrect:
+		return "Incorrect"
+	default:
+		return "NotExpected"
+	}
+}
+
+// MarshalJSON renders the status by name so JSON reports are readable.
+func (s Status) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + s.String() + `"`), nil
+}
+
+// UnmarshalJSON parses a status name.
+func (s *Status) UnmarshalJSON(data []byte) error {
+	switch string(data) {
+	case `"Correct"`:
+		*s = Correct
+	case `"Incorrect"`:
+		*s = Incorrect
+	case `"NotExpected"`:
+		*s = NotExpected
+	default:
+		return fmt.Errorf("core: unknown status %s", data)
+	}
+	return nil
+}
+
+// Lambda returns the λ weight of the status (Equation 3).
+func (s Status) Lambda() float64 {
+	switch s {
+	case Correct:
+		return 1
+	case Incorrect:
+		return 0.5
+	default:
+		return 0
+	}
+}
+
+// Comment is one personalized feedback item.
+type Comment struct {
+	Method  string // expected method q
+	Kind    string // "pattern" or "constraint"
+	Source  string // pattern or constraint name
+	Status  Status
+	Message string   // rendered top-level message
+	Details []string // rendered per-node feedback lines
+}
+
+// Report is the output of grading one submission.
+type Report struct {
+	Assignment string
+	Comments   []Comment
+	Score      float64           // Λ(B)
+	MaxScore   float64           // Λ if everything were Correct
+	Bindings   map[string]string // expected method -> submission method
+	Matched    bool              // false when the expected headers are absent
+	Elapsed    time.Duration
+}
+
+// AllCorrect reports whether every comment is Correct.
+func (r *Report) AllCorrect() bool {
+	if !r.Matched || len(r.Comments) == 0 {
+		return false
+	}
+	for _, c := range r.Comments {
+		if c.Status != Correct {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the report as the student would see it.
+func (r *Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Assignment %s — score %.1f/%.1f\n", r.Assignment, r.Score, r.MaxScore)
+	if !r.Matched {
+		sb.WriteString("  Your submission does not provide the expected method header(s); no feedback can be given.\n")
+		return sb.String()
+	}
+	for _, c := range r.Comments {
+		fmt.Fprintf(&sb, "  [%s] %s", c.Status, c.Message)
+		if c.Message == "" {
+			fmt.Fprintf(&sb, "(%s %s)", c.Kind, c.Source)
+		}
+		sb.WriteByte('\n')
+		for _, d := range c.Details {
+			fmt.Fprintf(&sb, "      - %s\n", d)
+		}
+	}
+	return sb.String()
+}
+
+// Options tune the grader. The zero value applies the defaults.
+type Options struct {
+	// MatchOptions are passed through to the subgraph matcher.
+	MatchOptions match.Options
+	// BuildOptions select the EPDG construction conventions (ablations).
+	BuildOptions pdg.BuildOpts
+	// InlineHelpers expands calls to simple single-return helper methods
+	// into the expected methods before building EPDGs, so decomposed
+	// submissions still expose the computation to the patterns (the paper's
+	// Section VII plan for non-expected methods).
+	InlineHelpers bool
+	// MaxMethodCombos caps the number of expected↔actual method bindings
+	// tried (default 720).
+	MaxMethodCombos int
+}
+
+func (o Options) maxCombos() int {
+	if o.MaxMethodCombos > 0 {
+		return o.MaxMethodCombos
+	}
+	return 720
+}
+
+// Grader grades submissions against assignment specs.
+type Grader struct {
+	opts Options
+}
+
+// NewGrader returns a grader with the given options.
+func NewGrader(opts Options) *Grader { return &Grader{opts: opts} }
+
+// Grade parses src and grades it against spec.
+func (g *Grader) Grade(src string, spec *AssignmentSpec) (*Report, error) {
+	unit, err := parser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return g.GradeUnit(unit, spec), nil
+}
+
+// GradeUnit grades a parsed compilation unit against spec (Algorithm 2).
+func (g *Grader) GradeUnit(unit *ast.CompilationUnit, spec *AssignmentSpec) *Report {
+	start := time.Now()
+	report := &Report{Assignment: spec.Name, Bindings: map[string]string{}}
+	for _, m := range spec.Methods {
+		report.MaxScore += float64(len(m.Patterns) + len(m.Groups) + len(m.Constraints))
+	}
+
+	// Step 1: extract the EPDG of every submission method, optionally
+	// inlining helper calls first.
+	if g.opts.InlineHelpers {
+		keep := map[string]bool{}
+		for _, m := range spec.Methods {
+			keep[m.Name] = true
+		}
+		unit = inline.Expand(unit, keep)
+	}
+	graphs := pdg.BuildAllWith(unit, g.opts.BuildOptions)
+	if len(graphs) == 0 {
+		report.Elapsed = time.Since(start)
+		return report
+	}
+	methodNames := make([]string, 0, len(graphs))
+	for name := range graphs {
+		methodNames = append(methodNames, name)
+	}
+	sort.Strings(methodNames)
+
+	// Step 2: try every combination of expected and existing methods, keep
+	// the one maximizing Λ.
+	best := -1.0
+	for _, binding := range g.bindings(spec, methodNames) {
+		comments, score := g.gradeBinding(spec, graphs, binding)
+		if score > best {
+			best = score
+			report.Comments = comments
+			report.Score = score
+			report.Bindings = binding
+			report.Matched = true
+		}
+	}
+	report.Elapsed = time.Since(start)
+	return report
+}
+
+// bindings enumerates injective mappings from expected method names to
+// submission method names. When every expected name is present verbatim the
+// identity binding is tried first (the header-enforcement fast path the
+// paper describes); remaining permutations cover renamed methods.
+func (g *Grader) bindings(spec *AssignmentSpec, methods []string) []map[string]string {
+	expected := make([]string, len(spec.Methods))
+	for i, m := range spec.Methods {
+		expected[i] = m.Name
+	}
+	if len(expected) > len(methods) {
+		return nil
+	}
+	have := map[string]bool{}
+	for _, m := range methods {
+		have[m] = true
+	}
+	var out []map[string]string
+	identity := true
+	for _, q := range expected {
+		if !have[q] {
+			identity = false
+			break
+		}
+	}
+	if identity {
+		b := map[string]string{}
+		for _, q := range expected {
+			b[q] = q
+		}
+		return []map[string]string{b}
+	}
+
+	used := make([]bool, len(methods))
+	cur := map[string]string{}
+	var rec func(i int)
+	rec = func(i int) {
+		if len(out) >= g.opts.maxCombos() {
+			return
+		}
+		if i == len(expected) {
+			b := make(map[string]string, len(cur))
+			for k, v := range cur {
+				b[k] = v
+			}
+			out = append(out, b)
+			return
+		}
+		for j, h := range methods {
+			if used[j] {
+				continue
+			}
+			used[j] = true
+			cur[expected[i]] = h
+			rec(i + 1)
+			delete(cur, expected[i])
+			used[j] = false
+		}
+	}
+	rec(0)
+	return out
+}
+
+// gradeBinding runs steps 2.1 and 2.2 of Algorithm 2 for one method binding
+// and returns the comments with their Λ score.
+func (g *Grader) gradeBinding(spec *AssignmentSpec, graphs map[string]*pdg.Graph, binding map[string]string) ([]Comment, float64) {
+	var comments []Comment
+	for _, mspec := range spec.Methods {
+		graph := graphs[binding[mspec.Name]]
+		if graph == nil {
+			continue
+		}
+		embs := map[string][]match.Embedding{}
+		statuses := map[string]Status{}
+		// 2.1: match patterns.
+		for _, use := range mspec.Patterns {
+			m := match.FindOpts(use.Pattern, graph, g.opts.MatchOptions)
+			embs[use.Pattern.Name()] = m
+			c := provideFeedback(mspec.Name, use, m)
+			statuses[use.Pattern.Name()] = c.Status
+			comments = append(comments, c)
+		}
+		// 2.1b: match pattern groups (the variability extension): every
+		// member is tried, the best-scoring one provides the feedback, and
+		// its embeddings become available to constraints under its own name.
+		for _, gu := range mspec.Groups {
+			c := g.groupFeedback(mspec.Name, gu, graph, embs)
+			statuses[gu.Group.Name] = c.Status
+			comments = append(comments, c)
+		}
+		// 2.2: match constraints.
+		for _, con := range mspec.Constraints {
+			c := checkConstraint(mspec.Name, con, graph, embs, statuses)
+			comments = append(comments, c)
+		}
+	}
+	score := 0.0
+	for _, c := range comments {
+		score += c.Status.Lambda()
+	}
+	return comments, score
+}
+
+// groupFeedback evaluates one pattern group: each member is matched, the
+// best-scoring comment wins, and the winning member's embeddings are stored
+// so constraints can correlate against it.
+func (g *Grader) groupFeedback(method string, gu GroupUse, graph *pdg.Graph, embs map[string][]match.Embedding) Comment {
+	var best Comment
+	var bestEmbs []match.Embedding
+	var bestMember string
+	for i, member := range gu.Group.Members {
+		m := match.FindOpts(member, graph, g.opts.MatchOptions)
+		c := provideFeedback(method, PatternUse{Pattern: member, Count: gu.Count}, m)
+		if i == 0 || c.Status.Lambda() > best.Status.Lambda() {
+			best, bestEmbs, bestMember = c, m, member.Name()
+		}
+	}
+	embs[bestMember] = bestEmbs
+	best.Kind = "group"
+	best.Source = gu.Group.Name
+	if best.Status == NotExpected && len(bestEmbs) < gu.Count && gu.Group.Missing != "" {
+		best.Message = pattern.RenderFeedback(gu.Group.Missing, nil)
+	}
+	return best
+}
+
+// provideFeedback implements ProvideFeedback of Algorithm 2 for one pattern.
+func provideFeedback(method string, use PatternUse, embs []match.Embedding) Comment {
+	p := use.Pattern
+	c := Comment{Method: method, Kind: "pattern", Source: p.Name()}
+	switch {
+	case len(embs) != use.Count:
+		c.Status = NotExpected
+		switch {
+		case use.Count == 0:
+			// A bad pattern was found: its Missing message is the warning.
+			c.Message = pattern.RenderFeedback(p.Source.Missing, embs[0].Gamma)
+		case len(embs) < use.Count:
+			c.Message = pattern.RenderFeedback(p.Source.Missing, nil)
+		default:
+			c.Message = fmt.Sprintf("Found %d occurrences of %q but expected %d — check for duplicated or conflated logic",
+				len(embs), p.Source.Description, use.Count)
+		}
+	default:
+		if use.Count == 0 {
+			// A bad pattern that is indeed absent.
+			c.Status = Correct
+			c.Message = pattern.RenderFeedback(p.Source.Present, nil)
+			return c
+		}
+		allCorrect := true
+		for _, e := range embs {
+			if !e.AllCorrect() {
+				allCorrect = false
+				break
+			}
+		}
+		if allCorrect {
+			c.Status = Correct
+		} else {
+			c.Status = Incorrect
+		}
+		c.Message = pattern.RenderFeedback(p.Source.Present, embs[0].Gamma)
+		c.Details = nodeDetails(p, embs)
+	}
+	return c
+}
+
+// nodeDetails renders per-node feedback for the found embeddings, deduped.
+func nodeDetails(p *pattern.Compiled, embs []match.Embedding) []string {
+	seen := map[string]bool{}
+	var out []string
+	add := func(s string) {
+		if s != "" && !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	for _, e := range embs {
+		for i, n := range p.Nodes {
+			if e.Approx[i] {
+				add(pattern.RenderFeedback(n.Feedback.Incorrect, e.Gamma))
+			} else {
+				add(pattern.RenderFeedback(n.Feedback.Correct, e.Gamma))
+			}
+		}
+	}
+	return out
+}
+
+// checkConstraint implements ConstraintMatching of Algorithm 2: NotExpected
+// when any referenced pattern was NotExpected, else the constraint check.
+func checkConstraint(method string, con *constraint.Compiled, graph *pdg.Graph, embs map[string][]match.Embedding, statuses map[string]Status) Comment {
+	c := Comment{Method: method, Kind: "constraint", Source: con.Name()}
+	for _, pname := range con.Patterns() {
+		if st, ok := statuses[pname]; ok && st == NotExpected {
+			c.Status = NotExpected
+			return c
+		}
+	}
+	res := con.Check(graph, embs)
+	switch res.Status {
+	case constraint.Correct:
+		c.Status = Correct
+	case constraint.Incorrect:
+		c.Status = Incorrect
+	default:
+		c.Status = NotExpected
+	}
+	c.Message = res.Message()
+	return c
+}

@@ -1,0 +1,44 @@
+package core_test
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"semfeed/internal/assignments"
+	"semfeed/internal/core"
+)
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	a := assignments.Get("assignment1")
+	rep, err := core.NewGrader(core.Options{}).Grade(a.Reference(), a.Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"Correct"`) {
+		t.Errorf("statuses should serialize by name:\n%s", data)
+	}
+	var back core.Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Score != rep.Score || len(back.Comments) != len(rep.Comments) {
+		t.Errorf("round trip lost data: %+v", back)
+	}
+	for i := range back.Comments {
+		if back.Comments[i].Status != rep.Comments[i].Status {
+			t.Errorf("comment %d status mismatch", i)
+		}
+	}
+}
+
+func TestStatusUnmarshalRejectsUnknown(t *testing.T) {
+	var s core.Status
+	if err := json.Unmarshal([]byte(`"Maybe"`), &s); err == nil {
+		t.Error("unknown status names must be rejected")
+	}
+}

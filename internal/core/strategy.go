@@ -1,0 +1,25 @@
+package core
+
+import "semfeed/internal/constraint"
+
+// Strategy is a predefined combination of patterns, groups and constraints
+// that enforces one algorithmic approach — the paper's Section VII plan to
+// "predefine certain combinations of patterns and constraints to ensure
+// specific algorithmic strategies". Instructors apply a strategy to an
+// expected method instead of wiring the pieces one by one.
+type Strategy struct {
+	Name        string
+	Description string
+	Patterns    []PatternUse
+	Groups      []GroupUse
+	Constraints []*constraint.Compiled
+}
+
+// Apply appends the strategy's pieces to the method spec and returns the
+// spec for chaining.
+func (m *MethodSpec) Apply(s Strategy) *MethodSpec {
+	m.Patterns = append(m.Patterns, s.Patterns...)
+	m.Groups = append(m.Groups, s.Groups...)
+	m.Constraints = append(m.Constraints, s.Constraints...)
+	return m
+}

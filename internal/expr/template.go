@@ -1,0 +1,258 @@
+// Package expr implements incomplete Java expression templates (Definition 4
+// of the paper) and the variable-aware matching relation r ⪯γ c
+// (Definition 6).
+//
+// A template is written as a Java fragment in which some identifiers are
+// declared as pattern variables (the X of Definition 6). Matching first
+// substitutes the variable mapping γ into the fragment and then checks that
+// the substituted token sequence occurs contiguously in (a rendering of) the
+// node content c. A fragment that covers the whole content is therefore an
+// exact expression match; a shorter fragment matches "x is used to access s"
+// style conditions, which is how the paper applies templates such as s[x] to
+// contents like odd += a[i].
+//
+// An alternative may also be written as a raw regular expression by prefixing
+// it with "re:". Inside a regex alternative, occurrences of ${v} are replaced
+// by the quoted, γ-mapped name of pattern variable v before compilation. This
+// mirrors the paper's use of regular expressions for approximate matching.
+package expr
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+	"sync"
+
+	"semfeed/internal/java/pretty"
+)
+
+// regexPrefix marks a template alternative written as a raw regex.
+const regexPrefix = "re:"
+
+// Template is one compiled incomplete Java expression with alternatives.
+// The zero value matches nothing.
+type Template struct {
+	alts []alternative
+	vars []string // pattern variables appearing in any alternative, ordered
+}
+
+type alternative struct {
+	raw     string
+	isRegex bool
+	tokens  []string // token form for fragment alternatives
+	varIdx  [][]int  // per token: indexes into vars if the token is a variable
+}
+
+// Compile builds a template from raw alternatives given the declared pattern
+// variables of the enclosing pattern. Alternatives that are fragments are
+// tokenized with the canonical tokenizer; occurrences of declared variables
+// become placeholders.
+func Compile(alternatives []string, patternVars []string) (*Template, error) {
+	varSet := make(map[string]int, len(patternVars))
+	for i, v := range patternVars {
+		varSet[v] = i
+	}
+	t := &Template{}
+	seen := map[string]bool{}
+	addVar := func(v string) {
+		if !seen[v] {
+			seen[v] = true
+			t.vars = append(t.vars, v)
+		}
+	}
+	for _, raw := range alternatives {
+		// Only leading space is insignificant: a regex alternative may end in
+		// meaningful whitespace (e.g. `re:^${x} < ` distinguishing < from <=).
+		raw = strings.TrimLeft(raw, " \t\r\n")
+		if strings.TrimSpace(raw) == "" {
+			continue
+		}
+		if strings.HasPrefix(raw, regexPrefix) {
+			body := strings.TrimPrefix(raw, regexPrefix)
+			for _, v := range patternVars {
+				if strings.Contains(body, "${"+v+"}") {
+					addVar(v)
+				}
+			}
+			// Validate with dummy substitutions.
+			probe := body
+			for _, v := range patternVars {
+				probe = strings.ReplaceAll(probe, "${"+v+"}", "x")
+			}
+			if _, err := regexp.Compile(probe); err != nil {
+				return nil, fmt.Errorf("expr: bad regex alternative %q: %v", raw, err)
+			}
+			t.alts = append(t.alts, alternative{raw: body, isRegex: true})
+			continue
+		}
+		toks := pretty.Tokens(normalizeFragment(raw))
+		if len(toks) == 0 {
+			continue
+		}
+		a := alternative{raw: raw, tokens: toks, varIdx: make([][]int, len(toks))}
+		for i, tok := range toks {
+			if idx, ok := varSet[tok]; ok {
+				a.varIdx[i] = []int{idx}
+				addVar(tok)
+			}
+		}
+		t.alts = append(t.alts, a)
+	}
+	return t, nil
+}
+
+// MustCompile is Compile that panics on error; for statically-known templates.
+func MustCompile(alternatives []string, patternVars []string) *Template {
+	t, err := Compile(alternatives, patternVars)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// normalizeFragment canonicalizes whitespace in a fragment. Full parsing is
+// not attempted because fragments may be genuinely incomplete.
+func normalizeFragment(s string) string {
+	return strings.Join(strings.Fields(s), " ")
+}
+
+// Vars returns the pattern variables referenced by the template, in first-use
+// order across alternatives.
+func (t *Template) Vars() []string {
+	if t == nil {
+		return nil
+	}
+	return t.vars
+}
+
+// Empty reports whether the template has no alternatives (matches nothing).
+func (t *Template) Empty() bool { return t == nil || len(t.alts) == 0 }
+
+// Match reports whether the template matches any of the given renderings of
+// a node content under the (total, for this template's variables) mapping γ.
+func (t *Template) Match(gamma map[string]string, renderings []string) bool {
+	if t.Empty() {
+		return false
+	}
+	for _, a := range t.alts {
+		if a.isRegex {
+			if matchRegexAlt(a.raw, gamma, renderings) {
+				return true
+			}
+			continue
+		}
+		needle := make([]string, len(a.tokens))
+		ok := true
+		for i, tok := range a.tokens {
+			if len(a.varIdx[i]) > 0 {
+				mapped, bound := gamma[tok]
+				if !bound {
+					ok = false
+					break
+				}
+				needle[i] = mapped
+			} else {
+				needle[i] = tok
+			}
+		}
+		if !ok {
+			continue
+		}
+		for _, r := range renderings {
+			if containsTokens(pretty.Tokens(r), needle) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+var regexCache sync.Map // string -> *regexp.Regexp
+
+func matchRegexAlt(body string, gamma map[string]string, renderings []string) bool {
+	pat := body
+	for v, mapped := range gamma {
+		pat = strings.ReplaceAll(pat, "${"+v+"}", regexp.QuoteMeta(mapped))
+	}
+	if strings.Contains(pat, "${") {
+		return false // refers to an unbound variable
+	}
+	var re *regexp.Regexp
+	if cached, ok := regexCache.Load(pat); ok {
+		re = cached.(*regexp.Regexp)
+	} else {
+		compiled, err := regexp.Compile(pat)
+		if err != nil {
+			return false
+		}
+		regexCache.Store(pat, compiled)
+		re = compiled
+	}
+	for _, r := range renderings {
+		if re.MatchString(r) {
+			return true
+		}
+	}
+	return false
+}
+
+// containsTokens reports whether needle occurs as a contiguous subsequence of
+// haystack.
+func containsTokens(haystack, needle []string) bool {
+	if len(needle) == 0 {
+		return false
+	}
+	if len(needle) > len(haystack) {
+		return false
+	}
+outer:
+	for i := 0; i+len(needle) <= len(haystack); i++ {
+		for j, n := range needle {
+			if haystack[i+j] != n {
+				continue outer
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// Injections enumerates every injective mapping from xs into ys as a slice of
+// maps. It returns a single empty map when xs is empty, and nil when
+// len(xs) > len(ys). This generalizes the paper's Combinations(X, Y): the
+// paper requires |X| = |Y|, but its own worked example (pattern node u5 over
+// graph node v7, which mentions the extra variable odd) needs |X| ≤ |Y|.
+func Injections(xs, ys []string) []map[string]string {
+	if len(xs) > len(ys) {
+		return nil
+	}
+	if len(xs) == 0 {
+		return []map[string]string{{}}
+	}
+	var out []map[string]string
+	used := make([]bool, len(ys))
+	cur := make(map[string]string, len(xs))
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(xs) {
+			m := make(map[string]string, len(cur))
+			for k, v := range cur {
+				m[k] = v
+			}
+			out = append(out, m)
+			return
+		}
+		for j, y := range ys {
+			if used[j] {
+				continue
+			}
+			used[j] = true
+			cur[xs[i]] = y
+			rec(i + 1)
+			delete(cur, xs[i])
+			used[j] = false
+		}
+	}
+	rec(0)
+	return out
+}

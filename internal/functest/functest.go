@@ -1,0 +1,174 @@
+// Package functest is the functional-testing harness used as ground truth in
+// the evaluation (column T of Table I and the discrepancy analysis). It runs
+// predefined test cases through the interpreter and compares console output
+// token-wise.
+package functest
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"semfeed/internal/interp"
+	"semfeed/internal/java/ast"
+	"semfeed/internal/java/parser"
+)
+
+// Case is one functional test: inputs plus the expected console output and,
+// when CompareReturn is set, the expected return value (for assignments whose
+// method returns instead of printing).
+type Case struct {
+	Name          string
+	Args          []interp.Value
+	Stdin         string
+	Files         map[string]string
+	Want          string
+	CompareReturn bool
+	WantReturn    interp.Value
+}
+
+// Suite is the functional-test suite of one assignment.
+type Suite struct {
+	Entry    string // method to invoke
+	Cases    []Case
+	MaxSteps int // per-case step budget (default interp's)
+}
+
+// Failure describes one failing case.
+type Failure struct {
+	Case string
+	Got  string
+	Want string
+	Err  error
+}
+
+// String renders the failure.
+func (f Failure) String() string {
+	if f.Err != nil {
+		return fmt.Sprintf("%s: %v", f.Case, f.Err)
+	}
+	return fmt.Sprintf("%s: got %q, want %q", f.Case, f.Got, f.Want)
+}
+
+// Verdict is the outcome of running a suite over a submission.
+type Verdict struct {
+	Pass     bool
+	Failures []Failure
+	// InfiniteLoop is set when any case hit the step budget — the failure
+	// mode dynamic graders cannot distinguish from slowness.
+	InfiniteLoop bool
+}
+
+// Run executes the suite against a parsed submission.
+func (s *Suite) Run(unit *ast.CompilationUnit) Verdict {
+	v := Verdict{Pass: true}
+	for _, c := range s.Cases {
+		cfg := interp.Config{Stdin: c.Stdin, Files: c.Files, MaxSteps: s.MaxSteps}
+		res, err := interp.Run(unit, s.Entry, cloneArgs(c.Args), cfg)
+		if err != nil {
+			v.Pass = false
+			v.Failures = append(v.Failures, Failure{Case: c.Name, Err: err})
+			if errors.Is(err, interp.ErrStepLimit) {
+				v.InfiniteLoop = true
+			}
+			continue
+		}
+		if !OutputEqual(res.Stdout, c.Want) {
+			v.Pass = false
+			v.Failures = append(v.Failures, Failure{Case: c.Name, Got: res.Stdout, Want: c.Want})
+			continue
+		}
+		if c.CompareReturn && !interp.DeepEqual(res.Return, c.WantReturn) {
+			v.Pass = false
+			v.Failures = append(v.Failures, Failure{
+				Case: c.Name,
+				Got:  "return " + interp.Snapshot(res.Return),
+				Want: "return " + interp.Snapshot(c.WantReturn),
+			})
+		}
+	}
+	return v
+}
+
+// RunSource parses and executes the suite against submission source code.
+func (s *Suite) RunSource(src string) (Verdict, error) {
+	unit, err := parser.Parse(src)
+	if err != nil {
+		return Verdict{}, err
+	}
+	return s.Run(unit), nil
+}
+
+// cloneArgs deep-copies argument values so submissions that mutate their
+// input arrays do not leak state between cases.
+func cloneArgs(args []interp.Value) []interp.Value {
+	out := make([]interp.Value, len(args))
+	for i, a := range args {
+		out[i] = cloneValue(a)
+	}
+	return out
+}
+
+func cloneValue(v interp.Value) interp.Value {
+	arr, ok := v.(*interp.Array)
+	if !ok || arr == nil {
+		return v
+	}
+	cp := &interp.Array{Elem: arr.Elem, Elems: make([]interp.Value, len(arr.Elems))}
+	for i, e := range arr.Elems {
+		cp.Elems[i] = cloneValue(e)
+	}
+	return cp
+}
+
+// OutputEqual compares console outputs token-wise: whitespace runs are
+// insignificant and numeric tokens compare numerically (so 3 == 3.0).
+// Order is significant, exactly like the paper's functional tests.
+func OutputEqual(got, want string) bool {
+	g := strings.Fields(got)
+	w := strings.Fields(want)
+	if len(g) != len(w) {
+		return false
+	}
+	for i := range g {
+		if !tokenEqual(g[i], w[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func tokenEqual(a, b string) bool {
+	if a == b {
+		return true
+	}
+	fa, errA := strconv.ParseFloat(strings.TrimSuffix(a, ","), 64)
+	fb, errB := strconv.ParseFloat(strings.TrimSuffix(b, ","), 64)
+	if errA == nil && errB == nil {
+		return fa == fb && strings.HasSuffix(a, ",") == strings.HasSuffix(b, ",")
+	}
+	return false
+}
+
+// FillExpected runs the reference solution over every case and records its
+// output as the expected one. It returns an error if the reference fails.
+func (s *Suite) FillExpected(referenceSrc string) error {
+	unit, err := parser.Parse(referenceSrc)
+	if err != nil {
+		return fmt.Errorf("functest: reference does not parse: %w", err)
+	}
+	for i := range s.Cases {
+		c := &s.Cases[i]
+		cfg := interp.Config{Stdin: c.Stdin, Files: c.Files, MaxSteps: s.MaxSteps}
+		res, err := interp.Run(unit, s.Entry, cloneArgs(c.Args), cfg)
+		if err != nil {
+			return fmt.Errorf("functest: reference failed case %s: %w", c.Name, err)
+		}
+		c.Want = res.Stdout
+		if c.CompareReturn {
+			c.WantReturn = res.Return
+		}
+	}
+	return nil
+}

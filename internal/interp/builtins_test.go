@@ -1,0 +1,149 @@
+package interp_test
+
+import (
+	"strings"
+	"testing"
+
+	"semfeed/internal/interp"
+)
+
+func TestCharacterStatics(t *testing.T) {
+	src := `void f() {
+	  System.out.println(Character.isDigit('7'));
+	  System.out.println(Character.isDigit('x'));
+	  System.out.println(Character.isLetter('x'));
+	  System.out.println(Character.toUpperCase('a'));
+	  System.out.println(Character.getNumericValue('9'));
+	}`
+	res := mustRun(t, src, "f", nil, interp.Config{})
+	want := "true\nfalse\ntrue\nA\n9\n"
+	if res.Stdout != want {
+		t.Errorf("stdout = %q, want %q", res.Stdout, want)
+	}
+}
+
+func TestArraysStatics(t *testing.T) {
+	src := `void f() {
+	  int[] a = {3, 1, 2};
+	  Arrays.sort(a);
+	  System.out.println(Arrays.toString(a));
+	}`
+	res := mustRun(t, src, "f", nil, interp.Config{})
+	if strings.TrimSpace(res.Stdout) != "[1, 2, 3]" {
+		t.Errorf("stdout = %q", res.Stdout)
+	}
+}
+
+func TestIntegerStatics(t *testing.T) {
+	src := `void f() {
+	  System.out.println(Integer.parseInt(" 42 "));
+	  System.out.println(Integer.toString(7) + "!");
+	  System.out.println(Integer.MAX_VALUE);
+	  System.out.println(Integer.MIN_VALUE);
+	  System.out.println(Double.parseDouble("2.5") * 2);
+	}`
+	res := mustRun(t, src, "f", nil, interp.Config{})
+	want := "42\n7!\n2147483647\n-2147483648\n5.0\n"
+	if res.Stdout != want {
+		t.Errorf("stdout = %q, want %q", res.Stdout, want)
+	}
+}
+
+func TestNumberFormatException(t *testing.T) {
+	_, err := run(t, `void f() { int x = Integer.parseInt("nope"); }`, "f", nil, interp.Config{})
+	if err == nil || !strings.Contains(err.Error(), "NumberFormatException") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestStringFormatAndMore(t *testing.T) {
+	src := `void f() {
+	  String s = String.format("%s has %d golds", "Alice", 3);
+	  System.out.println(s);
+	  System.out.println(s.startsWith("Alice"));
+	  System.out.println(s.endsWith("golds"));
+	  System.out.println(s.replace("golds", "medals"));
+	  System.out.println("a,b,c".split(",").length);
+	  System.out.println("x".compareTo("y") < 0);
+	  System.out.println("  pad  ".trim());
+	  System.out.println("ab".concat("cd"));
+	}`
+	res := mustRun(t, src, "f", nil, interp.Config{})
+	want := "Alice has 3 golds\ntrue\ntrue\nAlice has 3 medals\n3\ntrue\npad\nabcd\n"
+	if res.Stdout != want {
+		t.Errorf("stdout = %q, want %q", res.Stdout, want)
+	}
+}
+
+func TestStringRefEqualitySemantics(t *testing.T) {
+	// Two runtime strings are never ==; .equals compares contents — the
+	// classic lesson the string-field-compare pattern teaches.
+	src := `void f() {
+	  Scanner sc = new Scanner(System.in);
+	  String a = sc.next();
+	  String b = sc.next();
+	  System.out.println(a == b);
+	  System.out.println(a.equals(b));
+	}`
+	res := mustRun(t, src, "f", nil, interp.Config{Stdin: "same same"})
+	if res.Stdout != "false\ntrue\n" {
+		t.Errorf("stdout = %q", res.Stdout)
+	}
+}
+
+func TestSwitchOnStringUsesContent(t *testing.T) {
+	// Java's switch-on-string compares by equals, unlike ==.
+	src := `void f() {
+	  Scanner sc = new Scanner(System.in);
+	  switch (sc.next()) {
+	  case "go":
+	    System.out.println("running");
+	    break;
+	  default:
+	    System.out.println("idle");
+	  }
+	}`
+	res := mustRun(t, src, "f", nil, interp.Config{Stdin: "go"})
+	if strings.TrimSpace(res.Stdout) != "running" {
+		t.Errorf("stdout = %q", res.Stdout)
+	}
+}
+
+func TestMathConstantsAndLongBounds(t *testing.T) {
+	src := `void f() {
+	  System.out.println(Math.PI > 3.14 && Math.PI < 3.15);
+	  System.out.println(Math.E > 2.71 && Math.E < 2.72);
+	  System.out.println(Long.MAX_VALUE);
+	}`
+	res := mustRun(t, src, "f", nil, interp.Config{})
+	want := "true\ntrue\n9223372036854775807\n"
+	if res.Stdout != want {
+		t.Errorf("stdout = %q, want %q", res.Stdout, want)
+	}
+}
+
+func TestStringBuilderAsString(t *testing.T) {
+	src := `void f() {
+	  StringBuilder sb = new StringBuilder();
+	  sb = sb.append("a").append(1).append(true);
+	  System.out.println(sb.toString());
+	}`
+	res := mustRun(t, src, "f", nil, interp.Config{})
+	if strings.TrimSpace(res.Stdout) != "a1true" {
+		t.Errorf("stdout = %q", res.Stdout)
+	}
+}
+
+func TestLabeledBreakFailsLoudly(t *testing.T) {
+	src := `void f() {
+	  outer:
+	  for (int i = 0; i < 3; i++)
+	    for (int j = 0; j < 3; j++)
+	      if (j == 1)
+	        break outer;
+	}`
+	_, err := run(t, src, "f", nil, interp.Config{})
+	if err == nil || !strings.Contains(err.Error(), "labeled break") {
+		t.Errorf("err = %v, want explicit labeled-break rejection", err)
+	}
+}

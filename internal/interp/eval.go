@@ -1,0 +1,515 @@
+package interp
+
+import (
+	"math"
+	"strconv"
+
+	"semfeed/internal/java/ast"
+	"semfeed/internal/java/token"
+)
+
+func (m *machine) eval(e ast.Expr, f *frame) (Value, error) {
+	if err := m.step(e.Pos().Line); err != nil {
+		return nil, err
+	}
+	switch x := e.(type) {
+	case *ast.Literal:
+		return evalLiteral(x)
+
+	case *ast.Ident:
+		if v, ok := f.lookup(x.Name); ok {
+			return v, nil
+		}
+		return nil, errAt(x.P.Line, "cannot resolve variable %s", x.Name)
+
+	case *ast.Paren:
+		return m.eval(x.X, f)
+
+	case *ast.Binary:
+		return m.evalBinary(x, f)
+
+	case *ast.Unary:
+		return m.evalUnary(x, f)
+
+	case *ast.Assign:
+		return m.evalAssign(x, f)
+
+	case *ast.Ternary:
+		c, err := m.evalBool(x.Cond, f)
+		if err != nil {
+			return nil, err
+		}
+		if c {
+			return m.eval(x.Then, f)
+		}
+		return m.eval(x.Else, f)
+
+	case *ast.Call:
+		return m.evalCall(x, f)
+
+	case *ast.FieldAccess:
+		return m.evalField(x, f)
+
+	case *ast.Index:
+		arrv, err := m.eval(x.X, f)
+		if err != nil {
+			return nil, err
+		}
+		arr, ok := arrv.(*Array)
+		if !ok || arr == nil {
+			return nil, errAt(x.P.Line, "array access on %s", valueType(arrv))
+		}
+		idx, err := m.evalIndex(x.Idx, len(arr.Elems), f)
+		if err != nil {
+			return nil, err
+		}
+		return arr.Elems[idx], nil
+
+	case *ast.NewArray:
+		return m.evalNewArray(x, f)
+
+	case *ast.ArrayLit:
+		return m.evalArrayLit(x, "int", f)
+
+	case *ast.NewObject:
+		return m.evalNewObject(x, f)
+
+	case *ast.Cast:
+		v, err := m.eval(x.X, f)
+		if err != nil {
+			return nil, err
+		}
+		return castValue(v, x.To, x.P.Line)
+
+	case *ast.InstanceOf:
+		v, err := m.eval(x.X, f)
+		if err != nil {
+			return nil, err
+		}
+		return v != nil, nil
+	}
+	return nil, errAt(e.Pos().Line, "unsupported expression %T", e)
+}
+
+func evalLiteral(x *ast.Literal) (Value, error) {
+	switch x.Kind {
+	case token.INT, token.LONG:
+		v, err := strconv.ParseInt(x.Text, 0, 64)
+		if err != nil {
+			// Out-of-range literals overflow like Java ints would.
+			u, uerr := strconv.ParseUint(x.Text, 0, 64)
+			if uerr != nil {
+				return nil, errAt(x.P.Line, "bad integer literal %q", x.Text)
+			}
+			return int64(u), nil
+		}
+		return v, nil
+	case token.FLOAT:
+		v, err := strconv.ParseFloat(x.Text, 64)
+		if err != nil {
+			return nil, errAt(x.P.Line, "bad float literal %q", x.Text)
+		}
+		return v, nil
+	case token.CHAR:
+		if x.Text == "" {
+			return Char(0), nil
+		}
+		return Char([]rune(x.Text)[0]), nil
+	case token.STRING:
+		return x.Text, nil
+	case token.TRUE:
+		return true, nil
+	case token.FALSE:
+		return false, nil
+	case token.NULL:
+		return nil, nil
+	}
+	return nil, errAt(x.P.Line, "bad literal kind %s", x.Kind)
+}
+
+func (m *machine) evalIndex(e ast.Expr, length int, f *frame) (int, error) {
+	v, err := m.eval(e, f)
+	if err != nil {
+		return 0, err
+	}
+	i, ok := AsInt(v)
+	if !ok {
+		return 0, errAt(e.Pos().Line, "array index is %s, not int", valueType(v))
+	}
+	if i < 0 || int(i) >= length {
+		return 0, errAt(e.Pos().Line, "ArrayIndexOutOfBoundsException: index %d, length %d", i, length)
+	}
+	return int(i), nil
+}
+
+func (m *machine) evalBinary(x *ast.Binary, f *frame) (Value, error) {
+	// Short-circuit operators first.
+	switch x.Op {
+	case token.LAND:
+		l, err := m.evalBool(x.L, f)
+		if err != nil || !l {
+			return false, err
+		}
+		return m.evalBool(x.R, f)
+	case token.LOR:
+		l, err := m.evalBool(x.L, f)
+		if err != nil || l {
+			return l, err
+		}
+		return m.evalBool(x.R, f)
+	}
+	l, err := m.eval(x.L, f)
+	if err != nil {
+		return nil, err
+	}
+	r, err := m.eval(x.R, f)
+	if err != nil {
+		return nil, err
+	}
+	return binaryOp(x.Op, l, r, x.P.Line)
+}
+
+func binaryOp(op token.Kind, l, r Value, line int) (Value, error) {
+	// String concatenation.
+	if op == token.ADD {
+		if _, ok := l.(string); ok {
+			return l.(string) + Format(r), nil
+		}
+		if _, ok := r.(string); ok {
+			return Format(l) + r.(string), nil
+		}
+	}
+	switch op {
+	case token.EQL:
+		return refEqual(l, r), nil
+	case token.NEQ:
+		return !refEqual(l, r), nil
+	}
+	// Boolean bitwise operators.
+	if lb, ok := l.(bool); ok {
+		rb, ok2 := r.(bool)
+		if !ok2 {
+			return nil, errAt(line, "operator %s on boolean and %s", op, valueType(r))
+		}
+		switch op {
+		case token.AND:
+			return lb && rb, nil
+		case token.OR:
+			return lb || rb, nil
+		case token.XOR:
+			return lb != rb, nil
+		}
+		return nil, errAt(line, "operator %s on booleans", op)
+	}
+	// Numeric promotion: double wins.
+	lf, lIsF := l.(float64)
+	rf, rIsF := r.(float64)
+	if lIsF || rIsF {
+		var lv, rv float64
+		var ok bool
+		if lv, ok = AsFloat(l); !ok {
+			return nil, errAt(line, "operator %s on %s and %s", op, valueType(l), valueType(r))
+		}
+		if rv, ok = AsFloat(r); !ok {
+			return nil, errAt(line, "operator %s on %s and %s", op, valueType(l), valueType(r))
+		}
+		_ = lf
+		_ = rf
+		switch op {
+		case token.ADD:
+			return lv + rv, nil
+		case token.SUB:
+			return lv - rv, nil
+		case token.MUL:
+			return lv * rv, nil
+		case token.QUO:
+			return lv / rv, nil
+		case token.REM:
+			return math.Mod(lv, rv), nil
+		case token.LSS:
+			return lv < rv, nil
+		case token.LEQ:
+			return lv <= rv, nil
+		case token.GTR:
+			return lv > rv, nil
+		case token.GEQ:
+			return lv >= rv, nil
+		}
+		return nil, errAt(line, "operator %s on doubles", op)
+	}
+	li, lok := AsInt(l)
+	ri, rok := AsInt(r)
+	if !lok || !rok {
+		// String comparison via compareTo is a method; == handled above.
+		return nil, errAt(line, "operator %s on %s and %s", op, valueType(l), valueType(r))
+	}
+	switch op {
+	case token.ADD:
+		return li + ri, nil
+	case token.SUB:
+		return li - ri, nil
+	case token.MUL:
+		return li * ri, nil
+	case token.QUO:
+		if ri == 0 {
+			return nil, errAt(line, "ArithmeticException: / by zero")
+		}
+		return li / ri, nil
+	case token.REM:
+		if ri == 0 {
+			return nil, errAt(line, "ArithmeticException: / by zero")
+		}
+		return li % ri, nil
+	case token.LSS:
+		return li < ri, nil
+	case token.LEQ:
+		return li <= ri, nil
+	case token.GTR:
+		return li > ri, nil
+	case token.GEQ:
+		return li >= ri, nil
+	case token.AND:
+		return li & ri, nil
+	case token.OR:
+		return li | ri, nil
+	case token.XOR:
+		return li ^ ri, nil
+	case token.SHL:
+		return li << uint(ri&63), nil
+	case token.SHR:
+		return li >> uint(ri&63), nil
+	case token.USHR:
+		return int64(uint64(li) >> uint(ri&63)), nil
+	}
+	return nil, errAt(line, "unsupported operator %s", op)
+}
+
+func (m *machine) evalUnary(x *ast.Unary, f *frame) (Value, error) {
+	if x.Op == token.INC || x.Op == token.DEC {
+		return m.evalIncDec(x, f)
+	}
+	v, err := m.eval(x.X, f)
+	if err != nil {
+		return nil, err
+	}
+	switch x.Op {
+	case token.NOT:
+		b, ok := v.(bool)
+		if !ok {
+			return nil, errAt(x.P.Line, "! on %s", valueType(v))
+		}
+		return !b, nil
+	case token.SUB:
+		if fv, ok := v.(float64); ok {
+			return -fv, nil
+		}
+		if iv, ok := AsInt(v); ok {
+			return -iv, nil
+		}
+		return nil, errAt(x.P.Line, "- on %s", valueType(v))
+	case token.ADD:
+		if IsNumeric(v) {
+			return v, nil
+		}
+		return nil, errAt(x.P.Line, "+ on %s", valueType(v))
+	case token.TILDE:
+		if iv, ok := AsInt(v); ok {
+			return ^iv, nil
+		}
+		return nil, errAt(x.P.Line, "~ on %s", valueType(v))
+	}
+	return nil, errAt(x.P.Line, "unsupported unary %s", x.Op)
+}
+
+func (m *machine) evalIncDec(x *ast.Unary, f *frame) (Value, error) {
+	delta := int64(1)
+	if x.Op == token.DEC {
+		delta = -1
+	}
+	old, err := m.eval(x.X, f)
+	if err != nil {
+		return nil, err
+	}
+	var nv Value
+	switch o := old.(type) {
+	case int64:
+		nv = o + delta
+	case Char:
+		nv = Char(int64(o) + delta)
+	case float64:
+		nv = o + float64(delta)
+	default:
+		return nil, errAt(x.P.Line, "%s on %s", x.Op, valueType(old))
+	}
+	if err := m.store(x.X, nv, f); err != nil {
+		return nil, err
+	}
+	if x.Postfix {
+		return old, nil
+	}
+	return nv, nil
+}
+
+func (m *machine) evalAssign(x *ast.Assign, f *frame) (Value, error) {
+	var v Value
+	var err error
+	if lit, ok := x.Value.(*ast.ArrayLit); ok {
+		v, err = m.evalArrayLit(lit, "int", f)
+	} else {
+		v, err = m.eval(x.Value, f)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if x.Op != token.ASSIGN {
+		old, err := m.eval(x.Target, f)
+		if err != nil {
+			return nil, err
+		}
+		var binOp token.Kind
+		switch x.Op {
+		case token.ADDASSIGN:
+			binOp = token.ADD
+		case token.SUBASSIGN:
+			binOp = token.SUB
+		case token.MULASSIGN:
+			binOp = token.MUL
+		case token.QUOASSIGN:
+			binOp = token.QUO
+		case token.REMASSIGN:
+			binOp = token.REM
+		case token.ANDASSIGN:
+			binOp = token.AND
+		case token.ORASSIGN:
+			binOp = token.OR
+		case token.XORASSIGN:
+			binOp = token.XOR
+		case token.SHLASSIGN:
+			binOp = token.SHL
+		case token.SHRASSIGN:
+			binOp = token.SHR
+		default:
+			return nil, errAt(x.P.Line, "unsupported compound assignment %s", x.Op)
+		}
+		v, err = binaryOp(binOp, old, v, x.P.Line)
+		if err != nil {
+			return nil, err
+		}
+		// Java narrows compound assignments back to the target's type; we
+		// approximate by keeping int when the old value was integral.
+		if _, wasInt := AsInt(old); wasInt {
+			if _, isF := v.(float64); !isF {
+				if iv, ok := AsInt(v); ok {
+					if _, wasChar := old.(Char); wasChar {
+						v = Char(iv)
+					} else {
+						v = iv
+					}
+				}
+			}
+		}
+	}
+	if err := m.store(x.Target, v, f); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// store writes v into an lvalue expression.
+func (m *machine) store(target ast.Expr, v Value, f *frame) error {
+	switch t := target.(type) {
+	case *ast.Paren:
+		return m.store(t.X, v, f)
+	case *ast.Ident:
+		return f.assign(t.Name, v, t.P.Line)
+	case *ast.Index:
+		arrv, err := m.eval(t.X, f)
+		if err != nil {
+			return err
+		}
+		arr, ok := arrv.(*Array)
+		if !ok || arr == nil {
+			return errAt(t.P.Line, "array store on %s", valueType(arrv))
+		}
+		idx, err := m.evalIndex(t.Idx, len(arr.Elems), f)
+		if err != nil {
+			return err
+		}
+		arr.Elems[idx] = coerceElem(v, arr.Elem)
+		if root, ok := t.X.(*ast.Ident); ok {
+			f.trace(t.P.Line, root.Name, arr)
+		}
+		return nil
+	}
+	return errAt(target.Pos().Line, "invalid assignment target %T", target)
+}
+
+func (m *machine) evalNewArray(x *ast.NewArray, f *frame) (Value, error) {
+	if x.Init != nil {
+		lit := &ast.ArrayLit{Elems: x.Init, P: x.P}
+		return m.evalArrayLit(lit, x.Elem.Name, f)
+	}
+	if len(x.Dims) == 0 {
+		return nil, errAt(x.P.Line, "new array without dimensions")
+	}
+	sizes := make([]int, len(x.Dims))
+	for i, d := range x.Dims {
+		v, err := m.eval(d, f)
+		if err != nil {
+			return nil, err
+		}
+		n, ok := AsInt(v)
+		if !ok {
+			return nil, errAt(x.P.Line, "array size is %s", valueType(v))
+		}
+		if n < 0 {
+			return nil, errAt(x.P.Line, "NegativeArraySizeException: %d", n)
+		}
+		if n > 10_000_000 {
+			return nil, errAt(x.P.Line, "OutOfMemoryError: array size %d", n)
+		}
+		sizes[i] = int(n)
+	}
+	var build func(level int) *Array
+	build = func(level int) *Array {
+		arr := &Array{Elem: x.Elem.Name}
+		arr.Elems = make([]Value, sizes[level])
+		for i := range arr.Elems {
+			if level+1 < len(sizes) {
+				arr.Elems[i] = build(level + 1)
+			} else {
+				arr.Elems[i] = zeroValue(x.Elem.Name, 0)
+			}
+		}
+		return arr
+	}
+	return build(0), nil
+}
+
+func castValue(v Value, to ast.Type, line int) (Value, error) {
+	if to.Dims > 0 {
+		return v, nil
+	}
+	switch to.Name {
+	case "int", "long", "short", "byte":
+		switch x := v.(type) {
+		case float64:
+			return int64(x), nil
+		case int64:
+			return x, nil
+		case Char:
+			return int64(x), nil
+		}
+	case "double", "float":
+		if fv, ok := AsFloat(v); ok {
+			return fv, nil
+		}
+	case "char":
+		if iv, ok := AsInt(v); ok {
+			return Char(iv), nil
+		}
+	default:
+		return v, nil
+	}
+	return nil, errAt(line, "cannot cast %s to %s", valueType(v), to.Name)
+}

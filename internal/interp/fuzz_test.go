@@ -1,0 +1,38 @@
+package interp_test
+
+import (
+	"testing"
+
+	"semfeed/internal/interp"
+	"semfeed/internal/java/parser"
+)
+
+// FuzzRun executes arbitrary source under a tight step budget: the
+// interpreter may reject or error but must never panic or run away.
+func FuzzRun(f *testing.F) {
+	seeds := []string{
+		"void f() { int x = 1 / 0; }",
+		"void f() { int[] a = new int[2]; a[5] = 1; }",
+		"void f() { while (true) {} }",
+		"void f() { String s = null; s.length(); }",
+		"void f() { Scanner sc = new Scanner(System.in); sc.nextInt(); }",
+		"void f() { System.out.printf(\"%d %s %q\", 1); }",
+		"int f() { return f(); }",
+		"void f() { double d = 0.0 / 0.0; System.out.println(d); }",
+		"void f() { int x = 2147483647; x = x + x; System.out.println(x); }",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		unit, err := parser.Parse(src)
+		if err != nil {
+			return
+		}
+		cfg := interp.Config{Stdin: "1 2 3", MaxSteps: 20_000, MaxDepth: 64}
+		res, err := interp.Run(unit, "f", nil, cfg)
+		if err == nil && res == nil {
+			t.Fatal("nil result without error")
+		}
+	})
+}

@@ -1,0 +1,116 @@
+package interp
+
+import (
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Scanner simulates java.util.Scanner over a fixed input string (System.in or
+// a virtual file).
+type Scanner struct {
+	src    string
+	pos    int
+	closed bool
+}
+
+// NewScanner returns a Scanner over the given input.
+func NewScanner(input string) *Scanner { return &Scanner{src: input} }
+
+func (s *Scanner) skipSpace() {
+	for s.pos < len(s.src) && unicode.IsSpace(rune(s.src[s.pos])) {
+		s.pos++
+	}
+}
+
+// HasNext reports whether another whitespace-delimited token remains.
+func (s *Scanner) HasNext() bool {
+	save := s.pos
+	s.skipSpace()
+	ok := s.pos < len(s.src)
+	s.pos = save
+	return ok
+}
+
+// Next returns the next whitespace-delimited token.
+func (s *Scanner) Next() (string, bool) {
+	s.skipSpace()
+	if s.pos >= len(s.src) {
+		return "", false
+	}
+	start := s.pos
+	for s.pos < len(s.src) && !unicode.IsSpace(rune(s.src[s.pos])) {
+		s.pos++
+	}
+	return s.src[start:s.pos], true
+}
+
+// peekToken returns the next token without consuming it.
+func (s *Scanner) peekToken() (string, bool) {
+	save := s.pos
+	tok, ok := s.Next()
+	s.pos = save
+	return tok, ok
+}
+
+// HasNextInt reports whether the next token parses as an int.
+func (s *Scanner) HasNextInt() bool {
+	tok, ok := s.peekToken()
+	if !ok {
+		return false
+	}
+	_, err := strconv.ParseInt(tok, 10, 64)
+	return err == nil
+}
+
+// HasNextDouble reports whether the next token parses as a double.
+func (s *Scanner) HasNextDouble() bool {
+	tok, ok := s.peekToken()
+	if !ok {
+		return false
+	}
+	_, err := strconv.ParseFloat(tok, 64)
+	return err == nil
+}
+
+// HasNextLine reports whether any input remains before EOF.
+func (s *Scanner) HasNextLine() bool { return s.pos < len(s.src) }
+
+// NextInt consumes and parses the next token as an int.
+func (s *Scanner) NextInt() (int64, bool) {
+	tok, ok := s.Next()
+	if !ok {
+		return 0, false
+	}
+	v, err := strconv.ParseInt(tok, 10, 64)
+	return v, err == nil
+}
+
+// NextDouble consumes and parses the next token as a double.
+func (s *Scanner) NextDouble() (float64, bool) {
+	tok, ok := s.Next()
+	if !ok {
+		return 0, false
+	}
+	v, err := strconv.ParseFloat(tok, 64)
+	return v, err == nil
+}
+
+// NextLine consumes up to and including the next newline.
+func (s *Scanner) NextLine() (string, bool) {
+	if s.pos >= len(s.src) {
+		return "", false
+	}
+	idx := strings.IndexByte(s.src[s.pos:], '\n')
+	if idx < 0 {
+		line := s.src[s.pos:]
+		s.pos = len(s.src)
+		return strings.TrimSuffix(line, "\r"), true
+	}
+	line := s.src[s.pos : s.pos+idx]
+	s.pos += idx + 1
+	return strings.TrimSuffix(line, "\r"), true
+}
+
+// Close marks the scanner closed; further reads fail like the JDK's would.
+func (s *Scanner) Close() { s.closed = true }

@@ -1,0 +1,140 @@
+package interp_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"semfeed/internal/interp"
+)
+
+func TestFormat(t *testing.T) {
+	cases := []struct {
+		v    interp.Value
+		want string
+	}{
+		{int64(42), "42"},
+		{int64(-7), "-7"},
+		{float64(3), "3.0"},
+		{float64(3.5), "3.5"},
+		{float64(-0.25), "-0.25"},
+		{true, "true"},
+		{false, "false"},
+		{"hi", "hi"},
+		{nil, "null"},
+		{interp.Char('x'), "x"},
+	}
+	for _, c := range cases {
+		if got := interp.Format(c.v); got != c.want {
+			t.Errorf("Format(%v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	arr := &interp.Array{Elem: "int", Elems: []interp.Value{int64(1), int64(2)}}
+	if got := interp.Snapshot(arr); got != "[1,2]" {
+		t.Errorf("Snapshot(arr) = %q", got)
+	}
+	nested := &interp.Array{Elem: "int", Elems: []interp.Value{arr}}
+	if got := interp.Snapshot(nested); got != "[[1,2]]" {
+		t.Errorf("Snapshot(nested) = %q", got)
+	}
+	if got := interp.Snapshot("a b"); got != `"a b"` {
+		t.Errorf("Snapshot(string) = %q", got)
+	}
+}
+
+func TestDeepEqual(t *testing.T) {
+	a1 := &interp.Array{Elem: "int", Elems: []interp.Value{int64(1), int64(2)}}
+	a2 := &interp.Array{Elem: "int", Elems: []interp.Value{int64(1), int64(2)}}
+	a3 := &interp.Array{Elem: "int", Elems: []interp.Value{int64(1), int64(3)}}
+	a4 := &interp.Array{Elem: "int", Elems: []interp.Value{int64(1)}}
+	if !interp.DeepEqual(a1, a2) {
+		t.Error("equal arrays")
+	}
+	if interp.DeepEqual(a1, a3) || interp.DeepEqual(a1, a4) {
+		t.Error("unequal arrays")
+	}
+	if !interp.DeepEqual(int64(5), int64(5)) || interp.DeepEqual(int64(5), float64(5)) {
+		t.Error("scalar comparison is typed")
+	}
+}
+
+func TestAsConversions(t *testing.T) {
+	if f, ok := interp.AsFloat(int64(3)); !ok || f != 3 {
+		t.Error("AsFloat(int)")
+	}
+	if f, ok := interp.AsFloat(interp.Char('a')); !ok || f != 97 {
+		t.Error("AsFloat(char)")
+	}
+	if _, ok := interp.AsFloat("s"); ok {
+		t.Error("AsFloat(string) must fail")
+	}
+	if i, ok := interp.AsInt(interp.Char('a')); !ok || i != 97 {
+		t.Error("AsInt(char)")
+	}
+	if _, ok := interp.AsInt(float64(1)); ok {
+		t.Error("AsInt(double) must fail (explicit casts only)")
+	}
+}
+
+func TestScannerTokenization(t *testing.T) {
+	s := interp.NewScanner("  12 hello\n3.5\nrest of line\nlast")
+	if !s.HasNextInt() {
+		t.Error("HasNextInt")
+	}
+	if v, ok := s.NextInt(); !ok || v != 12 {
+		t.Error("NextInt")
+	}
+	if s.HasNextInt() {
+		t.Error("hello is not an int")
+	}
+	if w, ok := s.Next(); !ok || w != "hello" {
+		t.Error("Next")
+	}
+	if v, ok := s.NextDouble(); !ok || v != 3.5 {
+		t.Error("NextDouble")
+	}
+	if line, ok := s.NextLine(); !ok || line != "" {
+		t.Errorf("NextLine after token should consume the rest of its line: %q", line)
+	}
+	if line, ok := s.NextLine(); !ok || line != "rest of line" {
+		t.Errorf("NextLine = %q", line)
+	}
+	if !s.HasNext() {
+		t.Error("last token remains")
+	}
+	if w, _ := s.Next(); w != "last" {
+		t.Error("last")
+	}
+	if s.HasNext() || s.HasNextLine() {
+		t.Error("exhausted")
+	}
+	if _, ok := s.Next(); ok {
+		t.Error("Next at EOF")
+	}
+}
+
+// TestQuickScannerConsumesAllTokens: Next() returns exactly the
+// whitespace-split tokens for arbitrary token counts.
+func TestQuickScannerConsumesAllTokens(t *testing.T) {
+	f := func(n uint8) bool {
+		count := int(n % 50)
+		var input string
+		for i := 0; i < count; i++ {
+			input += " tok "
+		}
+		s := interp.NewScanner(input)
+		got := 0
+		for s.HasNext() {
+			if _, ok := s.Next(); !ok {
+				return false
+			}
+			got++
+		}
+		return got == count
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,130 @@
+package ast_test
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"semfeed/internal/java/ast"
+	"semfeed/internal/java/parser"
+)
+
+func idents(t *testing.T, src string) []string {
+	t.Helper()
+	e, err := parser.ParseExpr(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ast.Idents(e)
+}
+
+func TestIdentsVariablesOnly(t *testing.T) {
+	cases := map[string][]string{
+		"i % 2 == 1":                   {"i"},
+		"odd += a[i]":                  {"odd", "a", "i"},
+		"x <= a.length":                {"x", "a"},
+		"System.out.println(odd)":      {"odd"},
+		"Math.pow(x, i)":               {"x", "i"},
+		"Integer.parseInt(s)":          {"s"},
+		"new Scanner(new File(name))":  {"name"},
+		"sc.nextInt()":                 {"sc"},
+		"f.equals(first) && l == last": {"f", "first", "l", "last"},
+		"42 + 1":                       nil,
+		`"literal" + v`:                {"v"},
+		"matrix[i][j]":                 {"matrix", "i", "j"},
+		"obj.field.inner":              {"obj"},
+	}
+	for src, want := range cases {
+		got := idents(t, src)
+		g := append([]string(nil), got...)
+		w := append([]string(nil), want...)
+		sort.Strings(g)
+		sort.Strings(w)
+		if strings.Join(g, ",") != strings.Join(w, ",") {
+			t.Errorf("Idents(%q) = %v, want %v", src, got, want)
+		}
+	}
+}
+
+func TestIdentsOrderIsFirstUse(t *testing.T) {
+	got := idents(t, "b + a + b + c")
+	if strings.Join(got, ",") != "b,a,c" {
+		t.Errorf("order = %v", got)
+	}
+}
+
+func TestAllMethodsOrder(t *testing.T) {
+	unit, err := parser.Parse(`
+	int bare() { return 1; }
+	class C {
+	  void m1() {}
+	  void m2() {}
+	}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := unit.AllMethods()
+	if len(ms) != 3 || ms[0].Name != "bare" || ms[1].Name != "m1" || ms[2].Name != "m2" {
+		names := make([]string, len(ms))
+		for i, m := range ms {
+			names[i] = m.Name
+		}
+		t.Errorf("methods = %v", names)
+	}
+}
+
+func TestInspectStmtVisitsEverything(t *testing.T) {
+	m, err := parser.ParseMethod(`void f(int n) {
+	  int a = 0;
+	  if (n > 0) { a++; } else { a--; }
+	  for (int i = 0; i < n; i++) a += i;
+	  while (a > 0) a--;
+	  do a++; while (a < 5);
+	  switch (a) { case 1: a = 2; break; default: a = 3; }
+	  for (int v : new int[]{1}) a += v;
+	  return;
+	}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stmts, exprs := 0, 0
+	ast.InspectStmt(m.Body, func(ast.Stmt) bool { stmts++; return true }, func(ast.Expr) { exprs++ })
+	if stmts < 15 {
+		t.Errorf("visited only %d statements", stmts)
+	}
+	if exprs < 10 {
+		t.Errorf("visited only %d hanging expressions", exprs)
+	}
+}
+
+func TestInspectEarlyStop(t *testing.T) {
+	e, err := parser.ParseExpr("a + b * c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	ast.Inspect(e, func(ast.Expr) bool {
+		count++
+		return false // stop at the root
+	})
+	if count != 1 {
+		t.Errorf("visited %d nodes, want 1", count)
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	cases := map[string]ast.Type{
+		"int":        {Name: "int"},
+		"int[]":      {Name: "int", Dims: 1},
+		"double[][]": {Name: "double", Dims: 2},
+		"void":       {Name: "void"},
+	}
+	for want, typ := range cases {
+		if got := typ.String(); got != want {
+			t.Errorf("Type%v = %q, want %q", typ, got, want)
+		}
+	}
+	if !(ast.Type{Name: "void"}).IsVoid() || (ast.Type{Name: "void", Dims: 1}).IsVoid() {
+		t.Error("IsVoid wrong")
+	}
+}

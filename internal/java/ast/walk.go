@@ -1,0 +1,169 @@
+package ast
+
+// Inspect traverses the expression tree rooted at e in depth-first order,
+// calling f for each node. If f returns false the children of the node are
+// skipped.
+func Inspect(e Expr, f func(Expr) bool) {
+	if e == nil || !f(e) {
+		return
+	}
+	switch x := e.(type) {
+	case *Ident, *Literal:
+	case *Binary:
+		Inspect(x.L, f)
+		Inspect(x.R, f)
+	case *Unary:
+		Inspect(x.X, f)
+	case *Assign:
+		Inspect(x.Target, f)
+		Inspect(x.Value, f)
+	case *Ternary:
+		Inspect(x.Cond, f)
+		Inspect(x.Then, f)
+		Inspect(x.Else, f)
+	case *Call:
+		Inspect(x.Recv, f)
+		for _, a := range x.Args {
+			Inspect(a, f)
+		}
+	case *FieldAccess:
+		Inspect(x.X, f)
+	case *Index:
+		Inspect(x.X, f)
+		Inspect(x.Idx, f)
+	case *NewArray:
+		for _, d := range x.Dims {
+			Inspect(d, f)
+		}
+		for _, el := range x.Init {
+			Inspect(el, f)
+		}
+	case *ArrayLit:
+		for _, el := range x.Elems {
+			Inspect(el, f)
+		}
+	case *NewObject:
+		for _, a := range x.Args {
+			Inspect(a, f)
+		}
+	case *Cast:
+		Inspect(x.X, f)
+	case *Paren:
+		Inspect(x.X, f)
+	case *InstanceOf:
+		Inspect(x.X, f)
+	}
+}
+
+// InspectStmt traverses the statement tree rooted at s in depth-first order,
+// calling fs for each statement and fe for each top-level expression hanging
+// off a statement (conditions, initializers, ...). Either callback may be nil.
+// If fs returns false the children of the statement are skipped.
+func InspectStmt(s Stmt, fs func(Stmt) bool, fe func(Expr)) {
+	if s == nil {
+		return
+	}
+	if fs != nil && !fs(s) {
+		return
+	}
+	expr := func(e Expr) {
+		if fe != nil && e != nil {
+			fe(e)
+		}
+	}
+	switch x := s.(type) {
+	case *Block:
+		for _, st := range x.Stmts {
+			InspectStmt(st, fs, fe)
+		}
+	case *LocalVarDecl:
+		for _, d := range x.Decls {
+			expr(d.Init)
+		}
+	case *ExprStmt:
+		expr(x.X)
+	case *If:
+		expr(x.Cond)
+		InspectStmt(x.Then, fs, fe)
+		InspectStmt(x.Else, fs, fe)
+	case *While:
+		expr(x.Cond)
+		InspectStmt(x.Body, fs, fe)
+	case *DoWhile:
+		InspectStmt(x.Body, fs, fe)
+		expr(x.Cond)
+	case *For:
+		for _, in := range x.Init {
+			InspectStmt(in, fs, fe)
+		}
+		expr(x.Cond)
+		for _, u := range x.Update {
+			expr(u)
+		}
+		InspectStmt(x.Body, fs, fe)
+	case *ForEach:
+		expr(x.Iterable)
+		InspectStmt(x.Body, fs, fe)
+	case *Switch:
+		expr(x.Tag)
+		for _, c := range x.Cases {
+			for _, e := range c.Exprs {
+				expr(e)
+			}
+			for _, st := range c.Stmts {
+				InspectStmt(st, fs, fe)
+			}
+		}
+	case *Return:
+		expr(x.X)
+	case *Throw:
+		expr(x.X)
+	case *Break, *Continue, *Empty:
+	}
+}
+
+// Idents returns the distinct identifier names referenced in e that look like
+// variables: receivers of calls count, method names and well-known library
+// namespaces (System, Math, Integer, String, ...) do not, and neither do the
+// .length field or qualified names rooted at a library namespace.
+func Idents(e Expr) []string {
+	seen := map[string]bool{}
+	var order []string
+	add := func(n string) {
+		if libraryNames[n] || n == "" {
+			return
+		}
+		if !seen[n] {
+			seen[n] = true
+			order = append(order, n)
+		}
+	}
+	Inspect(e, func(x Expr) bool {
+		switch v := x.(type) {
+		case *Ident:
+			add(v.Name)
+		case *FieldAccess:
+			// Record the root of a.length / obj.field chains, skip field names.
+			Inspect(v.X, func(y Expr) bool {
+				if id, ok := y.(*Ident); ok {
+					add(id.Name)
+				}
+				return true
+			})
+			return false
+		case *Call:
+			// Method name is not a variable; receiver and args are inspected.
+			return true
+		}
+		return true
+	})
+	return order
+}
+
+// libraryNames are identifiers that never denote student variables.
+var libraryNames = map[string]bool{
+	"System": true, "Math": true, "Integer": true, "Long": true,
+	"Double": true, "Boolean": true, "Character": true, "String": true,
+	"Arrays": true, "Objects": true, "File": true, "Scanner": true,
+	"out": false, // only special when reached via System.out, handled above
+}

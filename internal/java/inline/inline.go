@@ -1,0 +1,282 @@
+// Package inline implements the paper's Section VII plan for non-expected
+// methods: calls to simple helper methods are expanded into the calling
+// method so the EPDG exposes the real computation. A helper is inlinable
+// when its body is a single return statement and it is not (mutually)
+// recursive; parameters are substituted syntactically, which is sound for
+// the side-effect-free arguments of intro-level submissions.
+package inline
+
+import (
+	"semfeed/internal/java/ast"
+)
+
+const maxDepth = 8
+
+// Expand returns a compilation unit in which every method listed in keep has
+// calls to inlinable helpers replaced by their bodies. Methods not in keep
+// are left in place (the grader simply has more methods to bind). The input
+// unit is not modified.
+func Expand(unit *ast.CompilationUnit, keep map[string]bool) *ast.CompilationUnit {
+	helpers := map[string]*ast.Method{}
+	for _, m := range unit.AllMethods() {
+		if !keep[m.Name] && inlinable(m) {
+			helpers[m.Name] = m
+		}
+	}
+	if len(helpers) == 0 {
+		return unit
+	}
+	ex := &expander{helpers: helpers}
+	out := &ast.CompilationUnit{Package: unit.Package, Imports: unit.Imports}
+	for _, m := range unit.Methods {
+		out.Methods = append(out.Methods, ex.method(m, keep[m.Name]))
+	}
+	for _, c := range unit.Classes {
+		nc := &ast.Class{Name: c.Name, Fields: c.Fields, P: c.P}
+		for _, m := range c.Methods {
+			nc.Methods = append(nc.Methods, ex.method(m, keep[m.Name]))
+		}
+		out.Classes = append(out.Classes, nc)
+	}
+	return out
+}
+
+// inlinable reports whether the method is a single-return helper that does
+// not call itself.
+func inlinable(m *ast.Method) bool {
+	if m.Body == nil || len(m.Body.Stmts) != 1 || m.Ret.IsVoid() {
+		return false
+	}
+	ret, ok := m.Body.Stmts[0].(*ast.Return)
+	if !ok || ret.X == nil {
+		return false
+	}
+	self := false
+	ast.Inspect(ret.X, func(e ast.Expr) bool {
+		if c, isCall := e.(*ast.Call); isCall && c.Recv == nil && c.Name == m.Name {
+			self = true
+		}
+		return true
+	})
+	return !self
+}
+
+type expander struct {
+	helpers map[string]*ast.Method
+}
+
+func (ex *expander) method(m *ast.Method, expand bool) *ast.Method {
+	if !expand || m.Body == nil {
+		return m
+	}
+	nm := *m
+	nm.Body = ex.block(m.Body)
+	return &nm
+}
+
+func (ex *expander) block(b *ast.Block) *ast.Block {
+	nb := &ast.Block{P: b.P}
+	for _, s := range b.Stmts {
+		nb.Stmts = append(nb.Stmts, ex.stmt(s))
+	}
+	return nb
+}
+
+func (ex *expander) stmt(s ast.Stmt) ast.Stmt {
+	switch x := s.(type) {
+	case *ast.Block:
+		return ex.block(x)
+	case *ast.LocalVarDecl:
+		nd := *x
+		nd.Decls = append([]ast.Declarator(nil), x.Decls...)
+		for i := range nd.Decls {
+			if nd.Decls[i].Init != nil {
+				nd.Decls[i].Init = ex.expr(nd.Decls[i].Init, 0)
+			}
+		}
+		return &nd
+	case *ast.ExprStmt:
+		return &ast.ExprStmt{X: ex.expr(x.X, 0), P: x.P}
+	case *ast.If:
+		return &ast.If{Cond: ex.expr(x.Cond, 0), Then: ex.stmt(x.Then), Else: ex.maybeStmt(x.Else), P: x.P}
+	case *ast.While:
+		return &ast.While{Cond: ex.expr(x.Cond, 0), Body: ex.stmt(x.Body), P: x.P}
+	case *ast.DoWhile:
+		return &ast.DoWhile{Body: ex.stmt(x.Body), Cond: ex.expr(x.Cond, 0), P: x.P}
+	case *ast.For:
+		nf := &ast.For{P: x.P, Body: ex.stmt(x.Body)}
+		for _, in := range x.Init {
+			nf.Init = append(nf.Init, ex.stmt(in))
+		}
+		if x.Cond != nil {
+			nf.Cond = ex.expr(x.Cond, 0)
+		}
+		for _, u := range x.Update {
+			nf.Update = append(nf.Update, ex.expr(u, 0))
+		}
+		return nf
+	case *ast.ForEach:
+		return &ast.ForEach{ElemType: x.ElemType, Name: x.Name,
+			Iterable: ex.expr(x.Iterable, 0), Body: ex.stmt(x.Body), P: x.P}
+	case *ast.Switch:
+		ns := &ast.Switch{Tag: ex.expr(x.Tag, 0), P: x.P}
+		for _, c := range x.Cases {
+			nc := ast.SwitchCase{P: c.P}
+			for _, e := range c.Exprs {
+				nc.Exprs = append(nc.Exprs, ex.expr(e, 0))
+			}
+			for _, st := range c.Stmts {
+				nc.Stmts = append(nc.Stmts, ex.stmt(st))
+			}
+			ns.Cases = append(ns.Cases, nc)
+		}
+		return ns
+	case *ast.Return:
+		if x.X == nil {
+			return x
+		}
+		return &ast.Return{X: ex.expr(x.X, 0), P: x.P}
+	case *ast.Throw:
+		return &ast.Throw{X: ex.expr(x.X, 0), P: x.P}
+	}
+	return s
+}
+
+func (ex *expander) maybeStmt(s ast.Stmt) ast.Stmt {
+	if s == nil {
+		return nil
+	}
+	return ex.stmt(s)
+}
+
+// expr rewrites an expression, expanding helper calls (recursively, bounded).
+func (ex *expander) expr(e ast.Expr, depth int) ast.Expr {
+	if e == nil || depth > maxDepth {
+		return e
+	}
+	switch x := e.(type) {
+	case *ast.Ident, *ast.Literal:
+		return e
+	case *ast.Call:
+		args := make([]ast.Expr, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = ex.expr(a, depth)
+		}
+		if x.Recv == nil {
+			if h, ok := ex.helpers[x.Name]; ok && len(h.Params) == len(args) {
+				sub := map[string]ast.Expr{}
+				for i, p := range h.Params {
+					sub[p.Name] = args[i]
+				}
+				body := h.Body.Stmts[0].(*ast.Return).X
+				return ex.expr(substitute(body, sub), depth+1)
+			}
+			return &ast.Call{Name: x.Name, Args: args, P: x.P}
+		}
+		return &ast.Call{Recv: ex.expr(x.Recv, depth), Name: x.Name, Args: args, P: x.P}
+	case *ast.Binary:
+		return &ast.Binary{Op: x.Op, L: ex.expr(x.L, depth), R: ex.expr(x.R, depth), P: x.P}
+	case *ast.Unary:
+		return &ast.Unary{Op: x.Op, X: ex.expr(x.X, depth), Postfix: x.Postfix, P: x.P}
+	case *ast.Assign:
+		return &ast.Assign{Op: x.Op, Target: ex.expr(x.Target, depth), Value: ex.expr(x.Value, depth), P: x.P}
+	case *ast.Ternary:
+		return &ast.Ternary{Cond: ex.expr(x.Cond, depth), Then: ex.expr(x.Then, depth), Else: ex.expr(x.Else, depth), P: x.P}
+	case *ast.FieldAccess:
+		return &ast.FieldAccess{X: ex.expr(x.X, depth), Name: x.Name, P: x.P}
+	case *ast.Index:
+		return &ast.Index{X: ex.expr(x.X, depth), Idx: ex.expr(x.Idx, depth), P: x.P}
+	case *ast.Paren:
+		return &ast.Paren{X: ex.expr(x.X, depth), P: x.P}
+	case *ast.Cast:
+		return &ast.Cast{To: x.To, X: ex.expr(x.X, depth), P: x.P}
+	case *ast.InstanceOf:
+		return &ast.InstanceOf{X: ex.expr(x.X, depth), To: x.To, P: x.P}
+	case *ast.NewArray:
+		na := &ast.NewArray{Elem: x.Elem, P: x.P}
+		for _, d := range x.Dims {
+			na.Dims = append(na.Dims, ex.expr(d, depth))
+		}
+		for _, el := range x.Init {
+			na.Init = append(na.Init, ex.expr(el, depth))
+		}
+		return na
+	case *ast.ArrayLit:
+		nl := &ast.ArrayLit{P: x.P}
+		for _, el := range x.Elems {
+			nl.Elems = append(nl.Elems, ex.expr(el, depth))
+		}
+		return nl
+	case *ast.NewObject:
+		no := &ast.NewObject{Class: x.Class, P: x.P}
+		for _, a := range x.Args {
+			no.Args = append(no.Args, ex.expr(a, depth))
+		}
+		return no
+	}
+	return e
+}
+
+// substitute deep-copies e, replacing parameter identifiers per sub.
+func substitute(e ast.Expr, sub map[string]ast.Expr) ast.Expr {
+	if e == nil {
+		return nil
+	}
+	switch x := e.(type) {
+	case *ast.Ident:
+		if r, ok := sub[x.Name]; ok {
+			// Wrap in parentheses to preserve precedence of the argument.
+			return &ast.Paren{X: r, P: x.P}
+		}
+		return &ast.Ident{Name: x.Name, P: x.P}
+	case *ast.Literal:
+		return &ast.Literal{Kind: x.Kind, Text: x.Text, P: x.P}
+	case *ast.Binary:
+		return &ast.Binary{Op: x.Op, L: substitute(x.L, sub), R: substitute(x.R, sub), P: x.P}
+	case *ast.Unary:
+		return &ast.Unary{Op: x.Op, X: substitute(x.X, sub), Postfix: x.Postfix, P: x.P}
+	case *ast.Ternary:
+		return &ast.Ternary{Cond: substitute(x.Cond, sub), Then: substitute(x.Then, sub), Else: substitute(x.Else, sub), P: x.P}
+	case *ast.Call:
+		nc := &ast.Call{Name: x.Name, P: x.P}
+		if x.Recv != nil {
+			nc.Recv = substitute(x.Recv, sub)
+		}
+		for _, a := range x.Args {
+			nc.Args = append(nc.Args, substitute(a, sub))
+		}
+		return nc
+	case *ast.FieldAccess:
+		return &ast.FieldAccess{X: substitute(x.X, sub), Name: x.Name, P: x.P}
+	case *ast.Index:
+		return &ast.Index{X: substitute(x.X, sub), Idx: substitute(x.Idx, sub), P: x.P}
+	case *ast.Paren:
+		return &ast.Paren{X: substitute(x.X, sub), P: x.P}
+	case *ast.Cast:
+		return &ast.Cast{To: x.To, X: substitute(x.X, sub), P: x.P}
+	case *ast.InstanceOf:
+		return &ast.InstanceOf{X: substitute(x.X, sub), To: x.To, P: x.P}
+	case *ast.NewArray:
+		na := &ast.NewArray{Elem: x.Elem, P: x.P}
+		for _, d := range x.Dims {
+			na.Dims = append(na.Dims, substitute(d, sub))
+		}
+		for _, el := range x.Init {
+			na.Init = append(na.Init, substitute(el, sub))
+		}
+		return na
+	case *ast.ArrayLit:
+		nl := &ast.ArrayLit{P: x.P}
+		for _, el := range x.Elems {
+			nl.Elems = append(nl.Elems, substitute(el, sub))
+		}
+		return nl
+	case *ast.NewObject:
+		no := &ast.NewObject{Class: x.Class, P: x.P}
+		for _, a := range x.Args {
+			no.Args = append(no.Args, substitute(a, sub))
+		}
+		return no
+	}
+	return e
+}

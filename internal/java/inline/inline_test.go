@@ -1,0 +1,130 @@
+package inline_test
+
+import (
+	"strings"
+	"testing"
+
+	"semfeed/internal/assignments"
+	"semfeed/internal/core"
+	"semfeed/internal/java/inline"
+	"semfeed/internal/java/parser"
+	"semfeed/internal/java/pretty"
+	"semfeed/internal/pdg"
+)
+
+// decomposed splits Assignment 1's parity checks into helper predicates —
+// the non-expected-method shape the paper's Section VII targets.
+const decomposed = `boolean isOdd(int i) { return i % 2 == 1; }
+boolean isEven(int i) { return i % 2 == 0; }
+void assignment1(int[] a) {
+  int odd = 0;
+  int even = 1;
+  for (int i = 0; i < a.length; i++) {
+    if (isOdd(i))
+      odd += a[i];
+    if (isEven(i))
+      even *= a[i];
+  }
+  System.out.println(odd);
+  System.out.println(even);
+}`
+
+func TestExpandSubstitutesHelperBodies(t *testing.T) {
+	unit, err := parser.Parse(decomposed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := inline.Expand(unit, map[string]bool{"assignment1": true})
+	m := out.FindMethod("assignment1")
+	g := pdg.Build(m)
+	want := map[string]bool{"i % 2 == 1": false, "i % 2 == 0": false}
+	for _, n := range g.Nodes {
+		if _, ok := want[n.Content]; ok {
+			want[n.Content] = true
+		}
+	}
+	for content, found := range want {
+		if !found {
+			t.Errorf("inlined graph missing condition %q:\n%s", content, g)
+		}
+	}
+	// The original unit is untouched.
+	gOrig := pdg.Build(unit.FindMethod("assignment1"))
+	for _, n := range gOrig.Nodes {
+		if n.Content == "i % 2 == 1" {
+			t.Error("Expand must not mutate its input")
+		}
+	}
+}
+
+func TestExpandPreservesPrecedence(t *testing.T) {
+	src := `int twice(int x) { return x * 2; }
+	int f(int a, int b) { return twice(a + b); }`
+	unit, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := inline.Expand(unit, map[string]bool{"f": true})
+	ret := out.FindMethod("f").Body.Stmts[0]
+	if got := pretty.Stmt(ret); got != "return (a + b) * 2" {
+		t.Errorf("inlined return = %q, want %q", got, "return (a + b) * 2")
+	}
+}
+
+func TestExpandSkipsRecursiveAndMultiStatement(t *testing.T) {
+	src := `int fact(int n) { return n <= 1 ? 1 : n * fact(n - 1); }
+	int messy(int n) { int t = n; return t; }
+	int f(int n) { return fact(n) + messy(n); }`
+	unit, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := inline.Expand(unit, map[string]bool{"f": true})
+	got := pretty.Stmt(out.FindMethod("f").Body.Stmts[0])
+	if !strings.Contains(got, "fact(n)") || !strings.Contains(got, "messy(n)") {
+		t.Errorf("recursive/multi-statement helpers must stay calls: %q", got)
+	}
+}
+
+func TestExpandNestedHelpers(t *testing.T) {
+	src := `int inc(int x) { return x + 1; }
+	int twiceInc(int x) { return inc(x) * 2; }
+	int f(int n) { return twiceInc(n); }`
+	unit, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := inline.Expand(unit, map[string]bool{"f": true})
+	got := pretty.Stmt(out.FindMethod("f").Body.Stmts[0])
+	if got != "return ((n) + 1) * 2" && got != "return (n + 1) * 2" {
+		t.Errorf("nested inlining = %q", got)
+	}
+}
+
+// TestGraderInlineHelpers grades the decomposed submission end to end: the
+// plain grader misses the parity patterns, the inlining grader scores full
+// marks with the standard Assignment 1 spec.
+func TestGraderInlineHelpers(t *testing.T) {
+	a := assignments.Get("assignment1")
+
+	plain, err := core.NewGrader(core.Options{}).Grade(decomposed, a.Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.AllCorrect() {
+		t.Fatal("without inlining the parity conditions are invisible")
+	}
+
+	rep, err := core.NewGrader(core.Options{InlineHelpers: true}).Grade(decomposed, a.Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.AllCorrect() {
+		t.Errorf("with InlineHelpers the decomposed solution should be all-Correct:\n%s", rep)
+	}
+	// And the functional verdict agrees, of course.
+	verdict, err := a.Tests.RunSource(decomposed)
+	if err != nil || !verdict.Pass {
+		t.Errorf("decomposed submission should pass functional tests: %v %v", err, verdict.Failures)
+	}
+}

@@ -1,0 +1,55 @@
+package parser_test
+
+import (
+	"testing"
+
+	"semfeed/internal/java/parser"
+	"semfeed/internal/java/pretty"
+	"semfeed/internal/pdg"
+)
+
+// FuzzParse drives the whole static front half — lexer, parser, canonical
+// printer and EPDG builder — with arbitrary inputs. Nothing may panic or
+// hang; valid inputs must canonicalize to a fixpoint.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"void f() {}",
+		"void assignment1(int[] a) { int odd = 0; for (int i = 0; i <= a.length; i++) if (i % 2 == 1) odd += a[i]; System.out.println(odd); }",
+		"int fact(int n) { return n <= 1 ? 1 : n * fact(n - 1); }",
+		"class C { static int x = 1; void m() { switch (x) { case 1: break; default: x++; } } }",
+		"void f() { do { x--; } while (x > 0); }",
+		"void f() { Scanner s = new Scanner(new File(\"x\")); while (s.hasNext()) s.next(); }",
+		"void f() { int[][] m = new int[2][3]; m[0][1] = 5; }",
+		"void broken( {",
+		"}}}}((((",
+		"void f() { for (;;) break; }",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		unit, err := parser.Parse(src)
+		if err != nil {
+			return // rejected inputs are fine; panics are not
+		}
+		for _, m := range unit.AllMethods() {
+			if m.Body == nil {
+				continue
+			}
+			g := pdg.Build(m)
+			for _, n := range g.Nodes {
+				_ = n.Renderings()
+			}
+			_ = g.DOT()
+		}
+		// Canonicalization fixpoint on every statement rendering.
+		for _, m := range unit.AllMethods() {
+			if m.Body == nil {
+				continue
+			}
+			for _, s := range m.Body.Stmts {
+				_ = pretty.Stmt(s)
+			}
+		}
+	})
+}

@@ -1,0 +1,306 @@
+package parser_test
+
+import (
+	"strings"
+	"testing"
+
+	"semfeed/internal/java/ast"
+	"semfeed/internal/java/parser"
+	"semfeed/internal/java/pretty"
+	"semfeed/internal/java/token"
+)
+
+func mustExpr(t *testing.T, src string) ast.Expr {
+	t.Helper()
+	e, err := parser.ParseExpr(src)
+	if err != nil {
+		t.Fatalf("ParseExpr(%q): %v", src, err)
+	}
+	return e
+}
+
+func TestExprPrecedence(t *testing.T) {
+	cases := map[string]string{
+		"1 + 2 * 3":           "1 + 2 * 3",
+		"(1 + 2) * 3":         "(1 + 2) * 3",
+		"a || b && c":         "a || b && c",
+		"(a || b) && c":       "(a || b) && c",
+		"-x * y":              "-x * y",
+		"!(a == b)":           "!(a == b)",
+		"a == b == true":      "a == b == true",
+		"i % 2 == 1":          "i % 2 == 1",
+		"x << 2 + 1":          "x << 2 + 1",
+		"a ? b : c ? d : e":   "a ? b : c ? d : e",
+		"x = y = z":           "x = y = z",
+		"a[i + 1]":            "a[i + 1]",
+		"m(1, x + 2)":         "m(1, x + 2)",
+		"a.b.c(d)":            "a.b.c(d)",
+		"new int[n + 1]":      "new int[n + 1]",
+		"(double) x / 2":      "(double) x / 2",
+		"x++ + ++y":           "x++ + ++y",
+		"s.length() - 1":      "s.length() - 1",
+		"arr.length":          "arr.length",
+		"x instanceof String": "x instanceof String",
+	}
+	for src, want := range cases {
+		got := pretty.Expr(mustExpr(t, src))
+		if got != want {
+			t.Errorf("%q: canonical %q, want %q", src, got, want)
+		}
+	}
+}
+
+func TestCanonicalDropsRedundantParens(t *testing.T) {
+	cases := map[string]string{
+		"((x))":               "x",
+		"(x + y) + z":         "x + y + z",
+		"x + (y + z)":         "x + (y + z)", // right-nesting preserved: not assumed associative
+		"f * ((n + 1))":       "f * (n + 1)",
+		"(i % 2) == 1":        "i % 2 == 1",
+		"(a[i])":              "a[i]",
+		"((a != null)) && ok": "a != null && ok",
+	}
+	for src, want := range cases {
+		got := pretty.Expr(mustExpr(t, src))
+		if got != want {
+			t.Errorf("%q: canonical %q, want %q", src, got, want)
+		}
+	}
+}
+
+func TestParseMethodShapes(t *testing.T) {
+	srcs := []string{
+		"void f() {}",
+		"int f(int a, double b) { return a; }",
+		"public static void main(String[] args) { }",
+		"int[] f(int[][] grid, int n) { return grid[n]; }",
+		"void f(int... xs) {}",
+		"long f(int k) throws Exception { return k; }",
+	}
+	for _, src := range srcs {
+		if _, err := parser.ParseMethod(src); err != nil {
+			t.Errorf("%q: %v", src, err)
+		}
+	}
+}
+
+func TestParseClassForms(t *testing.T) {
+	src := `package edu.example;
+	import java.util.Scanner;
+	import java.io.*;
+
+	public class Solution extends Base implements Runnable {
+	  static int calls = 0;
+	  private final double rate = 1.5, bonus = 2;
+
+	  public static void main(String[] args) {
+	    System.out.println("hi");
+	  }
+
+	  int helper(int x) { return x + 1; }
+	}`
+	unit, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unit.Package != "edu.example" {
+		t.Errorf("package = %q", unit.Package)
+	}
+	if len(unit.Imports) != 2 || unit.Imports[1] != "java.io.*" {
+		t.Errorf("imports = %v", unit.Imports)
+	}
+	if len(unit.Classes) != 1 {
+		t.Fatalf("classes = %d", len(unit.Classes))
+	}
+	cls := unit.Classes[0]
+	if len(cls.Methods) != 2 || len(cls.Fields) != 2 {
+		t.Errorf("methods = %d fields = %d", len(cls.Methods), len(cls.Fields))
+	}
+	if unit.FindMethod("helper") == nil {
+		t.Error("FindMethod(helper) = nil")
+	}
+}
+
+func TestStatements(t *testing.T) {
+	src := `void f(int n) {
+	  int a = 0, b[] = null;
+	  if (n > 0) a++; else a--;
+	  while (a < n) a += 2;
+	  do { a--; } while (a > 0);
+	  for (int i = 0, j = 1; i < n; i++, j--) b = null;
+	  for (;;) break;
+	  for (int v : new int[]{1, 2}) a += v;
+	  switch (n) {
+	  case 1:
+	  case 2:
+	    a = 5;
+	    break;
+	  default:
+	    a = 9;
+	  }
+	  outer:
+	  while (true) { continue; }
+	  int[] c = {1, 2, 3};
+	  ;
+	  return;
+	}`
+	m, err := parser.ParseMethod(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []string
+	for _, s := range m.Body.Stmts {
+		kinds = append(kinds, strings.TrimPrefix(strings.TrimPrefix(typeName(s), "*ast."), "ast."))
+	}
+	want := []string{"LocalVarDecl", "If", "While", "DoWhile", "For", "For", "ForEach",
+		"Switch", "While", "LocalVarDecl", "Empty", "Return"}
+	if strings.Join(kinds, ",") != strings.Join(want, ",") {
+		t.Errorf("statement kinds\n got %v\nwant %v", kinds, want)
+	}
+}
+
+func typeName(v any) string {
+	switch v.(type) {
+	case *ast.LocalVarDecl:
+		return "LocalVarDecl"
+	case *ast.If:
+		return "If"
+	case *ast.While:
+		return "While"
+	case *ast.DoWhile:
+		return "DoWhile"
+	case *ast.For:
+		return "For"
+	case *ast.ForEach:
+		return "ForEach"
+	case *ast.Switch:
+		return "Switch"
+	case *ast.Empty:
+		return "Empty"
+	case *ast.Return:
+		return "Return"
+	case *ast.ExprStmt:
+		return "ExprStmt"
+	case *ast.Block:
+		return "Block"
+	}
+	return "?"
+}
+
+func TestTryCatchGradesBody(t *testing.T) {
+	src := `void f() {
+	  try {
+	    int x = 1;
+	  } catch (Exception e) {
+	    int y = 2;
+	  } finally {
+	    int z = 3;
+	  }
+	}`
+	m, err := parser.ParseMethod(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Body.Stmts) != 1 {
+		t.Fatalf("want 1 top statement, got %d", len(m.Body.Stmts))
+	}
+	blk, ok := m.Body.Stmts[0].(*ast.Block)
+	if !ok || len(blk.Stmts) != 2 { // try body + finally body
+		t.Errorf("try lowering wrong: %T with %d stmts", m.Body.Stmts[0], len(blk.Stmts))
+	}
+}
+
+func TestScannerDeclDisambiguation(t *testing.T) {
+	src := `void f() {
+	  Scanner s = new Scanner(System.in);
+	  s.close();
+	  foo(s);
+	}`
+	m, err := parser.ParseMethod(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.Body.Stmts[0].(*ast.LocalVarDecl); !ok {
+		t.Errorf("first statement should be a declaration, got %T", m.Body.Stmts[0])
+	}
+	if _, ok := m.Body.Stmts[1].(*ast.ExprStmt); !ok {
+		t.Errorf("second statement should be an expression, got %T", m.Body.Stmts[1])
+	}
+}
+
+func TestSyntaxErrors(t *testing.T) {
+	bad := []string{
+		"void f( {}",
+		"void f() { int = 5; }",
+		"void f() { if (x { y(); } }",
+		"void f() { return",
+		"class {}",
+	}
+	for _, src := range bad {
+		if _, err := parser.Parse(src); err == nil {
+			t.Errorf("%q: expected a syntax error", src)
+		}
+	}
+}
+
+func TestErrorsDoNotPanicOrHang(t *testing.T) {
+	nasty := []string{
+		strings.Repeat("{", 200),
+		strings.Repeat("(", 200),
+		"void f() { " + strings.Repeat("x ", 500) + "}",
+		"@#$%^&*",
+		"void f() { for (;;;;;) {} }",
+		"int int int",
+	}
+	for _, src := range nasty {
+		_, _ = parser.Parse(src) // must terminate
+	}
+}
+
+func TestBareMethodsAndWrappedClassesEquivalent(t *testing.T) {
+	bare := "int f(int x) { return x * 2; }"
+	wrapped := "public class S { public static int f(int x) { return x * 2; } }"
+	u1, err1 := parser.Parse(bare)
+	u2, err2 := parser.Parse(wrapped)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	m1, m2 := u1.FindMethod("f"), u2.FindMethod("f")
+	if m1 == nil || m2 == nil {
+		t.Fatal("method not found")
+	}
+	if pretty.Stmt(m1.Body.Stmts[0]) != pretty.Stmt(m2.Body.Stmts[0]) {
+		t.Error("bodies should canonicalize identically")
+	}
+}
+
+func TestAssignKinds(t *testing.T) {
+	for _, op := range []string{"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="} {
+		e := mustExpr(t, "x "+op+" 2")
+		a, ok := e.(*ast.Assign)
+		if !ok {
+			t.Fatalf("%q: not an assignment", op)
+		}
+		if a.Op.String() != op {
+			t.Errorf("op = %v, want %s", a.Op, op)
+		}
+	}
+}
+
+func TestLiteralKinds(t *testing.T) {
+	cases := map[string]token.Kind{
+		"42":    token.INT,
+		"4.2":   token.FLOAT,
+		`"s"`:   token.STRING,
+		"'c'":   token.CHAR,
+		"true":  token.TRUE,
+		"false": token.FALSE,
+		"null":  token.NULL,
+	}
+	for src, want := range cases {
+		lit, ok := mustExpr(t, src).(*ast.Literal)
+		if !ok || lit.Kind != want {
+			t.Errorf("%q: got %v", src, lit)
+		}
+	}
+}

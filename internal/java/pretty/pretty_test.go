@@ -1,0 +1,139 @@
+package pretty_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"semfeed/internal/java/parser"
+	"semfeed/internal/java/pretty"
+)
+
+func canon(t *testing.T, src string) string {
+	t.Helper()
+	e, err := parser.ParseExpr(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return pretty.Expr(e)
+}
+
+func TestCanonicalIsFixpoint(t *testing.T) {
+	exprs := []string{
+		"i % 2 == 1", "a[i + 1] * 2", "x <= a.length - 1",
+		"System.out.println(o + \", \" + e)", "new Scanner(new File(\"f.txt\"))",
+		"(int) Math.pow(d, 3)", "-(-x)", "a ? b + 1 : c * 2",
+		"x = y += z", "s.charAt(i) == 'x'", "new int[]{1, 2, 3}",
+		"n >>> 2 | m << 1", "~bits & mask",
+	}
+	for _, src := range exprs {
+		once := canon(t, src)
+		twice := canon(t, once)
+		if once != twice {
+			t.Errorf("not a fixpoint: %q -> %q -> %q", src, once, twice)
+		}
+	}
+}
+
+func TestWhitespaceInsensitive(t *testing.T) {
+	pairs := [][2]string{
+		{"i%2==1", "i % 2 == 1"},
+		{"a[ i ]", "a[i]"},
+		{"x<=a . length", "x <= a.length"},
+		{"f( 1 ,2 )", "f(1, 2)"},
+	}
+	for _, p := range pairs {
+		if canon(t, p[0]) != canon(t, p[1]) {
+			t.Errorf("%q and %q canonicalize differently: %q vs %q",
+				p[0], p[1], canon(t, p[0]), canon(t, p[1]))
+		}
+	}
+}
+
+func TestStmtRendering(t *testing.T) {
+	cases := map[string]string{
+		"int even = 0;":          "int even = 0",
+		"int o = 0, e = 1;":      "int o = 0, int e = 1",
+		"odd += a[i];":           "odd += a[i]",
+		"return x + y;":          "return x + y",
+		"break;":                 "break",
+		"continue;":              "continue",
+		"int[] r = null;":        "int[] r = null",
+		"double m[] = null;":     "double[] m = null",
+		"throw new File(\"x\");": `throw new File("x")`,
+	}
+	for src, want := range cases {
+		s, err := parser.ParseStmt(src)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		if got := pretty.Stmt(s); got != want {
+			t.Errorf("%q: got %q, want %q", src, got, want)
+		}
+	}
+}
+
+func TestTokens(t *testing.T) {
+	cases := map[string][]string{
+		"i % 2 == 1":    {"i", "%", "2", "==", "1"},
+		"a[i]":          {"a", "[", "i", "]"},
+		"x <= s.length": {"x", "<=", "s", ".", "length"},
+		`print("a b")`:  {"print", "(", `"a b"`, ")"},
+		"x >>> 2":       {"x", ">>>", "2"},
+		"f(x, 'c')":     {"f", "(", "x", ",", "'c'", ")"},
+		"x<<=2":         {"x", "<<=", "2"},
+	}
+	for src, want := range cases {
+		got := pretty.Tokens(src)
+		if strings.Join(got, "|") != strings.Join(want, "|") {
+			t.Errorf("%q: got %v, want %v", src, got, want)
+		}
+	}
+}
+
+// TestQuickRandomExprFixpoint generates random arithmetic expressions,
+// parses them, and checks pretty.Expr is a fixpoint under re-parsing and
+// that parenthesizing the whole thing changes nothing.
+func TestQuickRandomExprFixpoint(t *testing.T) {
+	ops := []string{"+", "-", "*", "/", "%", "==", "!=", "<", "<=", "&&", "||"}
+	gen := func(r *rand.Rand) string {
+		var build func(depth int) string
+		build = func(depth int) string {
+			if depth <= 0 || r.Intn(3) == 0 {
+				atoms := []string{"x", "y", "1", "2", "a[i]", "n.length", "f(x)"}
+				return atoms[r.Intn(len(atoms))]
+			}
+			l, rr := build(depth-1), build(depth-1)
+			op := ops[r.Intn(len(ops))]
+			s := l + " " + op + " " + rr
+			if r.Intn(2) == 0 {
+				s = "(" + s + ")"
+			}
+			return s
+		}
+		return build(3)
+	}
+	f := func(seed int64) bool {
+		src := gen(rand.New(rand.NewSource(seed)))
+		e1, err := parser.ParseExpr(src)
+		if err != nil {
+			return false
+		}
+		once := pretty.Expr(e1)
+		e2, err := parser.ParseExpr(once)
+		if err != nil {
+			return false
+		}
+		twice := pretty.Expr(e2)
+		e3, err := parser.ParseExpr("(" + src + ")")
+		if err != nil {
+			return false
+		}
+		wrapped := pretty.Expr(e3)
+		return once == twice && once == wrapped
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

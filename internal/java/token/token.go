@@ -1,0 +1,304 @@
+// Package token defines the lexical tokens of the Java subset understood by
+// the semfeed frontend. The subset covers everything that appears in
+// introductory programming assignments: primitive types, arrays, the usual
+// control flow, method declarations and calls, and literals.
+package token
+
+import "fmt"
+
+// Kind identifies the lexical class of a token.
+type Kind int
+
+// Token kinds. Keyword kinds follow the operator kinds so that
+// IsKeyword can test a contiguous range.
+const (
+	ILLEGAL Kind = iota
+	EOF
+
+	IDENT  // assignment1, x, Math
+	INT    // 123
+	LONG   // 123L
+	FLOAT  // 1.5, 1e-3
+	CHAR   // 'a'
+	STRING // "abc"
+
+	// Operators and punctuation.
+	ASSIGN     // =
+	ADD        // +
+	SUB        // -
+	MUL        // *
+	QUO        // /
+	REM        // %
+	ADDASSIGN  // +=
+	SUBASSIGN  // -=
+	MULASSIGN  // *=
+	QUOASSIGN  // /=
+	REMASSIGN  // %=
+	ANDASSIGN  // &=
+	ORASSIGN   // |=
+	XORASSIGN  // ^=
+	SHLASSIGN  // <<=
+	SHRASSIGN  // >>=
+	INC        // ++
+	DEC        // --
+	EQL        // ==
+	NEQ        // !=
+	LSS        // <
+	LEQ        // <=
+	GTR        // >
+	GEQ        // >=
+	LAND       // &&
+	LOR        // ||
+	NOT        // !
+	AND        // &
+	OR         // |
+	XOR        // ^
+	TILDE      // ~
+	SHL        // <<
+	SHR        // >>
+	USHR       // >>>
+	QUESTION   // ?
+	COLON      // :
+	SEMICOLON  // ;
+	COMMA      // ,
+	PERIOD     // .
+	LPAREN     // (
+	RPAREN     // )
+	LBRACE     // {
+	RBRACE     // }
+	LBRACK     // [
+	RBRACK     // ]
+	ELLIPSIS   // ...
+	AT         // @ (annotations, skipped by the parser)
+	keywordBeg // internal marker
+
+	ABSTRACT
+	BOOLEAN
+	BREAK
+	BYTE
+	CASE
+	CHARKW
+	CLASS
+	CONTINUE
+	DEFAULT
+	DO
+	DOUBLE
+	ELSE
+	EXTENDS
+	FALSE
+	FINAL
+	FLOATKW
+	FOR
+	IF
+	IMPLEMENTS
+	IMPORT
+	INSTANCEOF
+	INTKW
+	INTERFACE
+	LONGKW
+	NEW
+	NULL
+	PACKAGE
+	PRIVATE
+	PROTECTED
+	PUBLIC
+	RETURN
+	SHORT
+	STATIC
+	SWITCH
+	THIS
+	THROW
+	THROWS
+	TRUE
+	TRY
+	VOID
+	WHILE
+	keywordEnd // internal marker
+)
+
+var kindStrings = map[Kind]string{
+	ILLEGAL: "ILLEGAL",
+	EOF:     "EOF",
+	IDENT:   "IDENT",
+	INT:     "INT",
+	LONG:    "LONG",
+	FLOAT:   "FLOAT",
+	CHAR:    "CHAR",
+	STRING:  "STRING",
+
+	ASSIGN:    "=",
+	ADD:       "+",
+	SUB:       "-",
+	MUL:       "*",
+	QUO:       "/",
+	REM:       "%",
+	ADDASSIGN: "+=",
+	SUBASSIGN: "-=",
+	MULASSIGN: "*=",
+	QUOASSIGN: "/=",
+	REMASSIGN: "%=",
+	ANDASSIGN: "&=",
+	ORASSIGN:  "|=",
+	XORASSIGN: "^=",
+	SHLASSIGN: "<<=",
+	SHRASSIGN: ">>=",
+	INC:       "++",
+	DEC:       "--",
+	EQL:       "==",
+	NEQ:       "!=",
+	LSS:       "<",
+	LEQ:       "<=",
+	GTR:       ">",
+	GEQ:       ">=",
+	LAND:      "&&",
+	LOR:       "||",
+	NOT:       "!",
+	AND:       "&",
+	OR:        "|",
+	XOR:       "^",
+	TILDE:     "~",
+	SHL:       "<<",
+	SHR:       ">>",
+	USHR:      ">>>",
+	QUESTION:  "?",
+	COLON:     ":",
+	SEMICOLON: ";",
+	COMMA:     ",",
+	PERIOD:    ".",
+	LPAREN:    "(",
+	RPAREN:    ")",
+	LBRACE:    "{",
+	RBRACE:    "}",
+	LBRACK:    "[",
+	RBRACK:    "]",
+	ELLIPSIS:  "...",
+	AT:        "@",
+
+	ABSTRACT:   "abstract",
+	BOOLEAN:    "boolean",
+	BREAK:      "break",
+	BYTE:       "byte",
+	CASE:       "case",
+	CHARKW:     "char",
+	CLASS:      "class",
+	CONTINUE:   "continue",
+	DEFAULT:    "default",
+	DO:         "do",
+	DOUBLE:     "double",
+	ELSE:       "else",
+	EXTENDS:    "extends",
+	FALSE:      "false",
+	FINAL:      "final",
+	FLOATKW:    "float",
+	FOR:        "for",
+	IF:         "if",
+	IMPLEMENTS: "implements",
+	IMPORT:     "import",
+	INSTANCEOF: "instanceof",
+	INTKW:      "int",
+	INTERFACE:  "interface",
+	LONGKW:     "long",
+	NEW:        "new",
+	NULL:       "null",
+	PACKAGE:    "package",
+	PRIVATE:    "private",
+	PROTECTED:  "protected",
+	PUBLIC:     "public",
+	RETURN:     "return",
+	SHORT:      "short",
+	STATIC:     "static",
+	SWITCH:     "switch",
+	THIS:       "this",
+	THROW:      "throw",
+	THROWS:     "throws",
+	TRUE:       "true",
+	VOID:       "void",
+	TRY:        "try",
+	WHILE:      "while",
+}
+
+// String returns the textual form of the kind ("+=", "while", "IDENT", ...).
+func (k Kind) String() string {
+	if s, ok := kindStrings[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+var keywords map[string]Kind
+
+func init() {
+	keywords = make(map[string]Kind)
+	for k := keywordBeg + 1; k < keywordEnd; k++ {
+		keywords[kindStrings[k]] = k
+	}
+}
+
+// Lookup maps an identifier to its keyword kind, or IDENT if it is not a
+// keyword of the subset.
+func Lookup(ident string) Kind {
+	if k, ok := keywords[ident]; ok {
+		return k
+	}
+	return IDENT
+}
+
+// IsKeyword reports whether the kind is a reserved word.
+func (k Kind) IsKeyword() bool { return k > keywordBeg && k < keywordEnd }
+
+// IsLiteral reports whether the kind is a literal value token.
+func (k Kind) IsLiteral() bool {
+	switch k {
+	case INT, LONG, FLOAT, CHAR, STRING, TRUE, FALSE, NULL:
+		return true
+	}
+	return false
+}
+
+// IsAssignOp reports whether the kind is an assignment operator (including
+// the compound forms).
+func (k Kind) IsAssignOp() bool {
+	switch k {
+	case ASSIGN, ADDASSIGN, SUBASSIGN, MULASSIGN, QUOASSIGN, REMASSIGN,
+		ANDASSIGN, ORASSIGN, XORASSIGN, SHLASSIGN, SHRASSIGN:
+		return true
+	}
+	return false
+}
+
+// IsType reports whether the kind names a primitive type of the subset.
+func (k Kind) IsType() bool {
+	switch k {
+	case BOOLEAN, BYTE, CHARKW, DOUBLE, FLOATKW, INTKW, LONGKW, SHORT, VOID:
+		return true
+	}
+	return false
+}
+
+// Pos is a byte offset plus human-readable line/column location in a source
+// file. Columns and lines are 1-based.
+type Pos struct {
+	Offset int
+	Line   int
+	Col    int
+}
+
+// String renders the position as "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is a lexical token with its kind, literal text and position.
+type Token struct {
+	Kind Kind
+	Lit  string // literal text for IDENT and literal kinds; operator text otherwise
+	Pos  Pos
+}
+
+// String renders the token for diagnostics.
+func (t Token) String() string {
+	switch {
+	case t.Kind == IDENT || t.Kind.IsLiteral():
+		return fmt.Sprintf("%s(%s)", t.Kind, t.Lit)
+	default:
+		return t.Kind.String()
+	}
+}

@@ -1,0 +1,63 @@
+package token_test
+
+import (
+	"testing"
+
+	"semfeed/internal/java/token"
+)
+
+func TestLookup(t *testing.T) {
+	cases := map[string]token.Kind{
+		"while":      token.WHILE,
+		"int":        token.INTKW,
+		"size":       token.IDENT,
+		"Class":      token.IDENT, // case-sensitive
+		"true":       token.TRUE,
+		"instanceof": token.INSTANCEOF,
+	}
+	for s, want := range cases {
+		if got := token.Lookup(s); got != want {
+			t.Errorf("Lookup(%q) = %v, want %v", s, got, want)
+		}
+	}
+}
+
+func TestPredicates(t *testing.T) {
+	if !token.WHILE.IsKeyword() || token.IDENT.IsKeyword() || token.ADD.IsKeyword() {
+		t.Error("IsKeyword wrong")
+	}
+	for _, k := range []token.Kind{token.INT, token.FLOAT, token.STRING, token.CHAR, token.TRUE, token.NULL} {
+		if !k.IsLiteral() {
+			t.Errorf("%v should be a literal", k)
+		}
+	}
+	if token.IDENT.IsLiteral() {
+		t.Error("IDENT is not a literal")
+	}
+	for _, k := range []token.Kind{token.ASSIGN, token.ADDASSIGN, token.SHRASSIGN} {
+		if !k.IsAssignOp() {
+			t.Errorf("%v should be an assignment op", k)
+		}
+	}
+	if token.EQL.IsAssignOp() {
+		t.Error("== is not an assignment op")
+	}
+	for _, k := range []token.Kind{token.INTKW, token.VOID, token.BOOLEAN, token.DOUBLE} {
+		if !k.IsType() {
+			t.Errorf("%v should be a type keyword", k)
+		}
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	if token.ADDASSIGN.String() != "+=" || token.WHILE.String() != "while" {
+		t.Error("operator/keyword String wrong")
+	}
+	tok := token.Token{Kind: token.IDENT, Lit: "x", Pos: token.Pos{Line: 3, Col: 7}}
+	if tok.String() != "IDENT(x)" || tok.Pos.String() != "3:7" {
+		t.Errorf("tok = %s at %s", tok, tok.Pos)
+	}
+	if token.Kind(9999).String() == "" {
+		t.Error("unknown kinds still render")
+	}
+}

@@ -1,0 +1,158 @@
+package kb_test
+
+import (
+	"testing"
+
+	"semfeed/internal/java/parser"
+	"semfeed/internal/kb"
+	"semfeed/internal/match"
+	"semfeed/internal/pdg"
+)
+
+// patternBehavior gives each catalog pattern a minimal snippet it must match
+// and one it must not. Together with the Definition 7 oracle this pins the
+// intended semantics of the published knowledge base.
+var patternBehavior = map[string]struct{ positive, negative string }{
+	"seq-odd-access": {
+		positive: `void f(int[] a) { int s = 0; for (int i = 0; i < a.length; i++) if (i % 2 == 1) s += a[i]; }`,
+		negative: `void f(int[] a) { int s = 0; for (int i = 0; i < a.length; i++) s += a[i]; }`,
+	},
+	"seq-even-access": {
+		positive: `void f(int[] a) { int p = 1; for (int i = 0; i < a.length; i++) if (i % 2 == 0) p *= a[i]; }`,
+		negative: `void f(int[] a) { int p = 1; for (int i = 0; i < a.length; i++) if (i % 2 == 1) p *= a[i]; }`,
+	},
+	"cond-accumulate-add": {
+		positive: `void f(int[] a) { int s = 0; for (int i = 0; i < a.length; i++) if (a[i] > 0) s += a[i]; }`,
+		negative: `void f(int[] a) { int s = 0; s += a[0]; }`,
+	},
+	"cond-accumulate-mul": {
+		positive: `void f(int[] a) { int p = 1; for (int i = 0; i < a.length; i++) if (a[i] > 0) p *= a[i]; }`,
+		negative: `void f(int[] a) { int p = 1; for (int i = 0; i < a.length; i++) if (a[i] > 0) p += a[i]; }`,
+	},
+	"assign-print": {
+		positive: `void f(int n) { int r = n * 2; System.out.println(r); }`,
+		negative: `void f(int n) { int r = n * 2; System.out.println("done"); }`,
+	},
+	"double-index-update": {
+		positive: `void f(int[] a) { int i = 0; while (i < a.length) { i++; i++; } }`,
+		negative: `void f(int[] a) { int i = 0; while (i < a.length) { i++; } }`,
+	},
+	"counter-increment": {
+		positive: `void f(int n) { int c = 0; while (n > 0) { c++; n /= 2; } }`,
+		negative: `void f(int n) { int c = 0; c = n; }`,
+	},
+	"running-product": {
+		positive: `void f(int n) { long p = 1; for (int i = 1; i <= n; i++) p *= i; }`,
+		negative: `void f(int n) { long p = 1; for (int i = 1; i <= n; i++) p += i; }`,
+	},
+	"bounded-loop": {
+		positive: `void f(int k) { int x = 1; while (x <= k) x = x * 2; }`,
+		negative: `void f(int k) { int x = 1; while (x > 0) x--; }`,
+	},
+	"digit-extraction": {
+		positive: `void f(int k) { int t = k; while (t > 0) { int d = t % 10; t /= 10; } }`,
+		negative: `void f(int k) { int t = k; while (t > 0) { t--; } }`,
+	},
+	"reverse-accumulate": {
+		positive: `void f(int k) { int r = 0; int t = k; while (t > 0) { r = r * 10 + t % 10; t /= 10; } }`,
+		negative: `void f(int k) { int r = 0; int t = k; while (t > 0) { r = r + t; t /= 10; } }`,
+	},
+	"equality-check": {
+		positive: `void f(int a, int b) { if (a == b) System.out.println("eq"); }`,
+		negative: `void f(int a, int b) { if (a < b) System.out.println("lt"); }`,
+	},
+	"sum-of-cubes": {
+		positive: `void f(int k) { int s = 0; int t = k; while (t > 0) { int d = t % 10; s += d * d * d; t /= 10; } }`,
+		negative: `void f(int k) { int s = 0; int t = k; while (t > 0) { s += t; t /= 10; } }`,
+	},
+	"fib-advance": {
+		positive: `void f(int k) { long a = 1; long b = 1; while (a <= k) { long c = a + b; a = b; b = c; } }`,
+		negative: `void f(int k) { long a = 1; long b = 1; while (a <= k) { a = b; b = a + b; } }`,
+	},
+	"interval-filter": {
+		positive: `void f(int n) { int x = 1; while (x < 100) { if (x >= n) System.out.println(x); x *= 2; } }`,
+		negative: `void f(int n) { int x = 1; while (x < 100) { x *= 2; } }`,
+	},
+	"scanner-file-loop": {
+		positive: `void f() { Scanner s = new Scanner(new File("d.txt")); while (s.hasNext()) s.next(); s.close(); }`,
+		negative: `void f() { Scanner s = new Scanner(System.in); while (s.hasNext()) s.next(); s.close(); }`,
+	},
+	"record-field-read": {
+		positive: `void f() { Scanner s = new Scanner(new File("d.txt")); int i = 1; while (s.hasNext()) { if (i % 5 == 1) s.next(); i++; } s.close(); }`,
+		negative: `void f() { Scanner s = new Scanner(new File("d.txt")); while (s.hasNext()) s.next(); s.close(); }`,
+	},
+	"guarded-counter": {
+		positive: `void f(int[] a) { int c = 0; for (int i = 0; i < a.length; i++) if (a[i] > 0) c++; System.out.println(c); }`,
+		negative: `void f(int[] a) { int c = 0; for (int i = 0; i < a.length; i++) if (a[i] > 0) c++; }`,
+	},
+	"string-field-compare": {
+		positive: `void f(String w, String q) { if (w.equals(q)) System.out.println("hit"); }`,
+		negative: `void f(int w, int q) { if (w > q) System.out.println("hit"); }`,
+	},
+	"int-field-compare": {
+		positive: `void f(int year) { int y = 1984; if (y == year) System.out.println("hit"); }`,
+		negative: `void f(int year) { int y = 1984; if (y > 0) System.out.println("hit"); }`,
+	},
+	"new-result-array": {
+		positive: `void f(double[] a) { double[] r = new double[a.length - 1]; r[0] = 1; }`,
+		negative: `void f(double[] a) { double r = a[0]; r += 1; }`,
+	},
+	"derivative-step": {
+		positive: `void f(double[] a) { double[] r = new double[a.length - 1]; for (int i = 1; i < a.length; i++) r[i - 1] = a[i] * i; }`,
+		negative: `void f(double[] a) { double[] r = new double[a.length - 1]; for (int i = 1; i < a.length; i++) r[i - 1] = a[i]; }`,
+	},
+	"powsum-step": {
+		positive: `void f(double[] a, double x) { double s = 0; for (int i = 0; i < a.length; i++) s += a[i] * Math.pow(x, i); }`,
+		negative: `void f(double[] a, double x) { double s = 0; for (int i = 0; i < a.length; i++) s -= a[i]; }`,
+	},
+	"conditional-print": {
+		positive: `void f(int n) { if (n > 0) System.out.println("pos"); }`,
+		negative: `void f(int n) { System.out.println(n); }`,
+	},
+}
+
+func TestEveryCatalogPatternBehavior(t *testing.T) {
+	if len(patternBehavior) != len(kb.Names()) {
+		t.Fatalf("behavior table covers %d patterns, catalog has %d", len(patternBehavior), len(kb.Names()))
+	}
+	for _, name := range kb.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			b, ok := patternBehavior[name]
+			if !ok {
+				t.Fatalf("no behavior entry for %s", name)
+			}
+			p := kb.Pattern(name)
+			for _, probe := range []struct {
+				src  string
+				want bool
+			}{{b.positive, true}, {b.negative, false}} {
+				m, err := parser.ParseMethod(probe.src)
+				if err != nil {
+					t.Fatalf("parse: %v\n%s", err, probe.src)
+				}
+				g := pdg.Build(m)
+				embs := match.Find(p, g)
+				// A "positive" probe must produce at least one all-exact
+				// embedding; a "negative" one must produce no exact-complete
+				// embedding at all (approximate-only hits are fine: they are
+				// the pattern saying "present but wrong").
+				exact := 0
+				for i := range embs {
+					if err := match.Verify(&embs[i], g); err != nil {
+						t.Errorf("invalid embedding: %v", err)
+					}
+					if embs[i].AllCorrect() {
+						exact++
+					}
+				}
+				if probe.want && exact == 0 {
+					t.Errorf("positive probe produced no exact embedding\n%s\ngraph:\n%s", probe.src, g)
+				}
+				if !probe.want && exact > 0 {
+					t.Errorf("negative probe produced %d exact embeddings\n%s", exact, probe.src)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,18 @@
+package kb
+
+import (
+	"io"
+
+	"semfeed/internal/pattern"
+)
+
+// ExportJSON writes the whole pattern catalog as a JSON array, the
+// publicly-available knowledge-base artifact of the paper. The output
+// round-trips through pattern.ReadAll.
+func ExportJSON(w io.Writer) error {
+	var srcs []*pattern.Pattern
+	for _, name := range Names() {
+		srcs = append(srcs, Pattern(name).Source)
+	}
+	return pattern.WriteAll(w, srcs)
+}

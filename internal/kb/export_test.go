@@ -1,0 +1,57 @@
+package kb_test
+
+import (
+	"bytes"
+	"testing"
+
+	"semfeed/internal/java/parser"
+	"semfeed/internal/kb"
+	"semfeed/internal/match"
+	"semfeed/internal/pattern"
+	"semfeed/internal/pdg"
+)
+
+// TestExportRoundTrip: the JSON knowledge base re-imports into patterns that
+// behave identically to the compiled-in ones.
+func TestExportRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := kb.ExportJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	imported, err := pattern.ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(imported) != len(kb.Names()) {
+		t.Fatalf("round trip produced %d patterns, want %d", len(imported), len(kb.Names()))
+	}
+
+	// Behavioral equivalence on a probe graph.
+	m, err := parser.ParseMethod(`void assignment1(int[] a) {
+	  int odd = 0;
+	  int even = 1;
+	  for (int i = 0; i < a.length; i++) {
+	    if (i % 2 == 1)
+	      odd += a[i];
+	    if (i % 2 == 0)
+	      even *= a[i];
+	  }
+	  System.out.println(odd);
+	  System.out.println(even);
+	}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := pdg.Build(m)
+	byName := map[string]*pattern.Compiled{}
+	for _, p := range imported {
+		byName[p.Name()] = p
+	}
+	for _, name := range kb.Names() {
+		orig := match.Find(kb.Pattern(name), g)
+		re := match.Find(byName[name], g)
+		if len(orig) != len(re) {
+			t.Errorf("%s: %d embeddings before export, %d after", name, len(orig), len(re))
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package kb_test
+
+import (
+	"testing"
+
+	"semfeed/internal/kb"
+)
+
+func TestCatalogHas24UniquePatterns(t *testing.T) {
+	if got := len(kb.Names()); got != 24 {
+		t.Errorf("catalog has %d patterns, the paper's knowledge base has 24", got)
+	}
+}
+
+// TestVariableNamespacesDisjoint: Definition 10 requires pairwise-disjoint
+// variable sets so any two patterns can be correlated by containment
+// constraints; the catalog enforces it globally.
+func TestVariableNamespacesDisjoint(t *testing.T) {
+	owner := map[string]string{}
+	for _, name := range kb.Names() {
+		p := kb.Pattern(name)
+		for _, v := range p.Source.Vars {
+			if prev, dup := owner[v]; dup {
+				t.Errorf("variable %q used by both %s and %s", v, prev, name)
+			}
+			owner[v] = name
+		}
+	}
+}
+
+func TestEveryPatternHasPresenceFeedback(t *testing.T) {
+	for _, name := range kb.Names() {
+		p := kb.Pattern(name)
+		if p.Source.Present == "" {
+			t.Errorf("%s: empty present feedback", name)
+		}
+		if p.Source.Missing == "" {
+			t.Errorf("%s: empty missing feedback", name)
+		}
+	}
+}
+
+func TestRegistryConsistency(t *testing.T) {
+	reg := kb.Registry()
+	if len(reg) != len(kb.Names()) {
+		t.Error("registry and names disagree")
+	}
+	for name, p := range reg {
+		if p.Name() != name {
+			t.Errorf("registry key %q holds pattern %q", name, p.Name())
+		}
+	}
+}
+
+func TestUnknownPatternPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Pattern on an unknown name must panic")
+		}
+	}()
+	kb.Pattern("does-not-exist")
+}
+
+// TestEveryNodeHasExactTemplate: pattern nodes always carry an exact form;
+// nodes with no approx and no incorrect feedback are the crucial anchors.
+func TestEveryNodeHasExactTemplate(t *testing.T) {
+	crucial := 0
+	for _, name := range kb.Names() {
+		p := kb.Pattern(name)
+		for _, n := range p.Nodes {
+			if n.ExactT.Empty() {
+				t.Errorf("%s/%s: empty exact template", name, n.ID)
+			}
+			if n.Crucial() {
+				crucial++
+			}
+		}
+	}
+	if crucial == 0 {
+		t.Error("the catalog should contain crucial anchor nodes (the paper's u4 discussion)")
+	}
+}

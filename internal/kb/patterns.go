@@ -1,0 +1,576 @@
+// Package kb is the knowledge base of the paper's Section III/VI artifact:
+// twenty-four unique, reusable patterns plus the per-assignment constraint
+// sets and pattern selections for the twelve assignments of Table I.
+//
+// Pattern variables are globally unique across patterns so that any two
+// patterns can be correlated by containment constraints (Definition 10
+// requires pairwise-disjoint variable sets).
+package kb
+
+import (
+	"sort"
+
+	"semfeed/internal/pattern"
+)
+
+// catalog holds the 24 unique patterns, compiled once at init.
+var catalog = map[string]*pattern.Compiled{}
+
+func register(p *pattern.Pattern) {
+	if _, dup := catalog[p.Name]; dup {
+		panic("kb: duplicate pattern " + p.Name)
+	}
+	catalog[p.Name] = pattern.MustCompile(p)
+}
+
+// Pattern returns a compiled pattern from the catalog by name; it panics on
+// unknown names (the catalog is static).
+func Pattern(name string) *pattern.Compiled {
+	p, ok := catalog[name]
+	if !ok {
+		panic("kb: unknown pattern " + name)
+	}
+	return p
+}
+
+// Registry returns the full catalog keyed by name (for constraint compilation).
+func Registry() map[string]*pattern.Compiled { return catalog }
+
+// Names returns the catalog's pattern names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(catalog))
+	for n := range catalog {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func init() {
+	// 1. seq-odd-access — the paper's p_o (Figure 4): accessing odd
+	// positions sequentially in an array.
+	register(&pattern.Pattern{
+		Name:        "seq-odd-access",
+		Description: "Accessing odd positions sequentially in an array",
+		Vars:        []string{"os", "ox"},
+		Nodes: []pattern.Node{
+			{ID: "u0", Type: "Untyped", Exact: []string{"os"}},
+			{ID: "u1", Type: "Assign", Exact: []string{"ox = 0"}, Approx: []string{"ox ="},
+				Feedback: pattern.NodeFeedback{Correct: "{ox} is initialized to 0", Incorrect: "{ox} should be initialized to 0"}},
+			{ID: "u2", Type: "Assign", Exact: []string{"ox++", "ox += 1", "ox = ox + 1", "++ox"},
+				Approx:   []string{"ox +=", "ox = ox +", "ox--", "ox -="},
+				Feedback: pattern.NodeFeedback{Correct: "{ox} is incremented by 1", Incorrect: "{ox} should be incremented by 1"}},
+			{ID: "u3", Type: "Cond", Exact: []string{"ox < os.length"},
+				Approx:   []string{"ox <= os.length", "ox < os.length - 1", "ox < os.length + 1"},
+				Feedback: pattern.NodeFeedback{Correct: "{ox} does not go beyond {os}.length - 1", Incorrect: "{ox} is out of bounds: it must stay below {os}.length"}},
+			{ID: "u4", Type: "Cond", Exact: []string{"ox % 2 == 1", "ox % 2 != 0"},
+				Feedback: pattern.NodeFeedback{Correct: "You are using {ox} % 2 == 1 to control that {ox} is odd"}},
+			{ID: "u5", Type: "Untyped", Exact: []string{"os[ox]"}, Approx: []string{`re:${os}\[[^\]]*${ox}[^\]]*\]`},
+				Feedback: pattern.NodeFeedback{Correct: "{ox} is used exactly to access {os}", Incorrect: "You should access {os} by using {ox} exactly"}},
+		},
+		Edges: []pattern.Edge{
+			{From: "u0", To: "u3", Type: "Data"},
+			{From: "u0", To: "u5", Type: "Data"},
+			{From: "u1", To: "u3", Type: "Data"},
+			{From: "u1", To: "u5", Type: "Data"},
+			{From: "u3", To: "u2", Type: "Ctrl"},
+			{From: "u3", To: "u4", Type: "Ctrl"},
+			{From: "u4", To: "u5", Type: "Ctrl"},
+		},
+		Present: "You are correctly accessing odd positions sequentially in array {os}",
+		Missing: "You are not accessing odd positions sequentially in an array; consider using a loop and a condition — recall that odd is computed by i % 2 == 1, where i is an index variable",
+	})
+
+	// 2. seq-even-access — the even-position sibling of p_o.
+	register(&pattern.Pattern{
+		Name:        "seq-even-access",
+		Description: "Accessing even positions sequentially in an array",
+		Vars:        []string{"es", "ex"},
+		Nodes: []pattern.Node{
+			{ID: "u0", Type: "Untyped", Exact: []string{"es"}},
+			{ID: "u1", Type: "Assign", Exact: []string{"ex = 0"}, Approx: []string{"ex ="},
+				Feedback: pattern.NodeFeedback{Correct: "{ex} is initialized to 0", Incorrect: "{ex} should be initialized to 0"}},
+			{ID: "u2", Type: "Assign", Exact: []string{"ex++", "ex += 1", "ex = ex + 1", "++ex"},
+				Approx:   []string{"ex +=", "ex = ex +", "ex--", "ex -="},
+				Feedback: pattern.NodeFeedback{Correct: "{ex} is incremented by 1", Incorrect: "{ex} should be incremented by 1"}},
+			{ID: "u3", Type: "Cond", Exact: []string{"ex < es.length"},
+				Approx:   []string{"ex <= es.length", "ex < es.length - 1", "ex < es.length + 1"},
+				Feedback: pattern.NodeFeedback{Correct: "{ex} does not go beyond {es}.length - 1", Incorrect: "{ex} is out of bounds: it must stay below {es}.length"}},
+			{ID: "u4", Type: "Cond", Exact: []string{"ex % 2 == 0", "ex % 2 != 1"},
+				Feedback: pattern.NodeFeedback{Correct: "You are using {ex} % 2 == 0 to control that {ex} is even"}},
+			{ID: "u5", Type: "Untyped", Exact: []string{"es[ex]"}, Approx: []string{`re:${es}\[[^\]]*${ex}[^\]]*\]`},
+				Feedback: pattern.NodeFeedback{Correct: "{ex} is used exactly to access {es}", Incorrect: "You should access {es} by using {ex} exactly"}},
+		},
+		Edges: []pattern.Edge{
+			{From: "u0", To: "u3", Type: "Data"},
+			{From: "u0", To: "u5", Type: "Data"},
+			{From: "u1", To: "u3", Type: "Data"},
+			{From: "u1", To: "u5", Type: "Data"},
+			{From: "u3", To: "u2", Type: "Ctrl"},
+			{From: "u3", To: "u4", Type: "Ctrl"},
+			{From: "u4", To: "u5", Type: "Ctrl"},
+		},
+		Present: "You are correctly accessing even positions sequentially in array {es}",
+		Missing: "You are not accessing even positions sequentially in an array; consider using a loop and a condition — recall that even is computed by i % 2 == 0, where i is an index variable",
+	})
+
+	// 3. cond-accumulate-add — the paper's p_a (Figure 5).
+	register(&pattern.Pattern{
+		Name:        "cond-accumulate-add",
+		Description: "Cumulatively adding into a variable under a condition inside a loop",
+		Vars:        []string{"ca"},
+		Nodes: []pattern.Node{
+			{ID: "u0", Type: "Assign", Exact: []string{"ca = 0"}, Approx: []string{"ca ="},
+				Feedback: pattern.NodeFeedback{Correct: "Accumulator {ca} starts at 0", Incorrect: "Accumulator {ca} should start at 0 for a sum"}},
+			{ID: "u1", Type: "Cond", Exact: []string{"re:."}},
+			{ID: "u2", Type: "Cond", Exact: []string{"re:."}},
+			// The accumulation operator is the crucial anchor (no approx):
+			// a looser template would cross-match the product accumulator.
+			{ID: "u3", Type: "Assign", Exact: []string{"ca +=", "ca = ca +"},
+				Feedback: pattern.NodeFeedback{Correct: "{ca} accumulates with +="}},
+		},
+		Edges: []pattern.Edge{
+			{From: "u0", To: "u3", Type: "Data"},
+			{From: "u1", To: "u2", Type: "Ctrl"},
+			{From: "u2", To: "u3", Type: "Ctrl"},
+		},
+		Present: "You are conditionally accumulating a sum into {ca}",
+		Missing: "No conditional cumulative addition found; you need a variable that sums values under a condition inside a loop",
+	})
+
+	// 4. cond-accumulate-mul — multiplicative sibling of p_a.
+	register(&pattern.Pattern{
+		Name:        "cond-accumulate-mul",
+		Description: "Cumulatively multiplying into a variable under a condition inside a loop",
+		Vars:        []string{"cm"},
+		Nodes: []pattern.Node{
+			{ID: "u0", Type: "Assign", Exact: []string{"cm = 1"}, Approx: []string{"cm ="},
+				Feedback: pattern.NodeFeedback{Correct: "Accumulator {cm} starts at 1", Incorrect: "Accumulator {cm} should start at 1 for a product"}},
+			{ID: "u1", Type: "Cond", Exact: []string{"re:."}},
+			{ID: "u2", Type: "Cond", Exact: []string{"re:."}},
+			// Crucial anchor, mirroring cond-accumulate-add's u3.
+			{ID: "u3", Type: "Assign", Exact: []string{"cm *=", "cm = cm *"},
+				Feedback: pattern.NodeFeedback{Correct: "{cm} accumulates with *="}},
+		},
+		Edges: []pattern.Edge{
+			{From: "u0", To: "u3", Type: "Data"},
+			{From: "u1", To: "u2", Type: "Ctrl"},
+			{From: "u2", To: "u3", Type: "Ctrl"},
+		},
+		Present: "You are conditionally accumulating a product into {cm}",
+		Missing: "No conditional cumulative multiplication found; you need a variable that multiplies values under a condition inside a loop",
+	})
+
+	// 5. assign-print — the paper's p_p (Figure 6): a computed variable is
+	// printed to console.
+	register(&pattern.Pattern{
+		Name:        "assign-print",
+		Description: "A computed variable is printed to console",
+		Vars:        []string{"pd"},
+		Nodes: []pattern.Node{
+			{ID: "u0", Type: "Assign", Exact: []string{"pd"}},
+			{ID: "u1", Type: "Call", Exact: []string{`re:System\.out\.print(ln|f)?\(.*\b${pd}\b.*\)`},
+				Feedback: pattern.NodeFeedback{Correct: "{pd} is printed to console"}},
+		},
+		Edges: []pattern.Edge{
+			{From: "u0", To: "u1", Type: "Data"},
+		},
+		Present: "You print the computed value of {pd} to console",
+		Missing: "A computed result is never printed to console; remember the assignment asks you to print your results",
+	})
+
+	// 6. double-index-update — a "bad pattern" (expected count 0): updating
+	// the same index variable twice under one loop condition.
+	register(&pattern.Pattern{
+		Name:        "double-index-update",
+		Description: "BAD: a sentinel loop updates its index variable twice",
+		Vars:        []string{"bi"},
+		Nodes: []pattern.Node{
+			{ID: "u0", Type: "Cond", Exact: []string{"bi"}},
+			{ID: "u1", Type: "Assign", Exact: []string{"bi++", "bi += ", "bi = bi +"},
+				Feedback: pattern.NodeFeedback{Correct: "{bi} is updated here"}},
+			{ID: "u2", Type: "Assign", Exact: []string{"bi++", "bi += ", "bi = bi +"},
+				Feedback: pattern.NodeFeedback{Correct: "{bi} is updated a second time in the same iteration"}},
+		},
+		Edges: []pattern.Edge{
+			{From: "u0", To: "u1", Type: "Ctrl"},
+			{From: "u0", To: "u2", Type: "Ctrl"},
+		},
+		Present: "Your loop updates its index exactly once per iteration",
+		Missing: "Your loop updates its index variable more than once per iteration; every other update skips elements",
+	})
+
+	// 7. counter-increment — a counter driven through a loop.
+	register(&pattern.Pattern{
+		Name:        "counter-increment",
+		Description: "A counter variable initialized and incremented inside a loop",
+		Vars:        []string{"ni"},
+		Nodes: []pattern.Node{
+			{ID: "u0", Type: "Assign", Exact: []string{"ni = 0", "ni = 1", "ni = 2"}, Approx: []string{"ni ="},
+				Feedback: pattern.NodeFeedback{Correct: "Counter {ni} starts from a fixed base", Incorrect: "Counter {ni} starts from the wrong base value"}},
+			{ID: "u1", Type: "Cond", Exact: []string{"re:."}},
+			// Approx stays narrow (decrements only): a broad "ni +=" form
+			// would cross-match sum accumulators, which are structurally
+			// counters too.
+			{ID: "u2", Type: "Assign", Exact: []string{"ni++", "ni += 1", "ni = ni + 1"},
+				Approx:   []string{"ni--", "ni -= 1"},
+				Feedback: pattern.NodeFeedback{Correct: "Counter {ni} advances by 1", Incorrect: "Counter {ni} should advance by exactly 1"}},
+		},
+		Edges: []pattern.Edge{
+			{From: "u0", To: "u2", Type: "Data"},
+			{From: "u1", To: "u2", Type: "Ctrl"},
+		},
+		Present: "You drive a counter {ni} through the loop",
+		Missing: "No loop counter found; you need a variable that counts loop iterations",
+	})
+
+	// 8. running-product — factorial-style product accumulation.
+	register(&pattern.Pattern{
+		Name:        "running-product",
+		Description: "A running product (factorial-style) accumulated in a loop",
+		Vars:        []string{"rp", "rq"},
+		Nodes: []pattern.Node{
+			{ID: "u0", Type: "Assign", Exact: []string{"rp = 1"}, Approx: []string{"rp = 0", "rp ="},
+				Feedback: pattern.NodeFeedback{Correct: "Product {rp} starts at 1", Incorrect: "Product {rp} must start at 1 — starting at 0 keeps it at 0 forever"}},
+			{ID: "u1", Type: "Cond", Exact: []string{"re:."}},
+			{ID: "u2", Type: "Assign", Exact: []string{"rp *= rq", "rp = rp * rq"}, Approx: []string{"rp *=", "rp = rp *", "rp +="},
+				Feedback: pattern.NodeFeedback{Correct: "{rp} multiplies in {rq} each step", Incorrect: "{rp} should be multiplied (not added) by the running term"}},
+		},
+		Edges: []pattern.Edge{
+			{From: "u0", To: "u2", Type: "Data"},
+			{From: "u1", To: "u2", Type: "Ctrl"},
+		},
+		Present: "You build a running product in {rp}",
+		Missing: "No running product found; factorials require multiplying an accumulator inside a loop",
+	})
+
+	// 9. bounded-loop — a loop whose condition compares against an input
+	// bound (e.g. while (f * (n + 1) <= k)).
+	register(&pattern.Pattern{
+		Name:        "bounded-loop",
+		Description: "A loop bounded by an input limit",
+		Vars:        []string{"wk"},
+		Nodes: []pattern.Node{
+			{ID: "u0", Type: "Decl", Exact: []string{"wk"}},
+			{ID: "u1", Type: "Cond", Exact: []string{`re:<= ${wk}$`}, Approx: []string{`re:< ${wk}$`, `re:(<|<=) ${wk}\b`},
+				Feedback: pattern.NodeFeedback{Correct: "Your loop stops once the running value would exceed {wk}", Incorrect: "Check the comparison against {wk}: the loop should continue while the value is <= {wk}"}},
+		},
+		Edges: []pattern.Edge{
+			{From: "u0", To: "u1", Type: "Data"},
+		},
+		Present: "Your search loop is correctly bounded by the input {wk}",
+		Missing: "No loop bounded by the input limit found; the search must advance while the running value stays within the input",
+	})
+
+	// 10. digit-extraction — the % 10 / / 10 digit loop.
+	register(&pattern.Pattern{
+		Name:        "digit-extraction",
+		Description: "Extracting decimal digits with % 10 and / 10 in a loop",
+		Vars:        []string{"dg"},
+		Nodes: []pattern.Node{
+			{ID: "u0", Type: "Assign", Exact: []string{"dg ="},
+				Feedback: pattern.NodeFeedback{Correct: "You work on a copy {dg} of the input"}},
+			{ID: "u1", Type: "Cond", Exact: []string{"dg > 0", "dg != 0", "dg >= 1"}, Approx: []string{"dg >= 0", "dg"},
+				Feedback: pattern.NodeFeedback{Correct: "The digit loop runs while {dg} > 0", Incorrect: "The digit loop condition on {dg} is off; it should run while {dg} > 0"}},
+			{ID: "u2", Type: "Untyped", Exact: []string{"dg % 10"},
+				Feedback: pattern.NodeFeedback{Correct: "{dg} % 10 extracts the last digit"}},
+			{ID: "u3", Type: "Assign", Exact: []string{"dg /= 10", "dg = dg / 10"}, Approx: []string{"dg /=", "dg = dg /", "dg -="},
+				Feedback: pattern.NodeFeedback{Correct: "{dg} drops its last digit with / 10", Incorrect: "{dg} should drop its last digit by dividing by 10"}},
+		},
+		Edges: []pattern.Edge{
+			{From: "u0", To: "u1", Type: "Data"},
+			{From: "u1", To: "u2", Type: "Ctrl"},
+			{From: "u1", To: "u3", Type: "Ctrl"},
+		},
+		Present: "You extract digits of {dg} with % 10 and / 10",
+		Missing: "No digit-extraction loop found; use n % 10 to read the last digit and n / 10 to drop it",
+	})
+
+	// 11. reverse-accumulate — building the decimal reverse of a number.
+	register(&pattern.Pattern{
+		Name:        "reverse-accumulate",
+		Description: "Building the decimal reverse: r = r * 10 + n % 10",
+		Vars:        []string{"rv", "rt"},
+		Nodes: []pattern.Node{
+			{ID: "u0", Type: "Assign", Exact: []string{"rv = 0"}, Approx: []string{"rv ="},
+				Feedback: pattern.NodeFeedback{Correct: "Reverse {rv} starts at 0", Incorrect: "Reverse {rv} should start at 0"}},
+			{ID: "u1", Type: "Assign",
+				Exact:    []string{"rv = rv * 10 + rt % 10", "rv = 10 * rv + rt % 10", "rv = rv * 10 + (rt % 10)"},
+				Approx:   []string{"re:^${rv} ="},
+				Feedback: pattern.NodeFeedback{Correct: "{rv} = {rv} * 10 + {rt} % 10 builds the reverse", Incorrect: "The reverse step is off; use {rv} = {rv} * 10 + {rt} % 10"}},
+			{ID: "u2", Type: "Cond", Exact: []string{"re:."}},
+		},
+		Edges: []pattern.Edge{
+			{From: "u0", To: "u1", Type: "Data"},
+			{From: "u2", To: "u1", Type: "Ctrl"},
+		},
+		Present: "You build the decimal reverse in {rv}",
+		Missing: "No reverse accumulation found; build the reverse with r = r * 10 + n % 10 inside the digit loop",
+	})
+
+	// 12. equality-check — comparing a computed value against the original.
+	register(&pattern.Pattern{
+		Name:        "equality-check",
+		Description: "Comparing a computed value against the original input",
+		Vars:        []string{"qa", "qb"},
+		Nodes: []pattern.Node{
+			{ID: "u0", Type: "Cond", Exact: []string{"qa == qb"}, Approx: []string{"qa != qb", "qa >= qb", "qa <= qb"},
+				Feedback: pattern.NodeFeedback{Correct: "You compare {qa} against {qb} with ==", Incorrect: "The final comparison of {qa} and {qb} should use =="}},
+		},
+		Present: "You test equality of {qa} and {qb}",
+		Missing: "The final equality comparison is missing; compare your computed value against the input",
+	})
+
+	// 13. sum-of-cubes — accumulating cubes of digits.
+	register(&pattern.Pattern{
+		Name:        "sum-of-cubes",
+		Description: "Accumulating the cubes of extracted digits",
+		Vars:        []string{"c3", "d3"},
+		Nodes: []pattern.Node{
+			{ID: "u0", Type: "Assign", Exact: []string{"c3 = 0"}, Approx: []string{"c3 ="},
+				Feedback: pattern.NodeFeedback{Correct: "Cube sum {c3} starts at 0", Incorrect: "Cube sum {c3} should start at 0"}},
+			{ID: "u1", Type: "Assign",
+				Exact:    []string{"c3 += d3 * d3 * d3", "c3 = c3 + d3 * d3 * d3"},
+				Approx:   []string{"c3 += d3 * d3", "c3 +=", "c3 = c3 +"},
+				Feedback: pattern.NodeFeedback{Correct: "{c3} accumulates {d3} cubed", Incorrect: "{c3} must accumulate the cube {d3} * {d3} * {d3}, not some other power"}},
+			{ID: "u2", Type: "Cond", Exact: []string{"re:."}},
+		},
+		Edges: []pattern.Edge{
+			{From: "u0", To: "u1", Type: "Data"},
+			{From: "u2", To: "u1", Type: "Ctrl"},
+		},
+		Present: "You sum the cubes of the digits into {c3}",
+		Missing: "No sum of digit cubes found; add d*d*d for each extracted digit d",
+	})
+
+	// 14. fib-advance — the Fibonacci rotation with a temporary.
+	register(&pattern.Pattern{
+		Name:        "fib-advance",
+		Description: "Advancing a seeded Fibonacci pair with a temporary",
+		Vars:        []string{"fa", "fb", "fc"},
+		Nodes: []pattern.Node{
+			{ID: "u0", Type: "Assign", Exact: []string{"fc = fa + fb", "fc = fb + fa"}, Approx: []string{"fc ="},
+				Feedback: pattern.NodeFeedback{Correct: "{fc} = {fa} + {fb} computes the next Fibonacci number", Incorrect: "The next Fibonacci number must be the sum {fa} + {fb}"}},
+			// The u4 -Data-> u1 edge requires {fa} = {fb} to read the
+			// pre-rotation value: rotating in the wrong order breaks it.
+			{ID: "u1", Type: "Assign", Exact: []string{"fa = fb"},
+				Feedback: pattern.NodeFeedback{Correct: "{fa} shifts to {fb}"}},
+			{ID: "u2", Type: "Assign", Exact: []string{"fb = fc"},
+				Feedback: pattern.NodeFeedback{Correct: "{fb} shifts to {fc}"}},
+			{ID: "u3", Type: "Cond", Exact: []string{"re:."}},
+			{ID: "u4", Type: "Assign", Exact: []string{"fb = 1"}, Approx: []string{"fb ="},
+				Feedback: pattern.NodeFeedback{Correct: "{fb} is seeded with 1", Incorrect: "{fb} should be seeded with 1 (the second Fibonacci number)"}},
+			{ID: "u5", Type: "Assign", Exact: []string{"fa = 1"}, Approx: []string{"fa ="},
+				Feedback: pattern.NodeFeedback{Correct: "{fa} is seeded with 1", Incorrect: "{fa} should be seeded with 1 (the first Fibonacci number)"}},
+		},
+		Edges: []pattern.Edge{
+			{From: "u0", To: "u2", Type: "Data"},
+			{From: "u3", To: "u0", Type: "Ctrl"},
+			{From: "u3", To: "u1", Type: "Ctrl"},
+			{From: "u3", To: "u2", Type: "Ctrl"},
+			{From: "u4", To: "u0", Type: "Data"},
+			{From: "u4", To: "u1", Type: "Data"},
+			{From: "u5", To: "u0", Type: "Data"},
+		},
+		Present: "You advance the Fibonacci pair ({fa}, {fb}) with temporary {fc}",
+		Missing: "No Fibonacci advance found; seed two consecutive numbers with 1 and rotate them with a temporary each iteration (shift {fa} before overwriting {fb})",
+	})
+
+	// 15. interval-filter — filtering values above a lower bound.
+	register(&pattern.Pattern{
+		Name:        "interval-filter",
+		Description: "Filtering running values against the interval's lower bound",
+		Vars:        []string{"qn"},
+		Nodes: []pattern.Node{
+			{ID: "u0", Type: "Decl", Exact: []string{"qn"}},
+			{ID: "u1", Type: "Cond", Exact: []string{`re:>= ${qn}$`, `re:^${qn} <=`}, Approx: []string{`re:> ${qn}$`, `re:^${qn} <`},
+				Feedback: pattern.NodeFeedback{Correct: "Values are admitted once they reach the lower bound {qn}", Incorrect: "The lower-bound check against {qn} should be inclusive (>=)"}},
+		},
+		Edges: []pattern.Edge{
+			{From: "u0", To: "u1", Type: "Data"},
+		},
+		Present: "You filter values against the lower bound {qn}",
+		Missing: "The interval's lower bound is never checked; only count values of at least the lower input",
+	})
+
+	// 16. scanner-file-loop — reading a file token stream with Scanner.
+	register(&pattern.Pattern{
+		Name:        "scanner-file-loop",
+		Description: "Opening a file Scanner, looping on hasNext, and closing it",
+		Vars:        []string{"sf"},
+		Nodes: []pattern.Node{
+			{ID: "u0", Type: "Assign", Exact: []string{`re:${sf} = new Scanner\(new File\(`}, Approx: []string{`re:${sf} = new Scanner\(`},
+				Feedback: pattern.NodeFeedback{Correct: "{sf} scans the records file", Incorrect: "{sf} should scan the records file (new Scanner(new File(...)))"}},
+			{ID: "u1", Type: "Cond", Exact: []string{`re:${sf}\.hasNext\(\)`}, Approx: []string{`re:${sf}\.hasNext`},
+				Feedback: pattern.NodeFeedback{Correct: "The read loop runs while {sf}.hasNext()", Incorrect: "Loop on {sf}.hasNext() to consume every record"}},
+			{ID: "u2", Type: "Call", Exact: []string{`re:${sf}\.close\(\)`},
+				Feedback: pattern.NodeFeedback{Correct: "{sf} is closed after reading"}},
+		},
+		Edges: []pattern.Edge{
+			{From: "u0", To: "u1", Type: "Data"},
+			{From: "u0", To: "u2", Type: "Data"},
+		},
+		Present: "You stream the records file through Scanner {sf}",
+		Missing: "No file-reading loop found; open a Scanner over the records file and loop while it hasNext()",
+	})
+
+	// 17. record-field-read — reading one record field under an i % 5
+	// position check.
+	register(&pattern.Pattern{
+		Name:        "record-field-read",
+		Description: "Reading a record field under a position (i % 5) check",
+		Vars:        []string{"rf"},
+		Nodes: []pattern.Node{
+			{ID: "u0", Type: "Cond", Exact: []string{"rf % 5 =="}, Approx: []string{"rf % "},
+				Feedback: pattern.NodeFeedback{Correct: "Record fields are selected by {rf} % 5", Incorrect: "Record fields should be selected with {rf} % 5 — records have five fields"}},
+			{ID: "u1", Type: "Untyped", Exact: []string{`re:\.(next|nextInt|nextLong)\(\)`},
+				Feedback: pattern.NodeFeedback{Correct: "A field is consumed from the scanner"}},
+		},
+		Edges: []pattern.Edge{
+			{From: "u0", To: "u1", Type: "Ctrl"},
+		},
+		Present: "You read record fields guarded by a {rf} % 5 position check",
+		Missing: "Record fields are not read position by position; guard each read with i % 5 == position",
+	})
+
+	// 18. guarded-counter — a filtered counter whose total is printed. The
+	// print anchor (u3) pins {gc} to the counter that produces the answer,
+	// distinguishing it from loop-index counters.
+	register(&pattern.Pattern{
+		Name:        "guarded-counter",
+		Description: "Incrementing a counter under a filter and printing the total",
+		Vars:        []string{"gc"},
+		Nodes: []pattern.Node{
+			{ID: "u0", Type: "Assign", Exact: []string{"gc = 0"}, Approx: []string{"gc ="},
+				Feedback: pattern.NodeFeedback{Correct: "Counter {gc} starts at 0", Incorrect: "Counter {gc} should start at 0"}},
+			{ID: "u1", Type: "Cond", Exact: []string{"re:."},
+				Feedback: pattern.NodeFeedback{Correct: "{gc} only grows when the filter holds"}},
+			{ID: "u2", Type: "Assign", Exact: []string{"gc++", "gc += 1", "gc = gc + 1"}, Approx: []string{"gc +=", "gc = gc +"},
+				Feedback: pattern.NodeFeedback{Correct: "{gc} counts matches one at a time", Incorrect: "{gc} should grow by exactly 1 per match"}},
+			{ID: "u3", Type: "Call", Exact: []string{`re:System\.out\.print(ln|f)?\(.*\b${gc}\b.*\)`},
+				Feedback: pattern.NodeFeedback{Correct: "The total in {gc} is printed"}},
+		},
+		Edges: []pattern.Edge{
+			{From: "u0", To: "u2", Type: "Data"},
+			{From: "u1", To: "u2", Type: "Ctrl"},
+			{From: "u2", To: "u3", Type: "Data"},
+		},
+		Present: "You count matches into {gc} and print the total",
+		Missing: "No guarded counting found; increment a counter only when the filter holds and print the total",
+	})
+
+	// 19. string-field-compare — comparing String fields with .equals.
+	register(&pattern.Pattern{
+		Name:        "string-field-compare",
+		Description: "Comparing String fields with .equals (not ==)",
+		Vars:        []string{"se"},
+		Nodes: []pattern.Node{
+			{ID: "u0", Type: "Cond", Exact: []string{`re:${se}\.equals\(`}, Approx: []string{`re:${se} ==`},
+				Feedback: pattern.NodeFeedback{Correct: "{se} is compared with .equals", Incorrect: "Strings must be compared with .equals, not == ({se})"}},
+		},
+		Present: "You compare the String field {se} with .equals",
+		Missing: "No String comparison found; compare the name fields with .equals",
+	})
+
+	// 20. int-field-compare — comparing an int field against a parameter.
+	register(&pattern.Pattern{
+		Name:        "int-field-compare",
+		Description: "Comparing a stored int field against the query parameter",
+		Vars:        []string{"ia", "ib"},
+		Nodes: []pattern.Node{
+			{ID: "u0", Type: "Cond", Exact: []string{"ia == ib"}, Approx: []string{"ia != ib", "ia >= ib", "ia <= ib"},
+				Feedback: pattern.NodeFeedback{Correct: "{ia} is matched against {ib} with ==", Incorrect: "Match {ia} against {ib} with =="}},
+			{ID: "u1", Type: "Decl", Exact: []string{"ib"}},
+		},
+		Edges: []pattern.Edge{
+			{From: "u1", To: "u0", Type: "Data"},
+		},
+		Present: "You match the stored field {ia} against the input {ib}",
+		Missing: "The input parameter is never compared against the stored field",
+	})
+
+	// 21. new-result-array — allocating a result array sized from the input.
+	register(&pattern.Pattern{
+		Name:        "new-result-array",
+		Description: "Allocating a result array sized from the input array",
+		Vars:        []string{"na", "nb"},
+		Nodes: []pattern.Node{
+			{ID: "u0", Type: "Decl", Exact: []string{"na"}},
+			{ID: "u1", Type: "Assign",
+				Exact:    []string{`re:${nb} = new (int|long|double)\[${na}\.length - 1\]`},
+				Approx:   []string{`re:${nb} = new (int|long|double)\[`},
+				Feedback: pattern.NodeFeedback{Correct: "Result {nb} has length {na}.length - 1", Incorrect: "The derivative has one coefficient fewer: allocate {nb} with {na}.length - 1"}},
+		},
+		Edges: []pattern.Edge{
+			{From: "u0", To: "u1", Type: "Data"},
+		},
+		Present: "You allocate the result array {nb} from {na}",
+		Missing: "No result array allocated; the derivative needs its own output array",
+	})
+
+	// 22. derivative-step — one power-rule step.
+	register(&pattern.Pattern{
+		Name:        "derivative-step",
+		Description: "The power-rule step r[i-1] = a[i] * i",
+		Vars:        []string{"da", "dr", "dx"},
+		Nodes: []pattern.Node{
+			{ID: "u0", Type: "Assign",
+				Exact:    []string{"dr[dx - 1] = da[dx] * dx", "dr[dx - 1] = dx * da[dx]"},
+				Approx:   []string{`re:${dr}\[.*\] =`},
+				Feedback: pattern.NodeFeedback{Correct: "{dr}[{dx} - 1] = {da}[{dx}] * {dx} applies the power rule", Incorrect: "The power rule is {dr}[{dx} - 1] = {da}[{dx}] * {dx}"}},
+			{ID: "u1", Type: "Cond", Exact: []string{"re:."}},
+			{ID: "u2", Type: "Assign", Exact: []string{"dx = 1"}, Approx: []string{"dx = 0", "dx ="},
+				Feedback: pattern.NodeFeedback{Correct: "The power loop starts at 1 (the constant term vanishes)", Incorrect: "Start the power loop at 1: the constant term has no derivative"}},
+		},
+		Edges: []pattern.Edge{
+			{From: "u1", To: "u0", Type: "Ctrl"},
+			{From: "u2", To: "u0", Type: "Data"},
+		},
+		Present: "You apply the power rule into {dr}",
+		Missing: "No power-rule step found; each coefficient becomes a[i] * i at position i - 1",
+	})
+
+	// 23. powsum-step — polynomial evaluation via Math.pow accumulation.
+	register(&pattern.Pattern{
+		Name:        "powsum-step",
+		Description: "Polynomial evaluation: sum += a[i] * Math.pow(x, i)",
+		Vars:        []string{"ps", "pa", "pv", "px"},
+		Nodes: []pattern.Node{
+			{ID: "u0", Type: "Assign", Exact: []string{"ps = 0"}, Approx: []string{"ps ="},
+				Feedback: pattern.NodeFeedback{Correct: "Sum {ps} starts at 0", Incorrect: "Sum {ps} should start at 0"}},
+			{ID: "u1", Type: "Assign",
+				Exact: []string{
+					"ps += pa[px] * Math.pow(pv, px)",
+					"ps = ps + pa[px] * Math.pow(pv, px)",
+					"ps += Math.pow(pv, px) * pa[px]",
+					"ps = ps + Math.pow(pv, px) * pa[px]",
+				},
+				Approx:   []string{`re:^${ps} (\+=|=)`},
+				Feedback: pattern.NodeFeedback{Correct: "{ps} accumulates {pa}[{px}] * {pv}^{px}", Incorrect: "Each term is {pa}[{px}] * Math.pow({pv}, {px})"}},
+			{ID: "u2", Type: "Cond", Exact: []string{"re:."}},
+		},
+		Edges: []pattern.Edge{
+			{From: "u0", To: "u1", Type: "Data"},
+			{From: "u2", To: "u1", Type: "Ctrl"},
+		},
+		Present: "You evaluate the polynomial term by term into {ps}",
+		Missing: "No term accumulation found; sum a[i] * Math.pow(x, i) over all coefficients",
+	})
+
+	// 24. conditional-print — printing under a decision (both branches).
+	register(&pattern.Pattern{
+		Name:        "conditional-print",
+		Description: "Printing a verdict under a condition",
+		Vars:        []string{},
+		Nodes: []pattern.Node{
+			{ID: "u0", Type: "Cond", Exact: []string{"re:."}},
+			{ID: "u1", Type: "Call", Exact: []string{`re:System\.out\.print`},
+				Feedback: pattern.NodeFeedback{Correct: "A verdict is printed under the decision"}},
+		},
+		Edges: []pattern.Edge{
+			{From: "u0", To: "u1", Type: "Ctrl"},
+		},
+		Present: "You print the verdict from the final decision",
+		Missing: "The verdict is never printed from the final decision; print inside the if/else",
+	})
+}

@@ -1,0 +1,86 @@
+package kb
+
+import (
+	"semfeed/internal/constraint"
+	"semfeed/internal/core"
+)
+
+// Strategies predefine pattern/constraint combinations for common
+// algorithmic approaches (the paper's Section VII future work). They are
+// assembled from the catalog so any assignment can apply them wholesale.
+
+// SequentialParityScanStrategy enforces the canonical Assignment 1 approach:
+// odd and even positions visited with sequential index scans and parity
+// checks, accumulated into a sum and a product that both reach a print.
+func SequentialParityScanStrategy() core.Strategy {
+	return core.Strategy{
+		Name:        "sequential-parity-scan",
+		Description: "Scan the array once per parity, accumulate sum and product, print both",
+		Patterns: []core.PatternUse{
+			{Pattern: Pattern("seq-odd-access"), Count: 1},
+			{Pattern: Pattern("seq-even-access"), Count: 1},
+			{Pattern: Pattern("cond-accumulate-add"), Count: 1},
+			{Pattern: Pattern("cond-accumulate-mul"), Count: 1},
+			{Pattern: Pattern("assign-print"), Count: 2},
+			{Pattern: Pattern("double-index-update"), Count: 0},
+		},
+		Constraints: []*constraint.Compiled{
+			constraint.MustCompile(&constraint.Constraint{
+				Name: "strategy-odd-access-is-summed", Kind: constraint.Equality,
+				Pi: "seq-odd-access", Ui: "u5", Pj: "cond-accumulate-add", Uj: "u3",
+				Feedback: constraint.Feedback{
+					Satisfied: "The odd positions you access are the ones being summed",
+					Violated:  "The values read at odd positions are not the ones being summed",
+				},
+			}, Registry()),
+			constraint.MustCompile(&constraint.Constraint{
+				Name: "strategy-even-access-is-multiplied", Kind: constraint.Equality,
+				Pi: "seq-even-access", Ui: "u5", Pj: "cond-accumulate-mul", Uj: "u3",
+				Feedback: constraint.Feedback{
+					Satisfied: "The even positions you access are the ones being multiplied",
+					Violated:  "The values read at even positions are not the ones being multiplied",
+				},
+			}, Registry()),
+			constraint.MustCompile(&constraint.Constraint{
+				Name: "strategy-sum-is-printed", Kind: constraint.EdgeExistence,
+				Pi: "cond-accumulate-add", Ui: "u3", Pj: "assign-print", Uj: "u1", EdgeType: "Data",
+				Feedback: constraint.Feedback{
+					Satisfied: "The accumulated sum reaches a print statement",
+					Violated:  "The accumulated sum is never printed",
+				},
+			}, Registry()),
+		},
+	}
+}
+
+// DigitReverseStrategy enforces the digit-extraction + reverse-accumulation
+// approach shared by the P3-V1 and P4-V1 assignments.
+func DigitReverseStrategy() core.Strategy {
+	return core.Strategy{
+		Name:        "digit-reverse",
+		Description: "Extract digits with % 10 / / 10 and fold them into a decimal reverse",
+		Patterns: []core.PatternUse{
+			{Pattern: Pattern("digit-extraction"), Count: 1},
+			{Pattern: Pattern("reverse-accumulate"), Count: 1},
+			{Pattern: Pattern("double-index-update"), Count: 0},
+		},
+		Constraints: []*constraint.Compiled{
+			constraint.MustCompile(&constraint.Constraint{
+				Name: "strategy-reverse-under-digit-loop", Kind: constraint.Equality,
+				Pi: "reverse-accumulate", Ui: "u2", Pj: "digit-extraction", Uj: "u1",
+				Feedback: constraint.Feedback{
+					Satisfied: "The reverse accumulates inside the digit loop",
+					Violated:  "Build the reverse inside the digit-extraction loop",
+				},
+			}, Registry()),
+			constraint.MustCompile(&constraint.Constraint{
+				Name: "strategy-reverse-reads-digits", Kind: constraint.Equality,
+				Pi: "digit-extraction", Ui: "u2", Pj: "reverse-accumulate", Uj: "u1",
+				Feedback: constraint.Feedback{
+					Satisfied: "The reverse step consumes the extracted digit directly",
+					Violated:  "The reverse step should consume the digit extracted with % 10",
+				},
+			}, Registry()),
+		},
+	}
+}

@@ -1,0 +1,403 @@
+// Package match implements Algorithm 1 of the paper: backtracking subgraph
+// matching of a pattern over an extended program dependence graph, extended
+// with variable matching (γ) and approximate matches that mark pattern nodes
+// as incorrect.
+package match
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"semfeed/internal/expr"
+	"semfeed/internal/pattern"
+	"semfeed/internal/pdg"
+)
+
+// Embedding is m = (ι, γ) from Definition 7, plus the per-node
+// correct/incorrect marks produced during the search.
+type Embedding struct {
+	Pattern *pattern.Compiled
+	Iota    []int             // pattern node index -> graph node ID
+	Gamma   map[string]string // pattern variable -> submission variable
+	Approx  []bool            // pattern node index -> matched via r̂ (incorrect)
+}
+
+// AllCorrect reports whether every pattern node matched exactly.
+func (e *Embedding) AllCorrect() bool {
+	for _, a := range e.Approx {
+		if a {
+			return false
+		}
+	}
+	return true
+}
+
+// GraphNode returns the graph node matched by the pattern node with the given
+// ID, or -1.
+func (e *Embedding) GraphNode(patternNodeID string) int {
+	i := e.Pattern.NodeIndex(patternNodeID)
+	if i < 0 {
+		return -1
+	}
+	return e.Iota[i]
+}
+
+// Key returns a canonical identity for deduplication.
+func (e *Embedding) Key() string {
+	var sb strings.Builder
+	for _, v := range e.Iota {
+		fmt.Fprintf(&sb, "%d,", v)
+	}
+	vars := make([]string, 0, len(e.Gamma))
+	for k, v := range e.Gamma {
+		vars = append(vars, k+"="+v)
+	}
+	sort.Strings(vars)
+	sb.WriteString(strings.Join(vars, ","))
+	return sb.String()
+}
+
+// String renders the embedding for diagnostics.
+func (e *Embedding) String() string {
+	var parts []string
+	for i, v := range e.Iota {
+		mark := ""
+		if e.Approx[i] {
+			mark = "~"
+		}
+		parts = append(parts, fmt.Sprintf("%s%s=v%d", e.Pattern.Nodes[i].ID, mark, v))
+	}
+	var vars []string
+	for k, v := range e.Gamma {
+		vars = append(vars, k+"->"+v)
+	}
+	sort.Strings(vars)
+	return "{" + strings.Join(parts, " ") + " | " + strings.Join(vars, " ") + "}"
+}
+
+// Options tune the matcher; the zero value applies the defaults.
+type Options struct {
+	// MaxEmbeddings caps the number of embeddings returned (default 256).
+	MaxEmbeddings int
+	// MaxSteps caps the number of candidate extensions tried (default 1e6).
+	MaxSteps int
+	// PaperOrder disables candidate-count ordering of pattern nodes and
+	// processes them in declaration order, as Algorithm 1 is written.
+	// Used by the ordering ablation bench.
+	PaperOrder bool
+	// NoPrefilter disables the constant-template search-space prefilter.
+	// Used by the ablation bench.
+	NoPrefilter bool
+}
+
+func (o Options) maxEmbeddings() int {
+	if o.MaxEmbeddings > 0 {
+		return o.MaxEmbeddings
+	}
+	return 256
+}
+
+func (o Options) maxSteps() int {
+	if o.MaxSteps > 0 {
+		return o.MaxSteps
+	}
+	return 1_000_000
+}
+
+// Find computes the embeddings of p in g (Algorithm 1) with default options.
+func Find(p *pattern.Compiled, g *pdg.Graph) []Embedding {
+	return FindOpts(p, g, Options{})
+}
+
+// FindOpts computes the embeddings of p in g with explicit options.
+func FindOpts(p *pattern.Compiled, g *pdg.Graph, opts Options) []Embedding {
+	s := &searcher{p: p, g: g, opts: opts}
+	s.computeSearchSpace()
+	s.computeOrder()
+	s.iota = make([]int, len(p.Nodes))
+	for i := range s.iota {
+		s.iota[i] = -1
+	}
+	s.approx = make([]bool, len(p.Nodes))
+	s.gamma = map[string]string{}
+	s.used = map[int]bool{}
+	s.ranGamma = map[string]bool{}
+	s.seen = map[string]bool{}
+	s.search(0)
+	return pruneDominated(s.out)
+}
+
+// pruneDominated drops embeddings that are strictly dominated by another
+// embedding with the same node map ι: if some variable assignment lets a
+// node match exactly, alternative assignments that only degrade nodes to
+// approximate matches are noise, not distinct occurrences of the pattern.
+// (|M| in Algorithm 2 counts pattern occurrences; occurrences are node
+// maps, refined by the best variable interpretation.)
+func pruneDominated(embs []Embedding) []Embedding {
+	if len(embs) <= 1 {
+		return embs
+	}
+	iotaKey := func(e *Embedding) string {
+		var sb strings.Builder
+		for _, v := range e.Iota {
+			fmt.Fprintf(&sb, "%d,", v)
+		}
+		return sb.String()
+	}
+	dominates := func(a, b *Embedding) bool {
+		strict := false
+		for i := range a.Approx {
+			if a.Approx[i] && !b.Approx[i] {
+				return false
+			}
+			if b.Approx[i] && !a.Approx[i] {
+				strict = true
+			}
+		}
+		return strict
+	}
+	groups := map[string][]int{}
+	for i := range embs {
+		k := iotaKey(&embs[i])
+		groups[k] = append(groups[k], i)
+	}
+	dead := make([]bool, len(embs))
+	for _, idxs := range groups {
+		for _, i := range idxs {
+			for _, j := range idxs {
+				if i != j && !dead[i] && dominates(&embs[i], &embs[j]) {
+					dead[j] = true
+				}
+			}
+		}
+	}
+	out := embs[:0]
+	for i := range embs {
+		if !dead[i] {
+			out = append(out, embs[i])
+		}
+	}
+	return out
+}
+
+// SearchSpace returns Φ: for each pattern node of p, the candidate graph node
+// IDs in g by type (step 1 of Algorithm 1). Exposed for tests and tooling.
+func SearchSpace(p *pattern.Compiled, g *pdg.Graph) [][]int {
+	s := &searcher{p: p, g: g, opts: Options{NoPrefilter: true}}
+	s.computeSearchSpace()
+	return s.phi
+}
+
+type searcher struct {
+	p    *pattern.Compiled
+	g    *pdg.Graph
+	opts Options
+
+	phi   [][]int
+	order []int
+
+	iota     []int
+	approx   []bool
+	gamma    map[string]string
+	used     map[int]bool
+	ranGamma map[string]bool
+	seen     map[string]bool
+	steps    int
+
+	out []Embedding
+}
+
+func (s *searcher) computeSearchSpace() {
+	s.phi = make([][]int, len(s.p.Nodes))
+	for i, u := range s.p.Nodes {
+		var cands []int
+		for _, v := range s.g.Nodes {
+			if !u.AnyType && v.Type != u.TypeResolved {
+				continue
+			}
+			if !s.opts.NoPrefilter && len(u.Vars()) == 0 {
+				// Constant templates can be tested up front.
+				empty := map[string]string{}
+				if !u.ExactT.Match(empty, v.Renderings()) &&
+					!u.ApproxT.Match(empty, v.Renderings()) {
+					continue
+				}
+			}
+			cands = append(cands, v.ID)
+		}
+		s.phi[i] = cands
+	}
+}
+
+// computeOrder picks the processing order of pattern nodes: smallest
+// candidate set first, then greedily nodes connected to the chosen prefix
+// (so edge checks prune early). PaperOrder keeps declaration order.
+func (s *searcher) computeOrder() {
+	n := len(s.p.Nodes)
+	s.order = make([]int, 0, n)
+	if s.opts.PaperOrder {
+		for i := 0; i < n; i++ {
+			s.order = append(s.order, i)
+		}
+		return
+	}
+	chosen := make([]bool, n)
+	adjacent := func(i int) bool {
+		for _, e := range s.p.Out(i) {
+			if chosen[e.To] {
+				return true
+			}
+		}
+		for _, e := range s.p.In(i) {
+			if chosen[e.From] {
+				return true
+			}
+		}
+		return false
+	}
+	for len(s.order) < n {
+		best, bestScore := -1, 0
+		for i := 0; i < n; i++ {
+			if chosen[i] {
+				continue
+			}
+			// Prefer connected nodes, then small candidate sets.
+			score := len(s.phi[i])*2 + 1
+			if len(s.order) > 0 && adjacent(i) {
+				score = len(s.phi[i]) * 2
+			}
+			if best < 0 || score < bestScore {
+				best, bestScore = i, score
+			}
+		}
+		chosen[best] = true
+		s.order = append(s.order, best)
+	}
+}
+
+func (s *searcher) search(depth int) {
+	if len(s.out) >= s.opts.maxEmbeddings() || s.steps >= s.opts.maxSteps() {
+		return
+	}
+	if depth == len(s.p.Nodes) {
+		e := Embedding{
+			Pattern: s.p,
+			Iota:    append([]int(nil), s.iota...),
+			Gamma:   make(map[string]string, len(s.gamma)),
+			Approx:  append([]bool(nil), s.approx...),
+		}
+		for k, v := range s.gamma {
+			e.Gamma[k] = v
+		}
+		if k := e.Key(); !s.seen[k] {
+			s.seen[k] = true
+			s.out = append(s.out, e)
+		}
+		return
+	}
+	ui := s.order[depth]
+	u := s.p.Nodes[ui]
+	for _, vid := range s.phi[ui] {
+		if s.used[vid] {
+			continue
+		}
+		s.steps++
+		if s.steps >= s.opts.maxSteps() {
+			return
+		}
+		if !s.edgesHold(ui, vid) {
+			continue
+		}
+		v := s.g.Node(vid)
+		s.iota[ui] = vid
+		s.used[vid] = true
+
+		// Variable matching: fresh template variables X map injectively into
+		// the fresh variables Y of the graph node (Algorithm 1 lines 16-19;
+		// see expr.Injections for the |X| ≤ |Y| generalization). Exact
+		// matches take priority; only when no variable assignment satisfies
+		// r do we try r̂, and then only r̂'s own variables (the Y ⊆ X of
+		// Definition 4) are bound — an approximate match must not conjure
+		// bindings for variables it says nothing about.
+		var ys []string
+		for _, y := range v.Vars {
+			if !s.ranGamma[y] {
+				ys = append(ys, y)
+			}
+		}
+		matchedExact := false
+		for _, z := range expr.Injections(s.fresh(u.ExactT.Vars()), ys) {
+			s.bind(z)
+			if u.ExactT.Match(s.gamma, v.Renderings()) {
+				matchedExact = true
+				s.approx[ui] = false
+				s.search(depth + 1)
+			}
+			s.unbind(z)
+			if len(s.out) >= s.opts.maxEmbeddings() || s.steps >= s.opts.maxSteps() {
+				break
+			}
+		}
+		if !matchedExact && !u.ApproxT.Empty() {
+			for _, z := range expr.Injections(s.fresh(u.ApproxT.Vars()), ys) {
+				s.bind(z)
+				if u.ApproxT.Match(s.gamma, v.Renderings()) {
+					s.approx[ui] = true
+					s.search(depth + 1)
+				}
+				s.unbind(z)
+				if len(s.out) >= s.opts.maxEmbeddings() || s.steps >= s.opts.maxSteps() {
+					break
+				}
+			}
+		}
+
+		s.used[vid] = false
+		s.iota[ui] = -1
+	}
+}
+
+// fresh filters pattern variables down to the ones not yet bound in γ.
+func (s *searcher) fresh(vars []string) []string {
+	var out []string
+	for _, x := range vars {
+		if _, bound := s.gamma[x]; !bound {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func (s *searcher) bind(z map[string]string) {
+	for k, val := range z {
+		s.gamma[k] = val
+		s.ranGamma[val] = true
+	}
+}
+
+func (s *searcher) unbind(z map[string]string) {
+	for k, val := range z {
+		delete(s.gamma, k)
+		delete(s.ranGamma, val)
+	}
+}
+
+// edgesHold checks Condition 2 of Definition 7 against the already-matched
+// neighbors of pattern node ui, in both edge directions. (Algorithm 1 as
+// printed checks only outgoing edges; incoming edges must be checked too or
+// patterns whose later-ordered node is an edge source would never be
+// constrained.)
+func (s *searcher) edgesHold(ui, vid int) bool {
+	for _, e := range s.p.Out(ui) {
+		if w := s.iota[e.To]; w >= 0 && !s.g.HasEdge(vid, w, e.Type) {
+			return false
+		}
+	}
+	for _, e := range s.p.In(ui) {
+		if w := s.iota[e.From]; w >= 0 && !s.g.HasEdge(w, vid, e.Type) {
+			return false
+		}
+	}
+	return true
+}

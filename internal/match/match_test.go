@@ -1,0 +1,263 @@
+package match_test
+
+import (
+	"testing"
+
+	"semfeed/internal/java/parser"
+	"semfeed/internal/match"
+	"semfeed/internal/pattern"
+	"semfeed/internal/pdg"
+)
+
+func graphOf(t *testing.T, src string) *pdg.Graph {
+	t.Helper()
+	m, err := parser.ParseMethod(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pdg.Build(m)
+}
+
+func simplePattern(t *testing.T) *pattern.Compiled {
+	t.Helper()
+	return pattern.MustCompile(&pattern.Pattern{
+		Name: "tiny",
+		Vars: []string{"v"},
+		Nodes: []pattern.Node{
+			{ID: "a", Type: "Assign", Exact: []string{"v = 0"}},
+			{ID: "b", Type: "Assign", Exact: []string{"v +="}},
+		},
+		Edges: []pattern.Edge{{From: "a", To: "b", Type: "Data"}},
+	})
+}
+
+func TestTypedSearchSpace(t *testing.T) {
+	g := graphOf(t, `void f(int n) {
+	  int x = 0;
+	  if (n > 0)
+	    x += n;
+	  System.out.println(x);
+	}`)
+	p := simplePattern(t)
+	phi := match.SearchSpace(p, g)
+	// Assign nodes only: x = 0 and x += n.
+	if len(phi[0]) != 2 || len(phi[1]) != 2 {
+		t.Errorf("Φ = %v", phi)
+	}
+}
+
+func TestUntypedMatchesEverything(t *testing.T) {
+	g := graphOf(t, `void f(int n) { int x = 0; System.out.println(x); }`)
+	p := pattern.MustCompile(&pattern.Pattern{
+		Name:  "any",
+		Vars:  []string{"v"},
+		Nodes: []pattern.Node{{ID: "a", Type: "Untyped", Exact: []string{"v"}}},
+	})
+	phi := match.SearchSpace(p, g)
+	if len(phi[0]) != len(g.Nodes) {
+		t.Errorf("Untyped Φ = %d, want all %d nodes", len(phi[0]), len(g.Nodes))
+	}
+}
+
+func TestEdgeDirectionBothWaysChecked(t *testing.T) {
+	// Pattern edge b -> a (reversed relative to discovery order) must still
+	// be enforced: x += n reads the OTHER variable's definition, not v's.
+	g := graphOf(t, `void f(int n) {
+	  int x = 0;
+	  int y = 0;
+	  y += n;
+	}`)
+	p := simplePattern(t)
+	embs := match.Find(p, g)
+	if len(embs) != 1 {
+		t.Fatalf("want 1 embedding, got %d", len(embs))
+	}
+	if embs[0].Gamma["v"] != "y" {
+		t.Errorf("γ(v) = %s, want y (x is never accumulated)", embs[0].Gamma["v"])
+	}
+}
+
+func TestInjectiveNodeUse(t *testing.T) {
+	// Two pattern nodes cannot map to the same graph node.
+	g := graphOf(t, `void f() { int x = 0; }`)
+	p := pattern.MustCompile(&pattern.Pattern{
+		Name: "two-inits",
+		Vars: []string{"v"},
+		Nodes: []pattern.Node{
+			{ID: "a", Type: "Assign", Exact: []string{"v = 0"}},
+			{ID: "b", Type: "Assign", Exact: []string{"v"}},
+		},
+	})
+	if embs := match.Find(p, g); len(embs) != 0 {
+		t.Errorf("one graph node cannot host two pattern nodes: %v", embs)
+	}
+}
+
+func TestInjectiveVariableUse(t *testing.T) {
+	// Two pattern variables cannot map to the same submission variable.
+	g := graphOf(t, `void f() {
+	  int x = 0;
+	  x += x;
+	}`)
+	p := pattern.MustCompile(&pattern.Pattern{
+		Name: "two-vars",
+		Vars: []string{"a", "b"},
+		Nodes: []pattern.Node{
+			{ID: "n", Type: "Assign", Exact: []string{"a += b"}},
+		},
+	})
+	if embs := match.Find(p, g); len(embs) != 0 {
+		t.Errorf("γ must be injective, got %v", embs)
+	}
+}
+
+func TestApproxMarking(t *testing.T) {
+	g := graphOf(t, `void f() {
+	  int x = 1;
+	  x += 2;
+	}`)
+	p := pattern.MustCompile(&pattern.Pattern{
+		Name: "approx",
+		Vars: []string{"v"},
+		Nodes: []pattern.Node{
+			{ID: "a", Type: "Assign", Exact: []string{"v = 0"}, Approx: []string{"v ="}},
+			{ID: "b", Type: "Assign", Exact: []string{"v +="}},
+		},
+		Edges: []pattern.Edge{{From: "a", To: "b", Type: "Data"}},
+	})
+	embs := match.Find(p, g)
+	if len(embs) != 1 {
+		t.Fatalf("embeddings = %d", len(embs))
+	}
+	if !embs[0].Approx[0] || embs[0].Approx[1] {
+		t.Errorf("marks = %v, want a approx, b exact", embs[0].Approx)
+	}
+	if embs[0].AllCorrect() {
+		t.Error("AllCorrect must be false with an approx node")
+	}
+}
+
+func TestExactPriorityOverApprox(t *testing.T) {
+	// When some variable assignment satisfies the exact template, no
+	// approximate variant of the same node is emitted.
+	g := graphOf(t, `void f(int t2) {
+	  int s;
+	  s = s + t2;
+	}`)
+	p := pattern.MustCompile(&pattern.Pattern{
+		Name: "dom",
+		Vars: []string{"a", "b"},
+		Nodes: []pattern.Node{
+			{ID: "n", Type: "Assign", Exact: []string{"a = a + b"}, Approx: []string{"re:^${a} = "}},
+		},
+	})
+	embs := match.Find(p, g)
+	if len(embs) != 1 {
+		for _, e := range embs {
+			t.Logf("%s", e.String())
+		}
+		t.Fatalf("want exactly 1 embedding, got %d", len(embs))
+	}
+	e := embs[0]
+	if !e.AllCorrect() || e.Gamma["a"] != "s" || e.Gamma["b"] != "t2" {
+		t.Errorf("embedding = %s", e.String())
+	}
+}
+
+// TestApproxBindsOnlyItsOwnVariables: an approximate match constrains only
+// the variables of r̂ (Definition 4's Y ⊆ X); the others stay unbound rather
+// than fanning out over arbitrary injections.
+func TestApproxBindsOnlyItsOwnVariables(t *testing.T) {
+	g := graphOf(t, `void f(int t2) {
+	  int s = 0;
+	  s = s * t2;
+	}`)
+	p := pattern.MustCompile(&pattern.Pattern{
+		Name: "approx-bind",
+		Vars: []string{"a", "b"},
+		Nodes: []pattern.Node{
+			{ID: "n", Type: "Assign", Exact: []string{"a = a + b"}, Approx: []string{"re:^${a} = ${a} "}},
+		},
+	})
+	embs := match.Find(p, g)
+	if len(embs) != 1 {
+		for _, e := range embs {
+			t.Logf("%s", e.String())
+		}
+		t.Fatalf("want 1 approximate embedding, got %d", len(embs))
+	}
+	e := embs[0]
+	if e.AllCorrect() {
+		t.Error("s = s * t2 must be an approximate match of a = a + b")
+	}
+	if e.Gamma["a"] != "s" {
+		t.Errorf("γ(a) = %q", e.Gamma["a"])
+	}
+	if _, bound := e.Gamma["b"]; bound {
+		t.Errorf("b is not mentioned by the approximate template and must stay unbound: %v", e.Gamma)
+	}
+}
+
+func TestMaxEmbeddingsCap(t *testing.T) {
+	src := `void f() {
+	  int a = 0; int b = 0; int c = 0; int d = 0; int e = 0;
+	  int f2 = 0; int g = 0; int h = 0;
+	}`
+	g := graphOf(t, src)
+	p := pattern.MustCompile(&pattern.Pattern{
+		Name:  "any-init",
+		Vars:  []string{"v"},
+		Nodes: []pattern.Node{{ID: "n", Type: "Assign", Exact: []string{"v = 0"}}},
+	})
+	embs := match.FindOpts(p, g, match.Options{MaxEmbeddings: 3})
+	if len(embs) != 3 {
+		t.Errorf("cap not honored: %d", len(embs))
+	}
+}
+
+func TestPaperOrderAndPrefilterOptionsAgree(t *testing.T) {
+	g := graphOf(t, `void f(int[] a) {
+	  int s = 0;
+	  for (int i = 0; i < a.length; i++)
+	    s += a[i];
+	  System.out.println(s);
+	}`)
+	p := simplePattern(t)
+	base := match.Find(p, g)
+	for _, opts := range []match.Options{
+		{PaperOrder: true},
+		{NoPrefilter: true},
+		{PaperOrder: true, NoPrefilter: true},
+	} {
+		got := match.FindOpts(p, g, opts)
+		if len(got) != len(base) {
+			t.Errorf("options %+v change the embedding count: %d vs %d", opts, len(got), len(base))
+			continue
+		}
+		want := map[string]bool{}
+		for i := range base {
+			want[base[i].Key()] = true
+		}
+		for i := range got {
+			if !want[got[i].Key()] {
+				t.Errorf("options %+v produced an embedding not in the baseline: %s", opts, got[i].String())
+			}
+		}
+	}
+}
+
+func TestEmbeddingAccessors(t *testing.T) {
+	g := graphOf(t, `void f() { int x = 0; x += 1; }`)
+	p := simplePattern(t)
+	embs := match.Find(p, g)
+	if len(embs) != 1 {
+		t.Fatal("want 1 embedding")
+	}
+	e := embs[0]
+	if e.GraphNode("a") < 0 || e.GraphNode("nope") != -1 {
+		t.Error("GraphNode lookup wrong")
+	}
+	if e.Key() == "" || e.String() == "" {
+		t.Error("identity renderings must be non-empty")
+	}
+}

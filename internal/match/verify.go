@@ -1,0 +1,62 @@
+package match
+
+import (
+	"fmt"
+
+	"semfeed/internal/pdg"
+)
+
+// Verify checks an embedding against Definition 7 independently of the
+// search that produced it: ι is total and injective over pattern nodes,
+// types are compatible, every pattern edge maps to a graph edge, γ is
+// injective, and each node's marked template (r for exact, r̂ for
+// approximate) matches under γ. It returns nil for a valid embedding.
+//
+// The matcher's tests use Verify as an oracle; library users can apply it to
+// externally-stored embeddings.
+func Verify(e *Embedding, g *pdg.Graph) error {
+	p := e.Pattern
+	if len(e.Iota) != len(p.Nodes) || len(e.Approx) != len(p.Nodes) {
+		return fmt.Errorf("match: embedding arity %d/%d does not cover the %d pattern nodes",
+			len(e.Iota), len(e.Approx), len(p.Nodes))
+	}
+	seen := map[int]bool{}
+	for i, u := range p.Nodes {
+		vid := e.Iota[i]
+		v := g.Node(vid)
+		if v == nil {
+			return fmt.Errorf("match: node %s maps to missing graph node v%d", u.ID, vid)
+		}
+		if seen[vid] {
+			return fmt.Errorf("match: graph node v%d hosts two pattern nodes", vid)
+		}
+		seen[vid] = true
+		if !u.AnyType && v.Type != u.TypeResolved {
+			return fmt.Errorf("match: node %s has type %s but v%d is %s", u.ID, u.TypeResolved, vid, v.Type)
+		}
+		if e.Approx[i] {
+			if !u.ApproxT.Match(e.Gamma, v.Renderings()) {
+				return fmt.Errorf("match: node %s marked approximate but r̂ does not match v%d (%s)", u.ID, vid, v.Content)
+			}
+		} else {
+			if !u.ExactT.Match(e.Gamma, v.Renderings()) {
+				return fmt.Errorf("match: node %s marked exact but r does not match v%d (%s)", u.ID, vid, v.Content)
+			}
+		}
+	}
+	for _, pe := range p.Edges {
+		from, to := e.Iota[pe.From], e.Iota[pe.To]
+		if !g.HasEdge(from, to, pe.Type) {
+			return fmt.Errorf("match: pattern edge %s->%s (%s) has no image v%d->v%d",
+				p.Nodes[pe.From].ID, p.Nodes[pe.To].ID, pe.Type, from, to)
+		}
+	}
+	used := map[string]string{}
+	for x, y := range e.Gamma {
+		if prev, dup := used[y]; dup {
+			return fmt.Errorf("match: γ is not injective: both %s and %s map to %s", prev, x, y)
+		}
+		used[y] = x
+	}
+	return nil
+}

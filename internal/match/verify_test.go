@@ -1,0 +1,106 @@
+package match_test
+
+import (
+	"testing"
+
+	"semfeed/internal/assignments"
+	"semfeed/internal/java/parser"
+	"semfeed/internal/kb"
+	"semfeed/internal/match"
+	"semfeed/internal/pdg"
+)
+
+// TestVerifyAcrossCorpus uses Verify as an oracle for the matcher: every
+// embedding of every knowledge-base pattern over a sample of every
+// assignment's submission space must satisfy Definition 7.
+func TestVerifyAcrossCorpus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus scan")
+	}
+	patterns := kb.Registry()
+	total := 0
+	for _, a := range assignments.All() {
+		for _, k := range a.Synth.Sample(25) {
+			unit, err := parser.Parse(a.Synth.Render(k))
+			if err != nil {
+				t.Fatalf("%s #%d: %v", a.ID, k, err)
+			}
+			for _, g := range pdg.BuildAll(unit) {
+				for name, p := range patterns {
+					for _, e := range match.Find(p, g) {
+						total++
+						if err := match.Verify(&e, g); err != nil {
+							t.Errorf("%s #%d pattern %s: %v\nembedding: %s\ngraph:\n%s",
+								a.ID, k, name, err, e.String(), g)
+						}
+					}
+				}
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("the oracle verified nothing")
+	}
+	t.Logf("verified %d embeddings", total)
+}
+
+// TestVerifyRejectsCorruptedEmbeddings: the oracle actually discriminates.
+func TestVerifyRejectsCorruptedEmbeddings(t *testing.T) {
+	m, err := parser.ParseMethod(`void f(int[] a) {
+	  int s = 0;
+	  for (int i = 0; i < a.length; i++)
+	    if (i % 2 == 1)
+	      s += a[i];
+	  System.out.println(s);
+	}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := pdg.Build(m)
+	embs := match.Find(kb.Pattern("seq-odd-access"), g)
+	if len(embs) != 1 {
+		t.Fatalf("want 1 embedding, got %d", len(embs))
+	}
+	good := embs[0]
+	if err := match.Verify(&good, g); err != nil {
+		t.Fatalf("valid embedding rejected: %v", err)
+	}
+
+	corrupt := func(mutate func(e *match.Embedding)) *match.Embedding {
+		c := match.Embedding{
+			Pattern: good.Pattern,
+			Iota:    append([]int(nil), good.Iota...),
+			Approx:  append([]bool(nil), good.Approx...),
+			Gamma:   map[string]string{},
+		}
+		for k, v := range good.Gamma {
+			c.Gamma[k] = v
+		}
+		mutate(&c)
+		return &c
+	}
+
+	cases := map[string]*match.Embedding{
+		"node-swap": corrupt(func(e *match.Embedding) {
+			e.Iota[0], e.Iota[1] = e.Iota[1], e.Iota[0]
+		}),
+		"duplicate-node": corrupt(func(e *match.Embedding) {
+			e.Iota[1] = e.Iota[0]
+		}),
+		"flipped-mark": corrupt(func(e *match.Embedding) {
+			e.Approx[4] = true // u4 has no approximate template
+		}),
+		"wrong-gamma": corrupt(func(e *match.Embedding) {
+			e.Gamma["ox"] = "s"
+			e.Gamma["os"] = "i" // swapped: array and index reversed
+		}),
+		"non-injective-gamma": corrupt(func(e *match.Embedding) {
+			e.Gamma["ox"] = e.Gamma["os"]
+		}),
+	}
+	for name, e := range cases {
+		if err := match.Verify(e, g); err == nil {
+			t.Errorf("%s: corrupted embedding passed verification: %s", name, e.String())
+		}
+	}
+}

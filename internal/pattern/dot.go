@@ -1,0 +1,35 @@
+package pattern
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the compiled pattern as a Graphviz graph in the style of the
+// paper's Figures 4-6: one box per pattern node showing its type and exact
+// template, dashed edges for Ctrl, solid for Data. Approximate templates are
+// shown on a second line when present.
+func (c *Compiled) DOT() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n", c.Name())
+	for _, n := range c.Nodes {
+		label := fmt.Sprintf("%s %s\\n%s", n.ID, n.Type, dotEscape(strings.Join(n.Exact, " | ")))
+		if len(n.Approx) > 0 {
+			label += "\\n≈ " + dotEscape(strings.Join(n.Approx, " | "))
+		}
+		fmt.Fprintf(&sb, "  %s [label=\"%s\"];\n", n.ID, label)
+	}
+	for _, e := range c.Edges {
+		style := "solid"
+		if e.Type.String() == "Ctrl" {
+			style = "dashed"
+		}
+		fmt.Fprintf(&sb, "  %s -> %s [style=%s];\n", c.Nodes[e.From].ID, c.Nodes[e.To].ID, style)
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+func dotEscape(s string) string {
+	return strings.NewReplacer(`\`, `\\`, `"`, `\"`).Replace(s)
+}

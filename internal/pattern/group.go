@@ -1,0 +1,51 @@
+package pattern
+
+import "fmt"
+
+// Group is the paper's principal future-work feature (Section VII): a
+// cluster of alternative patterns that achieve the same semantics, e.g.
+// accessing even positions either with an i % 2 == 0 check or by striding
+// the index with i += 2. A submission satisfies the group when any member
+// matches; feedback comes from the best-matching member.
+//
+// Groups participate in pattern-level feedback. Constraints still reference
+// concrete member patterns (correlating across alternatives is listed as
+// further future work in the paper and remains out of scope).
+type Group struct {
+	Name        string
+	Description string
+	Members     []*Compiled // alternatives; the first is the canonical form
+	// Missing is reported when no member matches; members' own Present
+	// messages are used when they do.
+	Missing string
+}
+
+// NewGroup validates and builds a group.
+func NewGroup(name, description, missing string, members ...*Compiled) (*Group, error) {
+	if name == "" {
+		return nil, fmt.Errorf("pattern: group needs a name")
+	}
+	if len(members) < 2 {
+		return nil, fmt.Errorf("pattern group %s: needs at least two alternatives", name)
+	}
+	seen := map[string]bool{}
+	for _, m := range members {
+		if m == nil {
+			return nil, fmt.Errorf("pattern group %s: nil member", name)
+		}
+		if seen[m.Name()] {
+			return nil, fmt.Errorf("pattern group %s: duplicate member %s", name, m.Name())
+		}
+		seen[m.Name()] = true
+	}
+	return &Group{Name: name, Description: description, Missing: missing, Members: members}, nil
+}
+
+// MustGroup is NewGroup that panics on error.
+func MustGroup(name, description, missing string, members ...*Compiled) *Group {
+	g, err := NewGroup(name, description, missing, members...)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

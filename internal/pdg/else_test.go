@@ -1,0 +1,117 @@
+package pdg_test
+
+import (
+	"testing"
+
+	"semfeed/internal/core"
+	"semfeed/internal/java/parser"
+	"semfeed/internal/kb"
+	"semfeed/internal/pdg"
+)
+
+// elseSrc solves Assignment 1's accumulation with a single if/else — the
+// shape the paper's Section VII says plain patterns cannot handle.
+const elseSrc = `void assignment1(int[] a) {
+  int odd = 0;
+  int even = 1;
+  for (int i = 0; i < a.length; i++)
+    if (i % 2 == 0)
+      even *= a[i];
+    else
+      odd += a[i];
+  System.out.println(odd);
+  System.out.println(even);
+}`
+
+func TestNormalizeElseSynthesizesNegatedCond(t *testing.T) {
+	m, err := parser.ParseMethod(elseSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := pdg.BuildWith(m, pdg.BuildOpts{})
+	norm := pdg.BuildWith(m, pdg.BuildOpts{NormalizeElse: true})
+
+	find := func(g *pdg.Graph, content string) *pdg.Node {
+		for _, n := range g.Nodes {
+			if n.Content == content {
+				return n
+			}
+		}
+		return nil
+	}
+	if find(plain, "i % 2 != 0") != nil {
+		t.Error("plain build must not synthesize negated conditions")
+	}
+	neg := find(norm, "i % 2 != 0")
+	if neg == nil {
+		t.Fatalf("normalized build should contain the negated condition:\n%s", norm)
+	}
+	acc := find(norm, "odd += a[i]")
+	if !norm.HasEdge(neg.ID, acc.ID, pdg.Ctrl) {
+		t.Error("the else arm must be controlled by the negated condition")
+	}
+	// The then arm stays under the original condition.
+	orig := find(norm, "i % 2 == 0")
+	mul := find(norm, "even *= a[i]")
+	if !norm.HasEdge(orig.ID, mul.ID, pdg.Ctrl) {
+		t.Error("the then arm must stay under the original condition")
+	}
+}
+
+func TestNegationForms(t *testing.T) {
+	cases := map[string]string{
+		`void f(int i, int n) { if (i < n) i++; else i--; }`:           "i >= n",
+		`void f(int i, int n) { if (i <= n) i++; else i--; }`:          "i > n",
+		`void f(int i, int n) { if (i != n) i++; else i--; }`:          "i == n",
+		`void f(boolean b) { int x; if (!b) x = 1; else x = 2; }`:      "b",
+		`void f(boolean b) { int x; if (b && !b) x = 1; else x = 2; }`: "!(b && !b)",
+	}
+	for src, want := range cases {
+		m, err := parser.ParseMethod(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := pdg.BuildWith(m, pdg.BuildOpts{NormalizeElse: true})
+		found := false
+		for _, n := range g.Nodes {
+			if n.Type == pdg.Cond && n.Content == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: no negated condition %q in\n%s", src, want, g)
+		}
+	}
+}
+
+// TestNormalizeElseEnablesParityPatterns: with the option on, the odd-access
+// pattern matches the else-driven solution end to end.
+func TestNormalizeElseEnablesParityPatterns(t *testing.T) {
+	spec := &core.AssignmentSpec{
+		Name: "else-demo",
+		Methods: []core.MethodSpec{{
+			Name: "assignment1",
+			Patterns: []core.PatternUse{
+				{Pattern: kb.Pattern("seq-odd-access"), Count: 1},
+				{Pattern: kb.Pattern("seq-even-access"), Count: 1},
+			},
+		}},
+	}
+	plain := core.NewGrader(core.Options{})
+	rep, err := plain.Grade(elseSrc, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.AllCorrect() {
+		t.Fatal("without normalization, the odd pattern cannot see the else arm")
+	}
+
+	norm := core.NewGrader(core.Options{BuildOptions: pdg.BuildOpts{NormalizeElse: true}})
+	rep, err = norm.Grade(elseSrc, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.AllCorrect() {
+		t.Errorf("with NormalizeElse both parity patterns should match:\n%s", rep)
+	}
+}

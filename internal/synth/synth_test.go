@@ -1,0 +1,195 @@
+package synth_test
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"semfeed/internal/synth"
+)
+
+func demo() *synth.Spec {
+	return &synth.Spec{
+		Name:     "demo",
+		Template: "int @{name} = @{init};\n@{name} @{op} 2;",
+		Choices: []synth.Choice{
+			{ID: "name", Options: []string{"x", "y", "z"}},
+			{ID: "init", Options: []string{"0", "1"}},
+			{ID: "op", Options: []string{"+=", "*="}},
+		},
+	}
+}
+
+func TestValidateAndSize(t *testing.T) {
+	s := demo()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Size() != 12 {
+		t.Errorf("size = %d, want 12", s.Size())
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		f    func(*synth.Spec)
+	}{
+		{"empty-options", func(s *synth.Spec) { s.Choices[0].Options = nil }},
+		{"duplicate-choice", func(s *synth.Spec) { s.Choices[1].ID = "name" }},
+		{"unused-choice", func(s *synth.Spec) {
+			s.Choices = append(s.Choices, synth.Choice{ID: "ghost", Options: []string{"a"}})
+		}},
+		{"unknown-placeholder", func(s *synth.Spec) { s.Template += " @{mystery}" }},
+		{"unterminated", func(s *synth.Spec) { s.Template += " @{oops" }},
+		{"circular", func(s *synth.Spec) {
+			s.Choices[0].Options = []string{"@{init}"}
+			s.Choices[1].Options = []string{"@{name}"}
+		}},
+	}
+	for _, c := range cases {
+		s := demo()
+		c.f(s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: expected a validation error", c.name)
+		}
+	}
+}
+
+func TestReferenceIsAllZero(t *testing.T) {
+	s := demo()
+	if s.Reference() != s.Render(0) {
+		t.Error("Reference must be submission 0")
+	}
+	if !strings.Contains(s.Reference(), "int x = 0") {
+		t.Errorf("reference = %q", s.Reference())
+	}
+}
+
+func TestDecodeRoundTrip(t *testing.T) {
+	s := demo()
+	seen := map[string]bool{}
+	for k := int64(0); k < s.Size(); k++ {
+		src := s.Render(k)
+		if seen[src] {
+			t.Fatalf("index %d renders a duplicate", k)
+		}
+		seen[src] = true
+	}
+	if int64(len(seen)) != s.Size() {
+		t.Errorf("distinct renderings = %d, want %d", len(seen), s.Size())
+	}
+}
+
+func TestNestedPlaceholders(t *testing.T) {
+	s := &synth.Spec{
+		Name:     "nested",
+		Template: "@{stmt}",
+		Choices: []synth.Choice{
+			{ID: "stmt", Options: []string{"print(@{what});"}},
+			{ID: "what", Options: []string{"a", "b"}},
+		},
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Render(1); got != "print(b);" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestRenderWithOverrides(t *testing.T) {
+	s := demo()
+	got := s.RenderWith(map[string]int{"op": 1, "name": 2})
+	if !strings.Contains(got, "int z = 0") || !strings.Contains(got, "z *= 2") {
+		t.Errorf("got %q", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown choice must panic")
+		}
+	}()
+	s.RenderWith(map[string]int{"ghost": 1})
+}
+
+func TestSampleProperties(t *testing.T) {
+	s := demo()
+	// Exhaustive when n >= size.
+	all := s.Sample(100)
+	if int64(len(all)) != s.Size() {
+		t.Errorf("exhaustive sample size %d", len(all))
+	}
+	// Distinct and starting at the reference otherwise.
+	part := s.Sample(5)
+	if len(part) != 5 || part[0] != 0 {
+		t.Errorf("sample = %v", part)
+	}
+	seen := map[int64]bool{}
+	for _, k := range part {
+		if k < 0 || k >= s.Size() || seen[k] {
+			t.Fatalf("bad sample %v", part)
+		}
+		seen[k] = true
+	}
+}
+
+func TestLines(t *testing.T) {
+	if synth.Lines("a\n\n b \n\t\nc") != 3 {
+		t.Errorf("Lines = %d", synth.Lines("a\n\n b \n\t\nc"))
+	}
+}
+
+// TestQuickSampleDistinct: for arbitrary small specs, samples are distinct
+// and in range.
+func TestQuickSampleDistinct(t *testing.T) {
+	f := func(opts1, opts2, n uint8) bool {
+		a := int(opts1%5) + 1
+		b := int(opts2%7) + 1
+		spec := &synth.Spec{
+			Name:     "q",
+			Template: "@{a} @{b}",
+			Choices: []synth.Choice{
+				{ID: "a", Options: make([]string, a)},
+				{ID: "b", Options: make([]string, b)},
+			},
+		}
+		for i := range spec.Choices[0].Options {
+			spec.Choices[0].Options[i] = strings.Repeat("x", i+1)
+		}
+		for i := range spec.Choices[1].Options {
+			spec.Choices[1].Options[i] = strings.Repeat("y", i+1)
+		}
+		sample := spec.Sample(int(n%50) + 1)
+		seen := map[int64]bool{}
+		for _, k := range sample {
+			if k < 0 || k >= spec.Size() || seen[k] {
+				return false
+			}
+			seen[k] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDecodeBijective: Decode is the inverse of mixed-radix encoding.
+func TestQuickDecodeBijective(t *testing.T) {
+	s := demo()
+	f := func(k uint16) bool {
+		kk := int64(k) % s.Size()
+		idx := s.Decode(kk)
+		var enc int64
+		for i, c := range s.Choices {
+			if idx[i] < 0 || idx[i] >= len(c.Options) {
+				return false
+			}
+			enc = enc*int64(len(c.Options)) + int64(idx[i])
+		}
+		return enc == kk
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
