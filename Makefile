@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench table fuzz fmt vet examples clean
+.PHONY: all build test race bench table table-json metrics-smoke fuzz fmt vet examples clean
 
 all: build vet test
 
@@ -24,6 +24,21 @@ bench:
 # Regenerate Table I (sampled; raise -n for tighter D estimates).
 table:
 	$(GO) run ./cmd/tableone -n 1000
+
+# Machine-readable Table I sweep (T, M, D plus matcher work counters) for
+# tracking the perf trajectory across PRs.
+table-json:
+	$(GO) run ./cmd/tableone -n 200 -json
+
+# Observability smoke: grade a reference submission with tracing and the
+# metrics dump on, and assert the span tree and the Prometheus exposition
+# are both non-empty.
+metrics-smoke:
+	@out=$$($(GO) run ./cmd/feedback -assignment assignment1 -reference -trace -metrics-dump 2>&1); \
+	echo "$$out" | grep -q "semfeed_grades_total 1" || { echo "metrics-smoke FAIL: no Prometheus exposition"; echo "$$out"; exit 1; }; \
+	echo "$$out" | grep -q "grade/assignment1" || { echo "metrics-smoke FAIL: no span tree"; echo "$$out"; exit 1; }; \
+	echo "$$out" | grep -q "match:" || { echo "metrics-smoke FAIL: no per-pattern match spans"; echo "$$out"; exit 1; }; \
+	echo "metrics-smoke: OK"
 
 fuzz:
 	$(GO) test ./internal/java/parser -fuzz FuzzParse -fuzztime 30s

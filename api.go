@@ -1,12 +1,16 @@
 package semfeed
 
 import (
+	"io"
+	"net/http"
+
 	"semfeed/internal/constraint"
 	"semfeed/internal/core"
 	"semfeed/internal/functest"
 	"semfeed/internal/interp"
 	"semfeed/internal/java/parser"
 	"semfeed/internal/match"
+	"semfeed/internal/obs"
 	"semfeed/internal/pattern"
 	"semfeed/internal/pdg"
 )
@@ -41,7 +45,54 @@ type (
 	Comment = core.Comment
 	// Status classifies a comment: Correct, Incorrect or NotExpected.
 	Status = core.Status
+	// ReportStats is the per-report cost accounting block: stage durations
+	// plus matcher and constraint work counts, serialized as the report's
+	// "stats" JSON field.
+	ReportStats = core.Stats
 )
+
+// Observability: the pipeline metrics registry and the span tracer. Both are
+// off by default and every hook is a zero-allocation no-op until enabled, so
+// embedding platforms pay nothing unless they opt in.
+type (
+	// Metrics is a point-in-time snapshot of every pipeline metric
+	// (counters, gauges and histogram summaries with p50/p95/p99).
+	Metrics = obs.Snapshot
+	// Trace is one recorded span tree (e.g. a single Grade call).
+	Trace = obs.TraceData
+	// TraceSpan is one completed span of a Trace.
+	TraceSpan = obs.SpanData
+)
+
+// EnableMetrics turns on pipeline metric collection.
+func EnableMetrics() { obs.Enable() }
+
+// DisableMetrics turns pipeline metric collection back off.
+func DisableMetrics() { obs.Disable() }
+
+// EnableTracing turns on span recording; each Grade call then records a span
+// tree retrievable with LastTrace.
+func EnableTracing() { obs.EnableTracing() }
+
+// DisableTracing turns span recording back off.
+func DisableTracing() { obs.DisableTracing() }
+
+// SnapshotMetrics copies the current pipeline metric values.
+func SnapshotMetrics() Metrics { return obs.TakeSnapshot() }
+
+// WriteMetricsProm writes the pipeline metrics in Prometheus text format.
+func WriteMetricsProm(w io.Writer) error { return obs.WriteProm(w) }
+
+// MetricsHandler serves the pipeline metrics in Prometheus text format.
+func MetricsHandler() http.Handler { return obs.Handler() }
+
+// MetricsMux serves the full observability endpoint set: /metrics
+// (Prometheus text), /metrics.json (JSON snapshot) and /trace (latest span
+// tree; ?format=json for the structure).
+func MetricsMux() *http.ServeMux { return obs.Mux() }
+
+// LastTrace returns the most recently recorded span tree, or nil.
+func LastTrace() *Trace { return obs.LastTrace() }
 
 // Comment statuses with their Λ weights (Equation 3 of the paper).
 const (

@@ -1,10 +1,12 @@
 package semfeed_test
 
 import (
+	"net/http/httptest"
 	"strings"
 	"testing"
 
 	"semfeed"
+	"semfeed/internal/assignments"
 )
 
 // TestPublicAPIEndToEnd exercises the library the way a downstream course
@@ -121,5 +123,52 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	}
 	if embs := semfeed.FindEmbeddings(maxPat, g); len(embs) != 1 || embs[0].AllCorrect() {
 		t.Errorf("expected one approximate embedding, got %v", embs)
+	}
+}
+
+// TestObservabilitySurface exercises the re-exported observability API the
+// way an embedding platform would: enable metrics and tracing, grade, then
+// read the snapshot, the Prometheus exposition and the span tree.
+func TestObservabilitySurface(t *testing.T) {
+	semfeed.EnableMetrics()
+	semfeed.EnableTracing()
+	defer semfeed.DisableMetrics()
+	defer semfeed.DisableTracing()
+
+	a := assignments.Get("assignment1")
+	rep, err := semfeed.NewGrader(semfeed.Options{}).Grade(a.Reference(), a.Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st *semfeed.ReportStats = rep.Stats
+	if st == nil || st.MatchSteps == 0 {
+		t.Fatalf("report stats not populated: %+v", st)
+	}
+
+	snap := semfeed.SnapshotMetrics()
+	if snap.Counter("semfeed_grades_total") == 0 {
+		t.Error("grades_total not collected")
+	}
+	if len(snap.Counters)+len(snap.Gauges)+len(snap.Histograms) < 15 {
+		t.Errorf("metrics surface names %d metrics, want >= 15", len(snap.Counters)+len(snap.Gauges)+len(snap.Histograms))
+	}
+
+	var sb strings.Builder
+	if err := semfeed.WriteMetricsProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "semfeed_match_steps_total") {
+		t.Error("Prometheus exposition missing matcher counters")
+	}
+
+	tr := semfeed.LastTrace()
+	if tr == nil || !strings.Contains(tr.Tree(), "grade/assignment1") {
+		t.Errorf("span tree not recorded: %v", tr)
+	}
+
+	rec := httptest.NewRecorder()
+	semfeed.MetricsMux().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if !strings.Contains(rec.Body.String(), "semfeed_grade_seconds") {
+		t.Error("/metrics endpoint missing histogram series")
 	}
 }

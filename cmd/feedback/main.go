@@ -8,6 +8,8 @@
 //	feedback -list
 //	feedback -assignment assignment1 -reference   # grade the reference
 //	feedback -assignment assignment1 -functest submission.java
+//	feedback -assignment assignment1 -reference -trace -metrics-dump
+//	feedback -assignment assignment1 -metrics-addr :9090 submission.java
 package main
 
 import (
@@ -19,6 +21,7 @@ import (
 
 	"semfeed/internal/assignments"
 	"semfeed/internal/core"
+	"semfeed/internal/obs"
 	"semfeed/internal/pdg"
 )
 
@@ -31,8 +34,42 @@ func main() {
 		inlineHelpers = flag.Bool("inline", false, "inline simple helper methods before grading (future-work extension)")
 		normalizeElse = flag.Bool("normalize-else", false, "normalize else branches into negated conditions (future-work extension)")
 		jsonOut       = flag.Bool("json", false, "emit the report as JSON (for LMS integration)")
+		traceFlag     = flag.Bool("trace", false, "record the grade as a span trace and print the span tree to stderr")
+		metricsDump   = flag.Bool("metrics-dump", false, "print the Prometheus metrics exposition to stderr on exit")
+		metricsAddr   = flag.String("metrics-addr", "", "serve /metrics, /metrics.json and /trace on this address while running")
 	)
 	flag.Parse()
+
+	if *traceFlag {
+		obs.Enable()
+		obs.EnableTracing()
+	}
+	if *metricsDump {
+		obs.Enable()
+	}
+	if *metricsAddr != "" {
+		errc := obs.Serve(*metricsAddr)
+		go func() {
+			if err := <-errc; err != nil {
+				fmt.Fprintf(os.Stderr, "feedback: metrics server: %v\n", err)
+			}
+		}()
+	}
+	// Observability dumps go to stderr so stdout stays clean for the report
+	// (and its JSON form). Called explicitly on every exit path because
+	// os.Exit skips defers — a failed parse is exactly the run where
+	// parse_errors_total matters.
+	dumpObs := func() {
+		if *traceFlag {
+			if td := obs.LastTrace(); td != nil {
+				fmt.Fprintf(os.Stderr, "--- trace ---\n%s", td.Tree())
+			}
+		}
+		if *metricsDump {
+			fmt.Fprintln(os.Stderr, "--- metrics ---")
+			_ = obs.WriteProm(os.Stderr)
+		}
+	}
 
 	if *list {
 		for _, a := range assignments.All() {
@@ -59,8 +96,12 @@ func main() {
 	report, err := grader.Grade(src, a.Spec)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "feedback: %v\n", err)
+		dumpObs()
 		os.Exit(1)
 	}
+	// Dumps run last so they cover the functional tests too.
+	defer dumpObs()
+
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")

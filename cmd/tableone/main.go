@@ -8,23 +8,44 @@
 //	tableone              # 200 submissions per assignment (exhaustive when smaller)
 //	tableone -n 5000      # larger sample; small spaces become exhaustive
 //	tableone -assignment assignment1 -n 640000   # one full row
+//	tableone -json        # also write BENCH_tableone.json (T, M, D plus matcher work counters)
+//	tableone -metrics-addr :9090   # serve live pipeline metrics during the sweep
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"semfeed/internal/assignments"
 	"semfeed/internal/bench"
+	"semfeed/internal/obs"
 )
 
 func main() {
 	var (
-		n   = flag.Int("n", 200, "max submissions evaluated per assignment")
-		one = flag.String("assignment", "", "measure a single assignment")
+		n           = flag.Int("n", 200, "max submissions evaluated per assignment")
+		one         = flag.String("assignment", "", "measure a single assignment")
+		jsonOut     = flag.Bool("json", false, "write the sweep (incl. matcher work counters) to -json-out")
+		jsonPath    = flag.String("json-out", "BENCH_tableone.json", "output path for -json")
+		traceFlag   = flag.Bool("trace", false, "record grade span traces and print the last span tree to stderr")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /metrics.json and /trace on this address during the sweep")
 	)
 	flag.Parse()
+
+	if *traceFlag {
+		obs.Enable()
+		obs.EnableTracing()
+	}
+	if *metricsAddr != "" {
+		errc := obs.Serve(*metricsAddr)
+		go func() {
+			if err := <-errc; err != nil {
+				fmt.Fprintf(os.Stderr, "tableone: metrics server: %v\n", err)
+			}
+		}()
+	}
 
 	var rows []bench.Row
 	if *one != "" {
@@ -42,4 +63,26 @@ func main() {
 	fmt.Println("D(scaled) extrapolates to the full space when sampling. Absolute times are not")
 	fmt.Println("comparable to the paper's 2006-era hardware; the claims are M in the millisecond")
 	fmt.Println("range, T >= M, and D << S.")
+
+	if *jsonOut {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tableone: %v\n", err)
+			os.Exit(1)
+		}
+		if err := bench.WriteJSON(f, rows, time.Now()); err != nil {
+			fmt.Fprintf(os.Stderr, "tableone: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "tableone: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "tableone: wrote %s (%d rows)\n", *jsonPath, len(rows))
+	}
+	if *traceFlag {
+		if td := obs.LastTrace(); td != nil {
+			fmt.Fprintf(os.Stderr, "--- last trace ---\n%s", td.Tree())
+		}
+	}
 }

@@ -8,7 +8,9 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 	"strings"
 	"time"
 
@@ -18,19 +20,32 @@ import (
 	"semfeed/internal/synth"
 )
 
-// Row is one measured Table I row.
+// Row is one measured Table I row, extended with the mean per-submission
+// matcher work counters the observability layer accounts (so the perf
+// trajectory of the search itself — not just wall time — is tracked across
+// PRs via the -json output of cmd/tableone).
 type Row struct {
-	Assignment string
-	S          int64
-	Evaluated  int
-	Exhaustive bool
-	L          float64
-	T          time.Duration // mean functional-testing time per submission
-	P, C       int
-	M          time.Duration // mean feedback (EPDG + matching) time per submission
-	D          int           // discrepancies among evaluated submissions
-	DScaled    int64         // D extrapolated to the full space
-	ParseFail  int
+	Assignment string        `json:"assignment"`
+	S          int64         `json:"space_size"`
+	Evaluated  int           `json:"evaluated"`
+	Exhaustive bool          `json:"exhaustive"`
+	L          float64       `json:"avg_lines"`
+	T          time.Duration `json:"functest_ns"` // mean functional-testing time per submission
+	P          int           `json:"patterns"`
+	C          int           `json:"constraints"`
+	M          time.Duration `json:"matching_ns"`          // mean feedback (EPDG + matching) time per submission
+	D          int           `json:"discrepancies"`        // discrepancies among evaluated submissions
+	DScaled    int64         `json:"discrepancies_scaled"` // D extrapolated to the full space
+	ParseFail  int           `json:"parse_failures"`
+
+	// Mean matcher work per graded submission (from Report.Stats).
+	AvgMatchSteps       float64 `json:"avg_match_steps"`
+	AvgMatchBacktracks  float64 `json:"avg_match_backtracks"`
+	AvgEmbeddings       float64 `json:"avg_embeddings"`
+	AvgMethodCombos     float64 `json:"avg_method_combos"`
+	AvgConstraintCombos float64 `json:"avg_constraint_combos"`
+	AvgEPDGNodes        float64 `json:"avg_epdg_nodes"`
+	AvgEPDGEdges        float64 `json:"avg_epdg_edges"`
 }
 
 // MeasureRow evaluates up to maxSubs submissions of the assignment's space.
@@ -48,6 +63,7 @@ func MeasureRow(a *assignments.Assignment, maxSubs int) Row {
 	grader := core.NewGrader(core.Options{})
 	var lines int
 	var funcTotal, matchTotal time.Duration
+	var work core.Stats
 	for _, k := range sample {
 		src := a.Synth.Render(k)
 		lines += synth.Lines(src)
@@ -66,6 +82,15 @@ func MeasureRow(a *assignments.Assignment, maxSubs int) Row {
 		rep := grader.GradeUnit(unit, a.Spec)
 		matchTotal += time.Since(t1)
 
+		st := rep.Stats
+		work.MatchSteps += st.MatchSteps
+		work.MatchBacktracks += st.MatchBacktracks
+		work.Embeddings += st.Embeddings
+		work.MethodCombos += st.MethodCombos
+		work.ConstraintCombos += st.ConstraintCombos
+		work.EPDGNodes += st.EPDGNodes
+		work.EPDGEdges += st.EPDGEdges
+
 		if verdict.Pass != rep.AllCorrect() {
 			row.D++
 		}
@@ -75,6 +100,14 @@ func MeasureRow(a *assignments.Assignment, maxSubs int) Row {
 		row.L = float64(lines) / float64(len(sample))
 		row.T = funcTotal / time.Duration(n)
 		row.M = matchTotal / time.Duration(n)
+		fn := float64(n)
+		row.AvgMatchSteps = float64(work.MatchSteps) / fn
+		row.AvgMatchBacktracks = float64(work.MatchBacktracks) / fn
+		row.AvgEmbeddings = float64(work.Embeddings) / fn
+		row.AvgMethodCombos = float64(work.MethodCombos) / fn
+		row.AvgConstraintCombos = float64(work.ConstraintCombos) / fn
+		row.AvgEPDGNodes = float64(work.EPDGNodes) / fn
+		row.AvgEPDGEdges = float64(work.EPDGEdges) / fn
 	}
 	if row.Exhaustive {
 		row.DScaled = int64(row.D)
@@ -124,4 +157,21 @@ func MeasureAll(maxSubs int) []Row {
 		rows = append(rows, MeasureRow(a, maxSubs))
 	}
 	return rows
+}
+
+// JSONReport is the machine-readable Table I sweep written by
+// cmd/tableone -json, consumed by perf-trajectory tooling across PRs.
+type JSONReport struct {
+	GeneratedAt string `json:"generated_at"` // RFC 3339
+	Rows        []Row  `json:"rows"`
+}
+
+// WriteJSON writes the sweep as indented JSON.
+func WriteJSON(w io.Writer, rows []Row, generatedAt time.Time) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(JSONReport{
+		GeneratedAt: generatedAt.UTC().Format(time.RFC3339),
+		Rows:        rows,
+	})
 }

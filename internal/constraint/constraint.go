@@ -10,6 +10,7 @@ import (
 
 	"semfeed/internal/expr"
 	"semfeed/internal/match"
+	"semfeed/internal/obs"
 	"semfeed/internal/pattern"
 	"semfeed/internal/pdg"
 )
@@ -191,6 +192,10 @@ type Result struct {
 	Constraint *Compiled
 	Status     Status
 	Gamma      map[string]string
+	// Combos is the number of embedding combinations this check examined
+	// (pairs for Equality/EdgeExistence, merged γ' products for
+	// Containment); the grader rolls it into the report's cost stats.
+	Combos int
 }
 
 // Message renders the feedback message for the result.
@@ -213,38 +218,47 @@ const maxCombinations = 10_000
 // embeddings, the result is NotExpected (the grader additionally forces
 // NotExpected when a referenced pattern's occurrence count was off).
 func (c *Compiled) Check(g *pdg.Graph, embs map[string][]match.Embedding) Result {
+	res := c.check(g, embs)
+	obs.ConstraintChecksTotal.Inc()
+	obs.ConstraintCombosTotal.Add(int64(res.Combos))
+	return res
+}
+
+func (c *Compiled) check(g *pdg.Graph, embs map[string][]match.Embedding) Result {
 	for _, name := range c.Patterns() {
 		if len(embs[name]) == 0 {
 			return Result{Constraint: c, Status: NotExpected}
 		}
 	}
+	combos := 0
 	switch c.Source.Kind {
 	case Equality:
 		for _, mi := range embs[c.Source.Pi] {
 			for _, mj := range embs[c.Source.Pj] {
+				combos++
 				if mi.Iota[c.ui] == mj.Iota[c.uj] {
-					return Result{Constraint: c, Status: Correct, Gamma: mergeGamma(mi.Gamma, mj.Gamma)}
+					return Result{Constraint: c, Status: Correct, Gamma: mergeGamma(mi.Gamma, mj.Gamma), Combos: combos}
 				}
 			}
 		}
 		first := embs[c.Source.Pi][0]
 		second := embs[c.Source.Pj][0]
-		return Result{Constraint: c, Status: Incorrect, Gamma: mergeGamma(first.Gamma, second.Gamma)}
+		return Result{Constraint: c, Status: Incorrect, Gamma: mergeGamma(first.Gamma, second.Gamma), Combos: combos}
 
 	case EdgeExistence:
 		for _, mi := range embs[c.Source.Pi] {
 			for _, mj := range embs[c.Source.Pj] {
+				combos++
 				if g.HasEdge(mi.Iota[c.ui], mj.Iota[c.uj], c.edgeType) {
-					return Result{Constraint: c, Status: Correct, Gamma: mergeGamma(mi.Gamma, mj.Gamma)}
+					return Result{Constraint: c, Status: Correct, Gamma: mergeGamma(mi.Gamma, mj.Gamma), Combos: combos}
 				}
 			}
 		}
 		first := embs[c.Source.Pi][0]
 		second := embs[c.Source.Pj][0]
-		return Result{Constraint: c, Status: Incorrect, Gamma: mergeGamma(first.Gamma, second.Gamma)}
+		return Result{Constraint: c, Status: Incorrect, Gamma: mergeGamma(first.Gamma, second.Gamma), Combos: combos}
 
 	case Containment:
-		combos := 0
 		var best map[string]string
 		for _, mi := range embs[c.Source.Pi] {
 			node := g.Node(mi.Iota[c.ui])
@@ -253,11 +267,11 @@ func (c *Compiled) Check(g *pdg.Graph, embs map[string][]match.Embedding) Result
 					best = gamma
 				}
 				if c.expr.Match(gamma, node.Renderings()) {
-					return Result{Constraint: c, Status: Correct, Gamma: gamma}
+					return Result{Constraint: c, Status: Correct, Gamma: gamma, Combos: combos}
 				}
 			}
 		}
-		return Result{Constraint: c, Status: Incorrect, Gamma: best}
+		return Result{Constraint: c, Status: Incorrect, Gamma: best, Combos: combos}
 	}
 	return Result{Constraint: c, Status: NotExpected}
 }

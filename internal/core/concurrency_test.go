@@ -1,11 +1,14 @@
 package core_test
 
 import (
+	"io"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"semfeed/internal/assignments"
 	"semfeed/internal/core"
+	"semfeed/internal/obs"
 )
 
 // TestConcurrentGrading exercises the MOOC deployment shape: one shared
@@ -51,5 +54,97 @@ func TestConcurrentGrading(t *testing.T) {
 		if got[i] != wantCorrect[i] {
 			t.Errorf("submission %d: concurrent verdict %v != sequential %v", sample[i], got[i], wantCorrect[i])
 		}
+	}
+}
+
+// TestConcurrentGradingWithMetrics grades in parallel with the observability
+// layer fully on (metrics and tracing) while concurrent readers take
+// snapshots, write the Prometheus exposition and render the latest span
+// tree. Run under -race, this is the data-race proof for the obs layer; it
+// also checks that the shared counters account for every grade.
+func TestConcurrentGradingWithMetrics(t *testing.T) {
+	obs.Enable()
+	obs.EnableTracing()
+	defer obs.Disable()
+	defer obs.DisableTracing()
+
+	a := assignments.Get("assignment1")
+	g := core.NewGrader(core.Options{})
+	sample := a.Synth.Sample(48)
+	before := obs.TakeSnapshot()
+
+	done := make(chan struct{})
+	var readerErr atomic.Value
+	var readers sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				snap := obs.TakeSnapshot()
+				if snap.Counter("semfeed_grades_total") < before.Counter("semfeed_grades_total") {
+					readerErr.Store("grades_total went backwards")
+					return
+				}
+				if err := obs.WriteProm(io.Discard); err != nil {
+					readerErr.Store(err.Error())
+					return
+				}
+				if td := obs.LastTrace(); td != nil {
+					_ = td.Tree()
+				}
+			}
+		}()
+	}
+
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make([]error, len(sample))
+	stats := make([]*core.Stats, len(sample))
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(sample); i += workers {
+				rep, err := g.Grade(a.Synth.Render(sample[i]), a.Spec)
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				stats[i] = rep.Stats
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(done)
+	readers.Wait()
+
+	if msg := readerErr.Load(); msg != nil {
+		t.Fatalf("metrics reader: %v", msg)
+	}
+	var wantSteps int64
+	for i := range sample {
+		if errs[i] != nil {
+			t.Fatalf("submission %d: %v", sample[i], errs[i])
+		}
+		if stats[i] == nil || stats[i].MatchCalls == 0 {
+			t.Fatalf("submission %d: stats not populated under concurrency", sample[i])
+		}
+		wantSteps += stats[i].MatchSteps
+	}
+	after := obs.TakeSnapshot()
+	if got := after.Counter("semfeed_grades_total") - before.Counter("semfeed_grades_total"); got < int64(len(sample)) {
+		t.Errorf("grades_total moved by %d, want >= %d", got, len(sample))
+	}
+	// Per-report stats and the shared registry must agree on matcher work:
+	// other tests do not run concurrently, so the counter delta is exactly
+	// the sum of this test's per-report step counts.
+	if got := after.Counter("semfeed_match_steps_total") - before.Counter("semfeed_match_steps_total"); got < wantSteps {
+		t.Errorf("match_steps_total moved by %d, want >= %d (sum of per-report stats)", got, wantSteps)
 	}
 }

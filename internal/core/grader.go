@@ -14,6 +14,7 @@ import (
 	"semfeed/internal/java/inline"
 	"semfeed/internal/java/parser"
 	"semfeed/internal/match"
+	"semfeed/internal/obs"
 	"semfeed/internal/pattern"
 	"semfeed/internal/pdg"
 )
@@ -143,6 +144,45 @@ type Report struct {
 	Bindings   map[string]string // expected method -> submission method
 	Matched    bool              // false when the expected headers are absent
 	Elapsed    time.Duration
+	Stats      *Stats `json:"stats"` // per-report cost accounting
+}
+
+// Stats is the per-report cost accounting block: where the grade's time went
+// (stage durations) and how much work each algorithm performed (Algorithm 1
+// candidate extensions and backtracks, Algorithm 2 method combinations,
+// constraint combination products). It is serialized inside the report JSON
+// so an LMS or a perf harness can track the grading cost per submission.
+// Durations are nanoseconds in JSON.
+type Stats struct {
+	ParseTime      time.Duration `json:"parse_ns"`      // only set on the Grade (source) path
+	InlineTime     time.Duration `json:"inline_ns"`     // helper inlining, when enabled
+	BuildTime      time.Duration `json:"build_ns"`      // EPDG construction
+	MatchTime      time.Duration `json:"match_ns"`      // Algorithm 1 across all bindings
+	ConstraintTime time.Duration `json:"constraint_ns"` // constraint checking across all bindings
+	TotalTime      time.Duration `json:"total_ns"`      // end-to-end grade time
+
+	Methods      int `json:"methods"`       // submission methods with an EPDG
+	EPDGNodes    int `json:"epdg_nodes"`    // nodes across those EPDGs
+	EPDGEdges    int `json:"epdg_edges"`    // edges across those EPDGs
+	MethodCombos int `json:"method_combos"` // expected↔actual bindings scored (Algorithm 2)
+
+	MatchCalls         int64 `json:"match_calls"`           // pattern searches run
+	MatchSteps         int64 `json:"match_steps"`           // candidate extensions tried
+	MatchBacktracks    int64 `json:"match_backtracks"`      // candidates rejected
+	MatchStepLimitHits int64 `json:"match_step_limit_hits"` // searches that hit the step budget
+	Embeddings         int64 `json:"embeddings"`            // embeddings found (pre-pruning)
+
+	ConstraintChecks int64 `json:"constraint_checks"` // constraint evaluations
+	ConstraintCombos int64 `json:"constraint_combos"` // embedding combinations examined
+}
+
+// addWork folds matcher work counters into the stats.
+func (s *Stats) addWork(w *match.Work) {
+	s.MatchCalls += w.Calls
+	s.MatchSteps += w.Steps
+	s.MatchBacktracks += w.Backtracks
+	s.MatchStepLimitHits += w.StepLimitHits
+	s.Embeddings += w.Embeddings
 }
 
 // AllCorrect reports whether every comment is Correct.
@@ -212,17 +252,43 @@ func NewGrader(opts Options) *Grader { return &Grader{opts: opts} }
 
 // Grade parses src and grades it against spec.
 func (g *Grader) Grade(src string, spec *AssignmentSpec) (*Report, error) {
+	t0 := time.Now()
 	unit, err := parser.Parse(src)
+	parseTime := time.Since(t0)
 	if err != nil {
 		return nil, err
 	}
-	return g.GradeUnit(unit, spec), nil
+	report := g.GradeUnit(unit, spec)
+	report.Stats.ParseTime = parseTime
+	report.Stats.TotalTime += parseTime
+	return report, nil
 }
 
 // GradeUnit grades a parsed compilation unit against spec (Algorithm 2).
 func (g *Grader) GradeUnit(unit *ast.CompilationUnit, spec *AssignmentSpec) *Report {
 	start := time.Now()
-	report := &Report{Assignment: spec.Name, Bindings: map[string]string{}}
+	obs.GradesTotal.Inc()
+	obs.GradesInflight.Inc()
+	stats := &Stats{}
+	report := &Report{Assignment: spec.Name, Bindings: map[string]string{}, Stats: stats}
+	root := obs.StartTrace("grade/" + spec.Name)
+	defer func() {
+		report.Elapsed = time.Since(start)
+		stats.TotalTime = report.Elapsed
+		obs.GradesInflight.Dec()
+		obs.GradeSeconds.ObserveDuration(report.Elapsed)
+		obs.GradeScore.Observe(report.Score)
+		obs.GradeMethodCombos.Add(int64(stats.MethodCombos))
+		if report.Matched {
+			obs.GradeMatchedTotal.Inc()
+		} else {
+			obs.GradeUnmatchedTotal.Inc()
+		}
+		root.SetAttr("score", fmt.Sprintf("%.1f/%.1f", report.Score, report.MaxScore))
+		root.SetAttrInt("method_combos", int64(stats.MethodCombos))
+		root.SetAttrInt("match_steps", stats.MatchSteps)
+		root.End()
+	}()
 	for _, m := range spec.Methods {
 		report.MaxScore += float64(len(m.Patterns) + len(m.Groups) + len(m.Constraints))
 	}
@@ -230,15 +296,30 @@ func (g *Grader) GradeUnit(unit *ast.CompilationUnit, spec *AssignmentSpec) *Rep
 	// Step 1: extract the EPDG of every submission method, optionally
 	// inlining helper calls first.
 	if g.opts.InlineHelpers {
+		sp := root.Child("inline_helpers")
+		t0 := time.Now()
 		keep := map[string]bool{}
 		for _, m := range spec.Methods {
 			keep[m.Name] = true
 		}
 		unit = inline.Expand(unit, keep)
+		stats.InlineTime = time.Since(t0)
+		sp.End()
 	}
+	buildSp := root.Child("build_epdg")
+	t0 := time.Now()
 	graphs := pdg.BuildAllWith(unit, g.opts.BuildOptions)
+	stats.BuildTime = time.Since(t0)
+	stats.Methods = len(graphs)
+	for _, gr := range graphs {
+		stats.EPDGNodes += len(gr.Nodes)
+		stats.EPDGEdges += len(gr.Edges)
+	}
+	buildSp.SetAttrInt("methods", int64(stats.Methods))
+	buildSp.SetAttrInt("nodes", int64(stats.EPDGNodes))
+	buildSp.SetAttrInt("edges", int64(stats.EPDGEdges))
+	buildSp.End()
 	if len(graphs) == 0 {
-		report.Elapsed = time.Since(start)
 		return report
 	}
 	methodNames := make([]string, 0, len(graphs))
@@ -251,7 +332,16 @@ func (g *Grader) GradeUnit(unit *ast.CompilationUnit, spec *AssignmentSpec) *Rep
 	// the one maximizing Λ.
 	best := -1.0
 	for _, binding := range g.bindings(spec, methodNames) {
-		comments, score := g.gradeBinding(spec, graphs, binding)
+		stats.MethodCombos++
+		bindSp := root.Child("binding")
+		if bindSp != nil {
+			bindSp.SetAttr("methods", renderBinding(binding))
+		}
+		comments, score := g.gradeBinding(spec, graphs, binding, stats, bindSp)
+		if bindSp != nil {
+			bindSp.SetAttr("score", fmt.Sprintf("%.1f", score))
+		}
+		bindSp.End()
 		if score > best {
 			best = score
 			report.Comments = comments
@@ -260,8 +350,24 @@ func (g *Grader) GradeUnit(unit *ast.CompilationUnit, spec *AssignmentSpec) *Rep
 			report.Matched = true
 		}
 	}
-	report.Elapsed = time.Since(start)
 	return report
+}
+
+// renderBinding renders an expected→actual method binding for span attrs.
+func renderBinding(binding map[string]string) string {
+	keys := make([]string, 0, len(binding))
+	for k := range binding {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		sb.WriteString(k + "→" + binding[k])
+	}
+	return sb.String()
 }
 
 // bindings enumerates injective mappings from expected method names to
@@ -327,8 +433,12 @@ func (g *Grader) bindings(spec *AssignmentSpec, methods []string) []map[string]s
 }
 
 // gradeBinding runs steps 2.1 and 2.2 of Algorithm 2 for one method binding
-// and returns the comments with their Λ score.
-func (g *Grader) gradeBinding(spec *AssignmentSpec, graphs map[string]*pdg.Graph, binding map[string]string) ([]Comment, float64) {
+// and returns the comments with their Λ score. Matcher and constraint work
+// is accumulated into st; spans hang off parent when tracing is on.
+func (g *Grader) gradeBinding(spec *AssignmentSpec, graphs map[string]*pdg.Graph, binding map[string]string, st *Stats, parent *obs.Span) ([]Comment, float64) {
+	mopts := g.opts.MatchOptions
+	work := &match.Work{}
+	mopts.Work = work
 	var comments []Comment
 	for _, mspec := range spec.Methods {
 		graph := graphs[binding[mspec.Name]]
@@ -339,7 +449,14 @@ func (g *Grader) gradeBinding(spec *AssignmentSpec, graphs map[string]*pdg.Graph
 		statuses := map[string]Status{}
 		// 2.1: match patterns.
 		for _, use := range mspec.Patterns {
-			m := match.FindOpts(use.Pattern, graph, g.opts.MatchOptions)
+			sp := parent.Child("match:" + use.Pattern.Name())
+			stepsBefore := work.Steps
+			t0 := time.Now()
+			m := match.FindOpts(use.Pattern, graph, mopts)
+			st.MatchTime += time.Since(t0)
+			sp.SetAttrInt("embeddings", int64(len(m)))
+			sp.SetAttrInt("steps", work.Steps-stepsBefore)
+			sp.End()
 			embs[use.Pattern.Name()] = m
 			c := provideFeedback(mspec.Name, use, m)
 			statuses[use.Pattern.Name()] = c.Status
@@ -349,16 +466,28 @@ func (g *Grader) gradeBinding(spec *AssignmentSpec, graphs map[string]*pdg.Graph
 		// member is tried, the best-scoring one provides the feedback, and
 		// its embeddings become available to constraints under its own name.
 		for _, gu := range mspec.Groups {
-			c := g.groupFeedback(mspec.Name, gu, graph, embs)
+			sp := parent.Child("group:" + gu.Group.Name)
+			t0 := time.Now()
+			c := g.groupFeedback(mspec.Name, gu, graph, embs, mopts)
+			st.MatchTime += time.Since(t0)
+			sp.End()
 			statuses[gu.Group.Name] = c.Status
 			comments = append(comments, c)
 		}
 		// 2.2: match constraints.
 		for _, con := range mspec.Constraints {
-			c := checkConstraint(mspec.Name, con, graph, embs, statuses)
+			sp := parent.Child("constraint:" + con.Name())
+			t0 := time.Now()
+			c, combos := checkConstraint(mspec.Name, con, graph, embs, statuses)
+			st.ConstraintTime += time.Since(t0)
+			st.ConstraintChecks++
+			st.ConstraintCombos += int64(combos)
+			sp.SetAttrInt("combos", int64(combos))
+			sp.End()
 			comments = append(comments, c)
 		}
 	}
+	st.addWork(work)
 	score := 0.0
 	for _, c := range comments {
 		score += c.Status.Lambda()
@@ -369,12 +498,12 @@ func (g *Grader) gradeBinding(spec *AssignmentSpec, graphs map[string]*pdg.Graph
 // groupFeedback evaluates one pattern group: each member is matched, the
 // best-scoring comment wins, and the winning member's embeddings are stored
 // so constraints can correlate against it.
-func (g *Grader) groupFeedback(method string, gu GroupUse, graph *pdg.Graph, embs map[string][]match.Embedding) Comment {
+func (g *Grader) groupFeedback(method string, gu GroupUse, graph *pdg.Graph, embs map[string][]match.Embedding, mopts match.Options) Comment {
 	var best Comment
 	var bestEmbs []match.Embedding
 	var bestMember string
 	for i, member := range gu.Group.Members {
-		m := match.FindOpts(member, graph, g.opts.MatchOptions)
+		m := match.FindOpts(member, graph, mopts)
 		c := provideFeedback(method, PatternUse{Pattern: member, Count: gu.Count}, m)
 		if i == 0 || c.Status.Lambda() > best.Status.Lambda() {
 			best, bestEmbs, bestMember = c, m, member.Name()
@@ -455,12 +584,13 @@ func nodeDetails(p *pattern.Compiled, embs []match.Embedding) []string {
 
 // checkConstraint implements ConstraintMatching of Algorithm 2: NotExpected
 // when any referenced pattern was NotExpected, else the constraint check.
-func checkConstraint(method string, con *constraint.Compiled, graph *pdg.Graph, embs map[string][]match.Embedding, statuses map[string]Status) Comment {
+// The second return value is the number of embedding combinations examined.
+func checkConstraint(method string, con *constraint.Compiled, graph *pdg.Graph, embs map[string][]match.Embedding, statuses map[string]Status) (Comment, int) {
 	c := Comment{Method: method, Kind: "constraint", Source: con.Name()}
 	for _, pname := range con.Patterns() {
 		if st, ok := statuses[pname]; ok && st == NotExpected {
 			c.Status = NotExpected
-			return c
+			return c, 0
 		}
 	}
 	res := con.Check(graph, embs)
@@ -473,5 +603,5 @@ func checkConstraint(method string, con *constraint.Compiled, graph *pdg.Graph, 
 		c.Status = NotExpected
 	}
 	c.Message = res.Message()
-	return c
+	return c, res.Combos
 }

@@ -1,0 +1,109 @@
+package core_test
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"semfeed/internal/assignments"
+	"semfeed/internal/core"
+	"semfeed/internal/obs"
+)
+
+// TestReportStatsPopulated checks the per-report cost accounting block: a
+// graded reference solution must report where the time went and how much
+// matcher work was done, and the block must appear in the report JSON.
+func TestReportStatsPopulated(t *testing.T) {
+	a := assignments.Get("assignment1")
+	rep, err := core.NewGrader(core.Options{}).Grade(a.Reference(), a.Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := rep.Stats
+	if st == nil {
+		t.Fatal("report has no stats block")
+	}
+	if st.ParseTime <= 0 || st.BuildTime <= 0 || st.MatchTime <= 0 || st.TotalTime <= 0 {
+		t.Errorf("stage durations not populated: %+v", st)
+	}
+	if st.TotalTime < st.BuildTime+st.MatchTime {
+		t.Errorf("total %v < build %v + match %v", st.TotalTime, st.BuildTime, st.MatchTime)
+	}
+	if st.Methods == 0 || st.EPDGNodes == 0 || st.EPDGEdges == 0 {
+		t.Errorf("EPDG size counters not populated: %+v", st)
+	}
+	if st.MethodCombos == 0 {
+		t.Error("no method combination was counted")
+	}
+	if st.MatchCalls == 0 || st.MatchSteps == 0 {
+		t.Errorf("matcher work counters not populated: %+v", st)
+	}
+	if st.Embeddings == 0 {
+		t.Error("the reference solution should produce embeddings")
+	}
+	if a.Spec.ConstraintCount() > 0 && st.ConstraintChecks == 0 {
+		t.Error("constraint checks not counted")
+	}
+
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"stats"`, `"match_steps"`, `"match_backtracks"`, `"build_ns"`, `"method_combos"`} {
+		if !strings.Contains(string(data), key) {
+			t.Errorf("report JSON missing %s:\n%.600s", key, data)
+		}
+	}
+}
+
+// TestGradeTrace checks the span taxonomy of one traced grade: the root
+// grade span with the build and binding stages beneath it, and per-pattern
+// match spans beneath the bindings.
+func TestGradeTrace(t *testing.T) {
+	obs.EnableTracing()
+	defer obs.DisableTracing()
+	a := assignments.Get("assignment1")
+	if _, err := core.NewGrader(core.Options{}).Grade(a.Reference(), a.Spec); err != nil {
+		t.Fatal(err)
+	}
+	td := obs.LastTrace()
+	if td == nil {
+		t.Fatal("no trace recorded")
+	}
+	if td.Name != "grade/assignment1" {
+		t.Errorf("trace name = %q", td.Name)
+	}
+	tree := td.Tree()
+	for _, want := range []string{"grade/assignment1", "build_epdg", "binding", "match:", "score="} {
+		if !strings.Contains(tree, want) {
+			t.Errorf("span tree missing %q:\n%s", want, tree)
+		}
+	}
+}
+
+// TestGradeMetricsFlow checks that one grade moves the pipeline counters.
+func TestGradeMetricsFlow(t *testing.T) {
+	obs.Enable()
+	defer obs.Disable()
+	before := obs.TakeSnapshot()
+	a := assignments.Get("assignment1")
+	if _, err := core.NewGrader(core.Options{}).Grade(a.Reference(), a.Spec); err != nil {
+		t.Fatal(err)
+	}
+	after := obs.TakeSnapshot()
+	for _, name := range []string{
+		"semfeed_grades_total",
+		"semfeed_parses_total",
+		"semfeed_epdg_builds_total",
+		"semfeed_match_calls_total",
+		"semfeed_match_steps_total",
+		"semfeed_grade_matched_total",
+	} {
+		if after.Counter(name) <= before.Counter(name) {
+			t.Errorf("%s did not move: %d -> %d", name, before.Counter(name), after.Counter(name))
+		}
+	}
+	if g := after.Gauges["semfeed_grades_inflight"]; g != 0 {
+		t.Errorf("inflight gauge left at %d after grading", g)
+	}
+}

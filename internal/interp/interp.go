@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"semfeed/internal/java/ast"
+	"semfeed/internal/obs"
 )
 
 // ErrStepLimit is returned when execution exceeds the step budget; in the
@@ -67,12 +68,19 @@ type Result struct {
 }
 
 // Run executes the entry method of the unit with the given arguments.
-func Run(unit *ast.CompilationUnit, entry string, args []Value, cfg Config) (*Result, error) {
+func Run(unit *ast.CompilationUnit, entry string, args []Value, cfg Config) (res *Result, err error) {
+	obs.InterpRunsTotal.Inc()
 	m := &machine{
 		cfg:     cfg,
 		methods: map[string]*ast.Method{},
 		globals: map[string]Value{},
 	}
+	defer func() {
+		obs.InterpStepsTotal.Add(int64(m.steps))
+		if errors.Is(err, ErrStepLimit) {
+			obs.InterpStepLimitTotal.Inc()
+		}
+	}()
 	for _, meth := range unit.AllMethods() {
 		if _, dup := m.methods[meth.Name]; !dup && meth.Body != nil {
 			m.methods[meth.Name] = meth

@@ -7,10 +7,12 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"time"
 
 	"semfeed/internal/java/ast"
 	"semfeed/internal/java/lexer"
 	"semfeed/internal/java/token"
+	"semfeed/internal/obs"
 )
 
 // Parser consumes a token stream and produces an AST.
@@ -25,12 +27,16 @@ var ErrSyntax = errors.New("syntax error")
 
 // Parse parses src as a compilation unit.
 func Parse(src string) (*ast.CompilationUnit, error) {
+	start := time.Now()
+	obs.ParsesTotal.Inc()
 	lx := lexer.New(src)
 	toks := lx.All()
 	p := &Parser{toks: toks}
 	unit := p.parseUnit()
+	obs.ParseSeconds.ObserveDuration(time.Since(start))
 	errs := append(lx.Errors(), p.errors...)
 	if len(errs) > 0 {
+		obs.ParseErrorsTotal.Inc()
 		msgs := make([]string, 0, len(errs))
 		for i, e := range errs {
 			if i == 8 {

@@ -1,0 +1,81 @@
+package match
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// legacyKey is the fmt.Fprintf implementation Key replaced; kept as the
+// benchmark baseline and as the format oracle for the compat test.
+func legacyKey(e *Embedding) string {
+	var sb strings.Builder
+	for _, v := range e.Iota {
+		fmt.Fprintf(&sb, "%d,", v)
+	}
+	vars := make([]string, 0, len(e.Gamma))
+	for k, v := range e.Gamma {
+		vars = append(vars, k+"="+v)
+	}
+	sort.Strings(vars)
+	sb.WriteString(strings.Join(vars, ","))
+	return sb.String()
+}
+
+func keyFixture() *Embedding {
+	return &Embedding{
+		Iota: []int{3, 17, 0, 42, 8, 255, 1, 9},
+		Gamma: map[string]string{
+			"X1": "i", "X2": "odd", "X3": "even", "X4": "seq",
+		},
+		Approx: make([]bool, 8),
+	}
+}
+
+func TestKeyMatchesLegacyFormat(t *testing.T) {
+	cases := []*Embedding{
+		keyFixture(),
+		{Iota: []int{5}, Gamma: map[string]string{}},
+		{Iota: nil, Gamma: map[string]string{"X": "y"}},
+	}
+	for i, e := range cases {
+		if got, want := e.Key(), legacyKey(e); got != want {
+			t.Errorf("case %d: Key() = %q, legacy = %q", i, got, want)
+		}
+	}
+}
+
+func TestAppendKeyReusesBuffer(t *testing.T) {
+	e := keyFixture()
+	buf := make([]byte, 0, 128)
+	first := e.AppendKey(buf[:0])
+	second := e.AppendKey(buf[:0])
+	if string(first) != string(second) || string(first) != e.Key() {
+		t.Errorf("AppendKey unstable: %q vs %q vs %q", first, second, e.Key())
+	}
+}
+
+func BenchmarkEmbeddingKey(b *testing.B) {
+	e := keyFixture()
+	b.Run("legacy-fprintf", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = legacyKey(e)
+		}
+	})
+	b.Run("appendint", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = e.Key()
+		}
+	})
+	b.Run("appendint-reused-buf", func(b *testing.B) {
+		b.ReportAllocs()
+		var buf []byte
+		for i := 0; i < b.N; i++ {
+			buf = e.AppendKey(buf[:0])
+		}
+		_ = buf
+	})
+}

@@ -7,9 +7,11 @@ package match
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"semfeed/internal/expr"
+	"semfeed/internal/obs"
 	"semfeed/internal/pattern"
 	"semfeed/internal/pdg"
 )
@@ -44,18 +46,31 @@ func (e *Embedding) GraphNode(patternNodeID string) int {
 }
 
 // Key returns a canonical identity for deduplication.
-func (e *Embedding) Key() string {
-	var sb strings.Builder
+func (e *Embedding) Key() string { return string(e.AppendKey(nil)) }
+
+// AppendKey appends the canonical identity to buf and returns the extended
+// slice. The searcher reuses one buffer across the whole search so the dedup
+// check in the hot path does not allocate per candidate embedding (the
+// fmt.Fprintf predecessor allocated per node).
+func (e *Embedding) AppendKey(buf []byte) []byte {
 	for _, v := range e.Iota {
-		fmt.Fprintf(&sb, "%d,", v)
+		buf = strconv.AppendInt(buf, int64(v), 10)
+		buf = append(buf, ',')
 	}
-	vars := make([]string, 0, len(e.Gamma))
-	for k, v := range e.Gamma {
-		vars = append(vars, k+"="+v)
+	if len(e.Gamma) > 0 {
+		vars := make([]string, 0, len(e.Gamma))
+		for k, v := range e.Gamma {
+			vars = append(vars, k+"="+v)
+		}
+		sort.Strings(vars)
+		for i, kv := range vars {
+			if i > 0 {
+				buf = append(buf, ',')
+			}
+			buf = append(buf, kv...)
+		}
 	}
-	sort.Strings(vars)
-	sb.WriteString(strings.Join(vars, ","))
-	return sb.String()
+	return buf
 }
 
 // String renders the embedding for diagnostics.
@@ -76,6 +91,34 @@ func (e *Embedding) String() string {
 	return "{" + strings.Join(parts, " ") + " | " + strings.Join(vars, " ") + "}"
 }
 
+// Work accumulates matcher cost counters across FindOpts calls. The searcher
+// counts locally and flushes once per call, so attaching a Work collector
+// costs a handful of adds per pattern, not per candidate extension.
+type Work struct {
+	// Calls is the number of pattern searches run.
+	Calls int64
+	// Steps is the number of candidate extensions tried (Algorithm 1's
+	// inner loop; the paper's dominant cost).
+	Steps int64
+	// Backtracks is the number of candidate nodes rejected, by a failed
+	// edge check (Condition 2 of Definition 7) or because no variable
+	// assignment satisfied r or r̂.
+	Backtracks int64
+	// Embeddings is the number of embeddings found before dominance pruning.
+	Embeddings int64
+	// StepLimitHits is the number of searches that exhausted MaxSteps.
+	StepLimitHits int64
+}
+
+// Add accumulates other into w.
+func (w *Work) Add(other Work) {
+	w.Calls += other.Calls
+	w.Steps += other.Steps
+	w.Backtracks += other.Backtracks
+	w.Embeddings += other.Embeddings
+	w.StepLimitHits += other.StepLimitHits
+}
+
 // Options tune the matcher; the zero value applies the defaults.
 type Options struct {
 	// MaxEmbeddings caps the number of embeddings returned (default 256).
@@ -89,6 +132,9 @@ type Options struct {
 	// NoPrefilter disables the constant-template search-space prefilter.
 	// Used by the ablation bench.
 	NoPrefilter bool
+	// Work, when non-nil, receives this call's cost counters (the grader
+	// threads a per-report collector through here).
+	Work *Work
 }
 
 func (o Options) maxEmbeddings() int {
@@ -125,6 +171,25 @@ func FindOpts(p *pattern.Compiled, g *pdg.Graph, opts Options) []Embedding {
 	s.ranGamma = map[string]bool{}
 	s.seen = map[string]bool{}
 	s.search(0)
+
+	work := Work{
+		Calls:      1,
+		Steps:      int64(s.steps),
+		Backtracks: int64(s.backtracks),
+		Embeddings: int64(len(s.out)),
+	}
+	if s.steps >= opts.maxSteps() {
+		work.StepLimitHits = 1
+	}
+	if opts.Work != nil {
+		opts.Work.Add(work)
+	}
+	obs.MatchCallsTotal.Inc()
+	obs.MatchStepsTotal.Add(work.Steps)
+	obs.MatchBacktracksTotal.Add(work.Backtracks)
+	obs.MatchEmbeddingsTotal.Add(work.Embeddings)
+	obs.MatchStepLimitTotal.Add(work.StepLimitHits)
+
 	return pruneDominated(s.out)
 }
 
@@ -138,12 +203,14 @@ func pruneDominated(embs []Embedding) []Embedding {
 	if len(embs) <= 1 {
 		return embs
 	}
+	var keyBuf []byte
 	iotaKey := func(e *Embedding) string {
-		var sb strings.Builder
+		keyBuf = keyBuf[:0]
 		for _, v := range e.Iota {
-			fmt.Fprintf(&sb, "%d,", v)
+			keyBuf = strconv.AppendInt(keyBuf, int64(v), 10)
+			keyBuf = append(keyBuf, ',')
 		}
-		return sb.String()
+		return string(keyBuf)
 	}
 	dominates := func(a, b *Embedding) bool {
 		strict := false
@@ -197,13 +264,15 @@ type searcher struct {
 	phi   [][]int
 	order []int
 
-	iota     []int
-	approx   []bool
-	gamma    map[string]string
-	used     map[int]bool
-	ranGamma map[string]bool
-	seen     map[string]bool
-	steps    int
+	iota       []int
+	approx     []bool
+	gamma      map[string]string
+	used       map[int]bool
+	ranGamma   map[string]bool
+	seen       map[string]bool
+	keyBuf     []byte
+	steps      int
+	backtracks int
 
 	out []Embedding
 }
@@ -290,8 +359,9 @@ func (s *searcher) search(depth int) {
 		for k, v := range s.gamma {
 			e.Gamma[k] = v
 		}
-		if k := e.Key(); !s.seen[k] {
-			s.seen[k] = true
+		s.keyBuf = e.AppendKey(s.keyBuf[:0])
+		if !s.seen[string(s.keyBuf)] {
+			s.seen[string(s.keyBuf)] = true
 			s.out = append(s.out, e)
 		}
 		return
@@ -307,6 +377,7 @@ func (s *searcher) search(depth int) {
 			return
 		}
 		if !s.edgesHold(ui, vid) {
+			s.backtracks++
 			continue
 		}
 		v := s.g.Node(vid)
@@ -339,10 +410,12 @@ func (s *searcher) search(depth int) {
 				break
 			}
 		}
+		matchedApprox := false
 		if !matchedExact && !u.ApproxT.Empty() {
 			for _, z := range expr.Injections(s.fresh(u.ApproxT.Vars()), ys) {
 				s.bind(z)
 				if u.ApproxT.Match(s.gamma, v.Renderings()) {
+					matchedApprox = true
 					s.approx[ui] = true
 					s.search(depth + 1)
 				}
@@ -351,6 +424,9 @@ func (s *searcher) search(depth int) {
 					break
 				}
 			}
+		}
+		if !matchedExact && !matchedApprox {
+			s.backtracks++
 		}
 
 		s.used[vid] = false

@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+)
+
+// Snapshot is an expvar-style point-in-time copy of every registered metric.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// HistogramSnapshot summarizes one histogram with estimated quantiles.
+type HistogramSnapshot struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
+
+// Counter returns a named counter value from the snapshot (0 when absent).
+func (s Snapshot) Counter(name string) int64 { return s.Counters[name] }
+
+// TakeSnapshot copies the default registry.
+func TakeSnapshot() Snapshot { return Default.Snapshot() }
+
+// Snapshot copies the registry's current values.
+func (r *Registry) Snapshot() Snapshot {
+	cs, gs, hs := r.snapshotLists()
+	snap := Snapshot{
+		Counters:   make(map[string]int64, len(cs)),
+		Gauges:     make(map[string]int64, len(gs)),
+		Histograms: make(map[string]HistogramSnapshot, len(hs)),
+	}
+	for _, c := range cs {
+		snap.Counters[c.name] = c.Value()
+	}
+	for _, g := range gs {
+		snap.Gauges[g.name] = g.Value()
+	}
+	for _, h := range hs {
+		snap.Histograms[h.name] = HistogramSnapshot{
+			Count: h.Count(),
+			Sum:   h.Sum(),
+			P50:   h.Quantile(0.50),
+			P95:   h.Quantile(0.95),
+			P99:   h.Quantile(0.99),
+		}
+	}
+	return snap
+}
+
+// WriteProm writes the default registry in Prometheus text exposition format.
+func WriteProm(w io.Writer) error { return Default.WriteProm(w) }
+
+// WriteProm writes the registry in Prometheus text exposition format
+// (version 0.0.4): HELP/TYPE headers, counters and gauges as single samples,
+// histograms as cumulative le-buckets plus _sum and _count.
+func (r *Registry) WriteProm(w io.Writer) error {
+	cs, gs, hs := r.snapshotLists()
+	for _, c := range cs {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n",
+			c.name, c.help, c.name, c.name, c.Value()); err != nil {
+			return err
+		}
+	}
+	for _, g := range gs {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n",
+			g.name, g.help, g.name, g.name, g.Value()); err != nil {
+			return err
+		}
+	}
+	for _, h := range hs {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", h.name, h.help, h.name); err != nil {
+			return err
+		}
+		var cum int64
+		for i, bound := range h.bounds {
+			cum += h.buckets[i].Load()
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n",
+				h.name, strconv.FormatFloat(bound, 'g', -1, 64), cum); err != nil {
+				return err
+			}
+		}
+		cum += h.buckets[len(h.bounds)].Load()
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %g\n%s_count %d\n",
+			h.name, cum, h.name, h.Sum(), h.name, h.Count()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Handler serves the default registry as Prometheus text format.
+func Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WriteProm(w)
+	})
+}
+
+// JSONHandler serves the default registry as an expvar-style JSON snapshot.
+func JSONHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(TakeSnapshot())
+	})
+}
+
+// TraceHandler serves the most recent recorded trace: the rendered span tree
+// as text, or the full structure with ?format=json.
+func TraceHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		td := LastTrace()
+		if td == nil {
+			http.Error(w, "no trace recorded (is tracing enabled?)", http.StatusNotFound)
+			return
+		}
+		if req.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(td)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = io.WriteString(w, td.Tree())
+	})
+}
+
+// Mux returns the standard observability endpoint set the CLIs serve under
+// -metrics-addr: /metrics (Prometheus text), /metrics.json (snapshot) and
+// /trace (latest span tree).
+func Mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", Handler())
+	mux.Handle("/metrics.json", JSONHandler())
+	mux.Handle("/trace", TraceHandler())
+	return mux
+}
+
+// Serve enables metrics and serves Mux on addr in a background goroutine,
+// returning the error channel of the server. Used by the CLIs' -metrics-addr.
+func Serve(addr string) <-chan error {
+	Enable()
+	errc := make(chan error, 1)
+	go func() { errc <- http.ListenAndServe(addr, Mux()) }()
+	return errc
+}

@@ -1,0 +1,306 @@
+// Package obs is the stdlib-only observability subsystem of the grading
+// pipeline: a process-wide metrics registry (counters, gauges, bounded
+// histograms with quantile estimation), a structured span tracer with a
+// ring-buffered recorder, and exposition as an expvar-style JSON snapshot or
+// Prometheus text format.
+//
+// Design constraints, in order:
+//
+//  1. The hot matching path must not pay for observability it did not ask
+//     for. Every hook is gated on an atomic enabled flag and is a
+//     zero-allocation no-op when disabled (verified by
+//     TestDisabledHooksAllocateNothing and BenchmarkDisabledHooks).
+//  2. Hot loops never call obs per iteration: the pipeline stages keep local
+//     counters and flush once per call (see internal/match, internal/interp).
+//  3. No dependencies beyond the standard library, and no imports of other
+//     semfeed packages, so every pipeline stage can import obs.
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+var (
+	enabled atomic.Bool
+	tracing atomic.Bool
+)
+
+// Enable turns on metric collection. Hooks are no-ops until this is called.
+func Enable() { enabled.Store(true) }
+
+// Disable turns metric collection back off. Values already accumulated are
+// kept; use Reset to zero them.
+func Disable() { enabled.Store(false) }
+
+// Enabled reports whether metric collection is on.
+func Enabled() bool { return enabled.Load() }
+
+// EnableTracing turns on span recording (independent of metrics).
+func EnableTracing() { tracing.Store(true) }
+
+// DisableTracing turns span recording back off.
+func DisableTracing() { tracing.Store(false) }
+
+// TracingEnabled reports whether span recording is on.
+func TracingEnabled() bool { return tracing.Load() }
+
+// ---------------------------------------------------------------------------
+// Counter
+
+// Counter is a monotonically increasing metric. The zero value is unusable;
+// create counters with NewCounter so they are registered for exposition.
+type Counter struct {
+	name, help string
+	v          atomic.Int64
+}
+
+// Add increments the counter by n when collection is enabled.
+func (c *Counter) Add(n int64) {
+	if !enabled.Load() {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one when collection is enabled.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the accumulated count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Name returns the registered metric name.
+func (c *Counter) Name() string { return c.name }
+
+// ---------------------------------------------------------------------------
+// Gauge
+
+// Gauge is a metric that can go up and down (e.g. in-flight grades).
+type Gauge struct {
+	name, help string
+	v          atomic.Int64
+}
+
+// Add moves the gauge by n when collection is enabled.
+func (g *Gauge) Add(n int64) {
+	if !enabled.Load() {
+		return
+	}
+	g.v.Add(n)
+}
+
+// Inc moves the gauge up by one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec moves the gauge down by one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Set stores an absolute value when collection is enabled.
+func (g *Gauge) Set(n int64) {
+	if !enabled.Load() {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Name returns the registered metric name.
+func (g *Gauge) Name() string { return g.name }
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+// Histogram is a bounded-bucket histogram with quantile estimation. Buckets
+// are fixed at construction; observations are lock-free atomic increments.
+type Histogram struct {
+	name, help string
+	bounds     []float64 // ascending upper bounds; implicit +Inf bucket after
+	buckets    []atomic.Int64
+	count      atomic.Int64
+	sumBits    atomic.Uint64 // float64 bits of the running sum
+}
+
+// DurationBuckets are the default upper bounds (seconds) for latency
+// histograms: 1µs to 10s, roughly log-spaced.
+var DurationBuckets = []float64{
+	1e-6, 2.5e-6, 5e-6,
+	1e-5, 2.5e-5, 5e-5,
+	1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3,
+	1e-2, 2.5e-2, 5e-2,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Observe records one value when collection is enabled.
+func (h *Histogram) Observe(v float64) {
+	if !enabled.Load() {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		upd := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, upd) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Name returns the registered metric name.
+func (h *Histogram) Name() string { return h.name }
+
+// Quantile estimates the q-quantile (0 < q < 1) from the bucket counts with
+// linear interpolation inside the located bucket. Returns 0 with no
+// observations; values in the overflow bucket report the largest bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum int64
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			cum += n
+			continue
+		}
+		if float64(cum+n) >= rank {
+			if i >= len(h.bounds) {
+				// Overflow bucket: no upper bound to interpolate toward.
+				return h.bounds[len(h.bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := h.bounds[i]
+			frac := (rank - float64(cum)) / float64(n)
+			if frac < 0 {
+				frac = 0
+			} else if frac > 1 {
+				frac = 1
+			}
+			return lo + (hi-lo)*frac
+		}
+		cum += n
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+// Registry holds a set of named metrics. Registration takes a lock;
+// metric updates are lock-free.
+type Registry struct {
+	mu         sync.Mutex
+	counters   []*Counter
+	gauges     []*Gauge
+	histograms []*Histogram
+}
+
+// Default is the process-wide registry the pipeline metrics live in.
+var Default = &Registry{}
+
+// NewCounter registers a counter in the default registry.
+func NewCounter(name, help string) *Counter { return Default.NewCounter(name, help) }
+
+// NewGauge registers a gauge in the default registry.
+func NewGauge(name, help string) *Gauge { return Default.NewGauge(name, help) }
+
+// NewHistogram registers a histogram in the default registry. A nil bounds
+// slice applies DurationBuckets.
+func NewHistogram(name, help string, bounds []float64) *Histogram {
+	return Default.NewHistogram(name, help, bounds)
+}
+
+// NewCounter registers a counter.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	c := &Counter{name: name, help: help}
+	r.mu.Lock()
+	r.counters = append(r.counters, c)
+	r.mu.Unlock()
+	return c
+}
+
+// NewGauge registers a gauge.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	g := &Gauge{name: name, help: help}
+	r.mu.Lock()
+	r.gauges = append(r.gauges, g)
+	r.mu.Unlock()
+	return g
+}
+
+// NewHistogram registers a histogram. A nil bounds slice applies
+// DurationBuckets.
+func (r *Registry) NewHistogram(name, help string, bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DurationBuckets
+	}
+	h := &Histogram{name: name, help: help, bounds: bounds}
+	h.buckets = make([]atomic.Int64, len(bounds)+1)
+	r.mu.Lock()
+	r.histograms = append(r.histograms, h)
+	r.mu.Unlock()
+	return h
+}
+
+// snapshotLists returns stable copies of the metric slices for exposition.
+func (r *Registry) snapshotLists() ([]*Counter, []*Gauge, []*Histogram) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cs := append([]*Counter(nil), r.counters...)
+	gs := append([]*Gauge(nil), r.gauges...)
+	hs := append([]*Histogram(nil), r.histograms...)
+	sort.Slice(cs, func(i, j int) bool { return cs[i].name < cs[j].name })
+	sort.Slice(gs, func(i, j int) bool { return gs[i].name < gs[j].name })
+	sort.Slice(hs, func(i, j int) bool { return hs[i].name < hs[j].name })
+	return cs, gs, hs
+}
+
+// Len returns the number of registered metrics.
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.counters) + len(r.gauges) + len(r.histograms)
+}
+
+// Reset zeroes every metric in the registry (for tests and smoke runs).
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range r.counters {
+		c.v.Store(0)
+	}
+	for _, g := range r.gauges {
+		g.v.Store(0)
+	}
+	for _, h := range r.histograms {
+		for i := range h.buckets {
+			h.buckets[i].Store(0)
+		}
+		h.count.Store(0)
+		h.sumBits.Store(0)
+	}
+}
+
+// Reset zeroes every metric in the default registry.
+func Reset() { Default.Reset() }

@@ -1,0 +1,50 @@
+package obs
+
+// The named pipeline metrics. Every stage of parse → EPDG build → Algorithm 1
+// matching → Algorithm 2 combination search → constraints → interpreter flushes
+// into these; the names below are the stable exposition surface documented in
+// README.md ("Observability").
+//
+// Convention: counters end in _total; histograms of latencies end in
+// _seconds; all names share the semfeed_ prefix.
+var (
+	// Parser.
+	ParsesTotal      = NewCounter("semfeed_parses_total", "Compilation units parsed.")
+	ParseErrorsTotal = NewCounter("semfeed_parse_errors_total", "Compilation units rejected by the parser.")
+	ParseSeconds     = NewHistogram("semfeed_parse_seconds", "Parse latency per compilation unit.", nil)
+
+	// EPDG construction (Definitions 1-3).
+	EPDGBuildsTotal = NewCounter("semfeed_epdg_builds_total", "Method EPDGs constructed.")
+	EPDGNodesTotal  = NewCounter("semfeed_epdg_nodes_total", "EPDG nodes created.")
+	EPDGEdgesTotal  = NewCounter("semfeed_epdg_edges_total", "EPDG edges created.")
+
+	// Algorithm 1 backtracking matcher.
+	MatchCallsTotal      = NewCounter("semfeed_match_calls_total", "Pattern match searches run (FindOpts calls).")
+	MatchStepsTotal      = NewCounter("semfeed_match_steps_total", "Candidate extensions tried by Algorithm 1.")
+	MatchBacktracksTotal = NewCounter("semfeed_match_backtracks_total", "Candidate nodes rejected (edge or template failure).")
+	MatchEmbeddingsTotal = NewCounter("semfeed_match_embeddings_total", "Embeddings found (before dominance pruning).")
+	MatchStepLimitTotal  = NewCounter("semfeed_match_step_limit_total", "Searches that exhausted the step budget.")
+
+	// Constraint checking (Definitions 8-10).
+	ConstraintChecksTotal = NewCounter("semfeed_constraint_checks_total", "Constraint evaluations.")
+	ConstraintCombosTotal = NewCounter("semfeed_constraint_combos_total", "Embedding combinations examined by constraint checks.")
+
+	// Interpreter (functional testing back end).
+	InterpRunsTotal      = NewCounter("semfeed_interp_runs_total", "Interpreter executions.")
+	InterpStepsTotal     = NewCounter("semfeed_interp_steps_total", "Interpreter steps executed.")
+	InterpStepLimitTotal = NewCounter("semfeed_interp_step_limit_total", "Executions killed by fuel exhaustion (step budget).")
+
+	// Grading engine (Algorithm 2).
+	GradesTotal            = NewCounter("semfeed_grades_total", "Submissions graded.")
+	GradeMatchedTotal      = NewCounter("semfeed_grade_matched_total", "Reports where a method binding was found.")
+	GradeUnmatchedTotal    = NewCounter("semfeed_grade_unmatched_total", "Reports with no usable method binding.")
+	GradeMethodCombos      = NewCounter("semfeed_grade_method_combos_total", "Expected-to-actual method bindings scored.")
+	GradesInflight         = NewGauge("semfeed_grades_inflight", "Grades currently executing.")
+	GradeSeconds           = NewHistogram("semfeed_grade_seconds", "End-to-end grade latency per submission.", nil)
+	GradeScore             = NewHistogram("semfeed_grade_score", "Λ score distribution of produced reports.", ScoreBuckets)
+	TraceSpansDroppedTotal = NewCounter("semfeed_trace_spans_dropped_total", "Spans dropped because a trace hit its span cap.")
+)
+
+// ScoreBuckets cover the Λ range of the assignment corpus (scores are small
+// sums of per-comment weights 0, 0.5 and 1).
+var ScoreBuckets = []float64{0, 0.5, 1, 1.5, 2, 3, 4, 5, 6, 8, 10, 15, 20}

@@ -1,0 +1,222 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// maxSpansPerTrace bounds one trace's span buffer so a 720-binding
+// combination search cannot grow a trace without bound; excess spans are
+// counted in TraceSpansDroppedTotal and on the trace itself.
+const maxSpansPerTrace = 2048
+
+// recorderSize is the number of completed traces the ring recorder keeps.
+const recorderSize = 16
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// SpanData is one completed span.
+type SpanData struct {
+	ID       int           `json:"id"`
+	Parent   int           `json:"parent"` // -1 for the root
+	Name     string        `json:"name"`
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"duration_ns"`
+	Attrs    []Attr        `json:"attrs,omitempty"`
+}
+
+// TraceData is one recorded trace: the completed spans of a single root
+// operation (e.g. one Grader.Grade call), linked by parent IDs.
+type TraceData struct {
+	Name    string     `json:"name"`
+	Spans   []SpanData `json:"spans"`
+	Dropped int        `json:"dropped,omitempty"`
+}
+
+// trace accumulates spans while the root span is open.
+type trace struct {
+	mu      sync.Mutex
+	name    string
+	nextID  int
+	spans   []SpanData
+	dropped int
+}
+
+// Span is an in-flight span. A nil *Span is a valid no-op (the disabled
+// path), so callers never branch on whether tracing is on.
+type Span struct {
+	t      *trace
+	id     int
+	parent int
+	name   string
+	start  time.Time
+	attrs  []Attr
+}
+
+// StartTrace opens a new trace and returns its root span, or nil when
+// tracing is disabled. Ending the root span records the trace in the ring
+// recorder.
+func StartTrace(name string) *Span {
+	if !tracing.Load() {
+		return nil
+	}
+	t := &trace{name: name, nextID: 1}
+	return &Span{t: t, id: 0, parent: -1, name: name, start: time.Now()}
+}
+
+// Child opens a sub-span. Nil-safe.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	s.t.mu.Lock()
+	id := s.t.nextID
+	s.t.nextID++
+	s.t.mu.Unlock()
+	return &Span{t: s.t, id: id, parent: s.id, name: name, start: time.Now()}
+}
+
+// SetAttr annotates the span. Nil-safe.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+}
+
+// SetAttrInt annotates the span with an integer value. Nil-safe.
+func (s *Span) SetAttrInt(key string, v int64) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: strconv.FormatInt(v, 10)})
+}
+
+// End completes the span. Ending the root span seals the trace and records
+// it. Nil-safe.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	d := time.Since(s.start)
+	s.t.mu.Lock()
+	if len(s.t.spans) < maxSpansPerTrace {
+		s.t.spans = append(s.t.spans, SpanData{
+			ID: s.id, Parent: s.parent, Name: s.name,
+			Start: s.start, Duration: d, Attrs: s.attrs,
+		})
+	} else {
+		s.t.dropped++
+	}
+	root := s.parent == -1
+	var td *TraceData
+	if root {
+		td = &TraceData{Name: s.t.name, Spans: append([]SpanData(nil), s.t.spans...), Dropped: s.t.dropped}
+	}
+	s.t.mu.Unlock()
+	if root {
+		TraceSpansDroppedTotal.Add(int64(td.Dropped))
+		recordTrace(td)
+	}
+}
+
+// Tree renders the trace as an indented span tree for humans:
+//
+//	grade/assignment1 1.2ms
+//	  build_epdg 310µs methods=1 nodes=14 edges=21
+//	  binding 850µs score=5
+//	    match:seq-odd-access 220µs embeddings=1 steps=48
+func (t *TraceData) Tree() string {
+	children := map[int][]int{}
+	byID := map[int]int{} // span ID -> index in t.Spans
+	for i, s := range t.Spans {
+		byID[s.ID] = i
+		children[s.Parent] = append(children[s.Parent], i)
+	}
+	for _, idxs := range children {
+		sort.Slice(idxs, func(a, b int) bool {
+			return t.Spans[idxs[a]].Start.Before(t.Spans[idxs[b]].Start)
+		})
+	}
+	var sb strings.Builder
+	var walk func(idx, depth int)
+	walk = func(idx, depth int) {
+		s := t.Spans[idx]
+		sb.WriteString(strings.Repeat("  ", depth))
+		sb.WriteString(s.Name)
+		fmt.Fprintf(&sb, " %v", s.Duration.Round(time.Microsecond))
+		for _, a := range s.Attrs {
+			sb.WriteString(" " + a.Key + "=" + a.Value)
+		}
+		sb.WriteByte('\n')
+		for _, c := range children[s.ID] {
+			walk(c, depth+1)
+		}
+	}
+	// Roots are spans whose parent is not in the trace (normally just -1).
+	for i, s := range t.Spans {
+		if _, ok := byID[s.Parent]; !ok {
+			walk(i, 0)
+		}
+	}
+	if t.Dropped > 0 {
+		fmt.Fprintf(&sb, "(+%d spans dropped at the %d-span cap)\n", t.Dropped, maxSpansPerTrace)
+	}
+	return sb.String()
+}
+
+// ---------------------------------------------------------------------------
+// Ring recorder
+
+var (
+	recMu   sync.Mutex
+	recRing [recorderSize]*TraceData
+	recPos  int
+)
+
+func recordTrace(td *TraceData) {
+	recMu.Lock()
+	recRing[recPos] = td
+	recPos = (recPos + 1) % recorderSize
+	recMu.Unlock()
+}
+
+// LastTrace returns the most recently completed trace, or nil.
+func LastTrace() *TraceData {
+	recMu.Lock()
+	defer recMu.Unlock()
+	i := (recPos - 1 + recorderSize) % recorderSize
+	return recRing[i]
+}
+
+// Traces returns the recorded traces, most recent first.
+func Traces() []*TraceData {
+	recMu.Lock()
+	defer recMu.Unlock()
+	var out []*TraceData
+	for k := 1; k <= recorderSize; k++ {
+		td := recRing[(recPos-k+recorderSize)%recorderSize]
+		if td != nil {
+			out = append(out, td)
+		}
+	}
+	return out
+}
+
+// ResetTraces clears the ring recorder (for tests and smoke runs).
+func ResetTraces() {
+	recMu.Lock()
+	defer recMu.Unlock()
+	for i := range recRing {
+		recRing[i] = nil
+	}
+	recPos = 0
+}

@@ -4,6 +4,7 @@ import (
 	"semfeed/internal/java/ast"
 	"semfeed/internal/java/pretty"
 	"semfeed/internal/java/token"
+	"semfeed/internal/obs"
 )
 
 // BuildOpts select between the EPDG construction conventions the paper
@@ -51,6 +52,9 @@ func BuildWith(m *ast.Method, opts BuildOpts) *Graph {
 	if m.Body != nil {
 		b.stmts(m.Body.Stmts, -1, defs)
 	}
+	obs.EPDGBuildsTotal.Inc()
+	obs.EPDGNodesTotal.Add(int64(len(b.g.Nodes)))
+	obs.EPDGEdgesTotal.Add(int64(len(b.g.Edges)))
 	return b.g
 }
 
