@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench table table-json metrics-smoke fuzz fmt vet examples clean
+.PHONY: all build test race bench bench-smoke table table-json metrics-smoke fuzz fmt vet examples clean
 
 all: build vet test
 
@@ -20,6 +20,14 @@ race:
 # comparisons, and the construction ablations.
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# Cheap CI guard for the perf-critical paths: compile and run the matcher
+# and batch-grading benchmarks once (-benchtime=1x), so benchmark rot and
+# gross regressions (panics, step-limit blowups) surface on every push
+# without the cost of a real measurement run.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkMatcher|BenchmarkMatcherColdGraphs' -benchtime=1x ./internal/match/
+	$(GO) test -run '^$$' -bench 'BenchmarkGradeAll' -benchtime=1x ./internal/core/
 
 # Regenerate Table I (sampled; raise -n for tighter D estimates).
 table:

@@ -51,6 +51,26 @@ type (
 	ReportStats = core.Stats
 )
 
+// Batch grading engine: grade whole submission loads on a bounded worker
+// pool with per-submission error isolation and context cancellation.
+type (
+	// BatchGrader grades submission batches concurrently.
+	BatchGrader = core.BatchGrader
+	// BatchOptions tune the batch engine (worker count, result streaming).
+	BatchOptions = core.BatchOptions
+	// Submission is one batch work item: an ID plus Java source.
+	Submission = core.Submission
+	// BatchResult is one submission's report or isolated failure.
+	BatchResult = core.BatchResult
+	// BatchStats aggregates one GradeAll run (throughput, failures, wall time).
+	BatchStats = core.BatchStats
+)
+
+// NewBatchGrader wraps a grader in the batch engine.
+func NewBatchGrader(g *Grader, opts BatchOptions) *BatchGrader {
+	return core.NewBatchGrader(g, opts)
+}
+
 // Observability: the pipeline metrics registry and the span tracer. Both are
 // off by default and every hook is a zero-allocation no-op until enabled, so
 // embedding platforms pay nothing unless they opt in.

@@ -10,9 +10,11 @@
 //	feedback -assignment assignment1 -functest submission.java
 //	feedback -assignment assignment1 -reference -trace -metrics-dump
 //	feedback -assignment assignment1 -metrics-addr :9090 submission.java
+//	feedback -assignment assignment1 -workers 4 sub1.java sub2.java sub3.java
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -34,6 +36,7 @@ func main() {
 		inlineHelpers = flag.Bool("inline", false, "inline simple helper methods before grading (future-work extension)")
 		normalizeElse = flag.Bool("normalize-else", false, "normalize else branches into negated conditions (future-work extension)")
 		jsonOut       = flag.Bool("json", false, "emit the report as JSON (for LMS integration)")
+		workers       = flag.Int("workers", 0, "batch pool size when grading multiple files (0 = GOMAXPROCS)")
 		traceFlag     = flag.Bool("trace", false, "record the grade as a span trace and print the span tree to stderr")
 		metricsDump   = flag.Bool("metrics-dump", false, "print the Prometheus metrics exposition to stderr on exit")
 		metricsAddr   = flag.String("metrics-addr", "", "serve /metrics, /metrics.json and /trace on this address while running")
@@ -83,16 +86,22 @@ func main() {
 		os.Exit(2)
 	}
 
+	grader := core.NewGrader(core.Options{
+		InlineHelpers: *inlineHelpers,
+		BuildOptions:  pdg.BuildOpts{NormalizeElse: *normalizeElse},
+	})
+
+	// Several file arguments grade as one batch on the worker pool; the
+	// reports print in argument order regardless of completion order.
+	if !*reference && flag.NArg() > 1 {
+		os.Exit(gradeBatch(grader, a, flag.Args(), *workers, *jsonOut, dumpObs))
+	}
+
 	src, err := readSource(*reference, a)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "feedback: %v\n", err)
 		os.Exit(1)
 	}
-
-	grader := core.NewGrader(core.Options{
-		InlineHelpers: *inlineHelpers,
-		BuildOptions:  pdg.BuildOpts{NormalizeElse: *normalizeElse},
-	})
 	report, err := grader.Grade(src, a.Spec)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "feedback: %v\n", err)
@@ -129,6 +138,60 @@ func main() {
 			}
 		}
 	}
+}
+
+// gradeBatch grades every named file through the batch engine and prints the
+// reports in argument order. Unreadable or unparseable files fail alone; the
+// exit code is 1 if any submission failed.
+func gradeBatch(grader *core.Grader, a *assignments.Assignment, paths []string, workers int, jsonOut bool, dumpObs func()) int {
+	subs := make([]core.Submission, len(paths))
+	for i, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "feedback: %v\n", err)
+			return 1
+		}
+		subs[i] = core.Submission{ID: path, Src: string(data)}
+	}
+
+	bg := core.NewBatchGrader(grader, core.BatchOptions{Workers: workers})
+	results, stats := bg.GradeAll(context.Background(), a.Spec, subs)
+	defer dumpObs()
+
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		type item struct {
+			File   string       `json:"file"`
+			Error  string       `json:"error,omitempty"`
+			Report *core.Report `json:"report,omitempty"`
+		}
+		items := make([]item, len(results))
+		for i, res := range results {
+			items[i] = item{File: res.ID, Report: res.Report}
+			if res.Err != nil {
+				items[i].Error = res.Err.Error()
+			}
+		}
+		if err := enc.Encode(items); err != nil {
+			fmt.Fprintf(os.Stderr, "feedback: %v\n", err)
+			return 1
+		}
+	} else {
+		for _, res := range results {
+			fmt.Printf("=== %s ===\n", res.ID)
+			if res.Err != nil {
+				fmt.Printf("  error: %v\n", res.Err)
+				continue
+			}
+			fmt.Print(res.Report)
+		}
+		fmt.Printf("batch: %s\n", stats)
+	}
+	if stats.Failed > 0 || stats.Cancelled > 0 {
+		return 1
+	}
+	return 0
 }
 
 func readSource(useReference bool, a *assignments.Assignment) (string, error) {

@@ -9,6 +9,8 @@
 //	tableone -n 5000      # larger sample; small spaces become exhaustive
 //	tableone -assignment assignment1 -n 640000   # one full row
 //	tableone -json        # also write BENCH_tableone.json (T, M, D plus matcher work counters)
+//	tableone -workers 4   # batch-grade each row on a 4-worker pool (also measures speedup vs serial)
+//	tableone -seed 42     # reproducible alternate sample of non-exhaustive rows
 //	tableone -metrics-addr :9090   # serve live pipeline metrics during the sweep
 package main
 
@@ -27,6 +29,8 @@ func main() {
 	var (
 		n           = flag.Int("n", 200, "max submissions evaluated per assignment")
 		one         = flag.String("assignment", "", "measure a single assignment")
+		workers     = flag.Int("workers", 0, "batch grading pool size (0 = GOMAXPROCS)")
+		seed        = flag.Int64("seed", 0, "sample seed for non-exhaustive rows (0 = historical walk)")
 		jsonOut     = flag.Bool("json", false, "write the sweep (incl. matcher work counters) to -json-out")
 		jsonPath    = flag.String("json-out", "BENCH_tableone.json", "output path for -json")
 		traceFlag   = flag.Bool("trace", false, "record grade span traces and print the last span tree to stderr")
@@ -47,6 +51,7 @@ func main() {
 		}()
 	}
 
+	opts := bench.Options{MaxSubs: *n, Workers: *workers, Seed: *seed}
 	var rows []bench.Row
 	if *one != "" {
 		a := assignments.Get(*one)
@@ -54,9 +59,9 @@ func main() {
 			fmt.Fprintf(os.Stderr, "tableone: unknown assignment %q\n", *one)
 			os.Exit(2)
 		}
-		rows = []bench.Row{bench.MeasureRow(a, *n)}
+		rows = []bench.Row{bench.MeasureRowOpts(a, opts)}
 	} else {
-		rows = bench.MeasureAll(*n)
+		rows = bench.MeasureAllOpts(opts)
 	}
 	fmt.Print(bench.FormatTable(rows))
 	fmt.Println("\nD(eval) counts functional-vs-feedback disagreements among evaluated submissions;")

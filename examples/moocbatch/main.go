@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -12,6 +13,7 @@ import (
 
 	"semfeed/internal/assignments"
 	"semfeed/internal/core"
+	"semfeed/internal/java/ast"
 	"semfeed/internal/java/parser"
 )
 
@@ -19,6 +21,8 @@ func main() {
 	var (
 		assignmentID = flag.String("assignment", "assignment1", "assignment to grade")
 		n            = flag.Int("n", 500, "submissions to grade")
+		workers      = flag.Int("workers", 0, "grading pool size (0 = GOMAXPROCS)")
+		seed         = flag.Int64("seed", 0, "sample seed (0 = historical walk)")
 	)
 	flag.Parse()
 
@@ -27,29 +31,37 @@ func main() {
 		log.Fatalf("unknown assignment %q", *assignmentID)
 	}
 	grader := core.NewGrader(core.Options{})
-	sample := a.Synth.Sample(*n)
+	sample := a.Synth.SampleSeed(*n, *seed)
 
-	var (
-		allCorrect, someIncorrect, notExpected int
-		agree                                  int
-		feedbackTime                           time.Duration
-		funcTime                               time.Duration
-	)
-	for _, k := range sample {
-		src := a.Synth.Render(k)
-		unit, err := parser.Parse(src)
+	// Parse everything up front, as a platform ingesting uploads would.
+	units := make([]*ast.CompilationUnit, len(sample))
+	for i, k := range sample {
+		unit, err := parser.Parse(a.Synth.Render(k))
 		if err != nil {
 			log.Fatalf("submission %d: %v", k, err)
 		}
+		units[i] = unit
+	}
 
+	// Feedback pass: the whole load through the batch engine's worker pool.
+	bg := core.NewBatchGrader(grader, core.BatchOptions{Workers: *workers})
+	results, stats := bg.GradeUnits(context.Background(), a.Spec, units)
+
+	// Functional-testing pass for the agreement comparison.
+	var funcTime time.Duration
+	verdicts := make([]bool, len(units))
+	for i, unit := range units {
 		t0 := time.Now()
-		rep := grader.GradeUnit(unit, a.Spec)
-		feedbackTime += time.Since(t0)
+		verdicts[i] = a.Tests.Run(unit).Pass
+		funcTime += time.Since(t0)
+	}
 
-		t1 := time.Now()
-		verdict := a.Tests.Run(unit)
-		funcTime += time.Since(t1)
-
+	var allCorrect, someIncorrect, notExpected, agree int
+	for i, res := range results {
+		if res.Err != nil {
+			log.Fatalf("submission %d: %v", i, res.Err)
+		}
+		rep := res.Report
 		switch {
 		case rep.AllCorrect():
 			allCorrect++
@@ -58,17 +70,17 @@ func main() {
 		default:
 			someIncorrect++
 		}
-		if verdict.Pass == rep.AllCorrect() {
+		if verdicts[i] == rep.AllCorrect() {
 			agree++
 		}
 	}
 
 	total := len(sample)
 	fmt.Printf("assignment        %s (|S| = %d)\n", a.ID, a.Synth.Size())
-	fmt.Printf("graded            %d submissions\n", total)
-	fmt.Printf("feedback time     %v total, %v/submission (%0.f submissions/sec)\n",
-		feedbackTime.Round(time.Millisecond), (feedbackTime / time.Duration(total)).Round(time.Microsecond),
-		float64(total)/feedbackTime.Seconds())
+	fmt.Printf("graded            %d submissions on %d workers\n", total, stats.Workers)
+	fmt.Printf("feedback time     %v wall, %v cpu, %v/submission (%.0f submissions/sec)\n",
+		stats.Wall.Round(time.Millisecond), stats.GradeTime.Round(time.Millisecond),
+		(stats.GradeTime / time.Duration(total)).Round(time.Microsecond), stats.Throughput())
 	fmt.Printf("functional time   %v total, %v/submission\n",
 		funcTime.Round(time.Millisecond), (funcTime / time.Duration(total)).Round(time.Microsecond))
 	fmt.Printf("verdicts          %d all-correct, %d with incorrect pieces, %d with missing/unexpected pieces\n",

@@ -8,6 +8,7 @@
 package bench
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -16,9 +17,24 @@ import (
 
 	"semfeed/internal/assignments"
 	"semfeed/internal/core"
+	"semfeed/internal/java/ast"
 	"semfeed/internal/java/parser"
 	"semfeed/internal/synth"
 )
+
+// Options tune a Table I measurement run.
+type Options struct {
+	// MaxSubs is the per-assignment submission budget (spaces at most this
+	// large are enumerated exhaustively).
+	MaxSubs int
+	// Workers is the batch-grading pool size (default GOMAXPROCS). With
+	// Workers > 1 the run additionally measures a serial grading pass so the
+	// recorded speedup is an actual measurement, not an estimate.
+	Workers int
+	// Seed selects the sample of non-exhaustive rows (see synth.SampleSeed);
+	// it is recorded in the row so sampled runs are reproducible.
+	Seed int64
+}
 
 // Row is one measured Table I row, extended with the mean per-submission
 // matcher work counters the observability layer accounts (so the perf
@@ -46,41 +62,84 @@ type Row struct {
 	AvgConstraintCombos float64 `json:"avg_constraint_combos"`
 	AvgEPDGNodes        float64 `json:"avg_epdg_nodes"`
 	AvgEPDGEdges        float64 `json:"avg_epdg_edges"`
+
+	// Batch grading throughput (the BatchGrader run that graded this row).
+	Seed            int64         `json:"seed"`               // sample seed (0 = historical walk)
+	Workers         int           `json:"workers"`            // batch pool size
+	GradeWall       time.Duration `json:"grade_wall_ns"`      // wall time of the batch grading pass
+	SubsPerSec      float64       `json:"grade_subs_per_sec"` // graded submissions per wall second
+	SpeedupVsSerial float64       `json:"speedup_vs_serial,omitempty"` // measured only when Workers > 1
 }
 
-// MeasureRow evaluates up to maxSubs submissions of the assignment's space.
+// MeasureRow evaluates up to maxSubs submissions of the assignment's space
+// with default options.
 func MeasureRow(a *assignments.Assignment, maxSubs int) Row {
+	return MeasureRowOpts(a, Options{MaxSubs: maxSubs})
+}
+
+// MeasureRowOpts evaluates one Table I row: it renders and parses the
+// sampled space, runs the functional-test ground truth sequentially (column
+// T), grades everything through the batch engine (columns M and D plus the
+// matcher work counters), and records the batch throughput.
+func MeasureRowOpts(a *assignments.Assignment, opts Options) Row {
+	if opts.MaxSubs <= 0 {
+		opts.MaxSubs = 200
+	}
 	row := Row{
 		Assignment: a.ID,
 		S:          a.Synth.Size(),
 		P:          a.Spec.PatternCount(),
 		C:          a.Spec.ConstraintCount(),
+		Seed:       opts.Seed,
 	}
-	sample := a.Synth.Sample(maxSubs)
+	sample := a.Synth.SampleSeed(opts.MaxSubs, opts.Seed)
 	row.Evaluated = len(sample)
 	row.Exhaustive = int64(len(sample)) == row.S
 
-	grader := core.NewGrader(core.Options{})
+	// Render and parse the whole sample up front; grading and functional
+	// testing then work on the same parsed units.
 	var lines int
-	var funcTotal, matchTotal time.Duration
-	var work core.Stats
+	units := make([]*ast.CompilationUnit, 0, len(sample))
 	for _, k := range sample {
 		src := a.Synth.Render(k)
 		lines += synth.Lines(src)
-
 		unit, err := parser.Parse(src)
 		if err != nil {
 			row.ParseFail++
 			continue
 		}
+		units = append(units, unit)
+	}
 
+	// Column T: the functional-testing ground truth, sequential as the
+	// interpreter would run inside a grading sandbox.
+	verdicts := make([]bool, len(units))
+	var funcTotal time.Duration
+	for i, unit := range units {
 		t0 := time.Now()
-		verdict := a.Tests.Run(unit)
+		verdicts[i] = a.Tests.Run(unit).Pass
 		funcTotal += time.Since(t0)
+	}
 
-		t1 := time.Now()
-		rep := grader.GradeUnit(unit, a.Spec)
-		matchTotal += time.Since(t1)
+	// Columns M and D: batch-grade every parsed unit. M averages the
+	// per-report grading time (measured inside GradeUnit, so it stays a
+	// per-submission cost no matter how many workers run).
+	grader := core.NewGrader(core.Options{})
+	bg := core.NewBatchGrader(grader, core.BatchOptions{Workers: opts.Workers})
+	results, bstats := bg.GradeUnits(context.Background(), a.Spec, units)
+	row.Workers = bstats.Workers
+	row.GradeWall = bstats.Wall
+	row.SubsPerSec = bstats.Throughput()
+
+	var matchTotal time.Duration
+	var work core.Stats
+	for i, res := range results {
+		if res.Err != nil || res.Report == nil {
+			row.ParseFail++ // should not happen: units already parsed
+			continue
+		}
+		rep := res.Report
+		matchTotal += rep.Elapsed
 
 		st := rep.Stats
 		work.MatchSteps += st.MatchSteps
@@ -91,10 +150,21 @@ func MeasureRow(a *assignments.Assignment, maxSubs int) Row {
 		work.EPDGNodes += st.EPDGNodes
 		work.EPDGEdges += st.EPDGEdges
 
-		if verdict.Pass != rep.AllCorrect() {
+		if verdicts[i] != rep.AllCorrect() {
 			row.D++
 		}
 	}
+
+	// With a parallel pool, measure the serial pass too so the recorded
+	// speedup is a real before/after on this machine and sample.
+	if bstats.Workers > 1 && bstats.Wall > 0 {
+		serial := core.NewBatchGrader(grader, core.BatchOptions{Workers: 1})
+		_, sstats := serial.GradeUnits(context.Background(), a.Spec, units)
+		if sstats.Wall > 0 {
+			row.SpeedupVsSerial = sstats.Wall.Seconds() / bstats.Wall.Seconds()
+		}
+	}
+
 	n := len(sample) - row.ParseFail
 	if n > 0 {
 		row.L = float64(lines) / float64(len(sample))
@@ -150,11 +220,15 @@ func fmtDur(d time.Duration) string {
 	}
 }
 
-// MeasureAll measures every Table I row with the given per-assignment budget.
-func MeasureAll(maxSubs int) []Row {
+// MeasureAll measures every Table I row with the given per-assignment budget
+// and default options.
+func MeasureAll(maxSubs int) []Row { return MeasureAllOpts(Options{MaxSubs: maxSubs}) }
+
+// MeasureAllOpts measures every Table I row with explicit options.
+func MeasureAllOpts(opts Options) []Row {
 	var rows []Row
 	for _, a := range assignments.All() {
-		rows = append(rows, MeasureRow(a, maxSubs))
+		rows = append(rows, MeasureRowOpts(a, opts))
 	}
 	return rows
 }
@@ -163,15 +237,23 @@ func MeasureAll(maxSubs int) []Row {
 // cmd/tableone -json, consumed by perf-trajectory tooling across PRs.
 type JSONReport struct {
 	GeneratedAt string `json:"generated_at"` // RFC 3339
+	Seed        int64  `json:"seed"`         // sample seed of the sweep
+	Workers     int    `json:"workers"`      // batch grading pool size
 	Rows        []Row  `json:"rows"`
 }
 
-// WriteJSON writes the sweep as indented JSON.
+// WriteJSON writes the sweep as indented JSON. Seed and workers are taken
+// from the rows (every row of one sweep shares them).
 func WriteJSON(w io.Writer, rows []Row, generatedAt time.Time) error {
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(JSONReport{
+	rep := JSONReport{
 		GeneratedAt: generatedAt.UTC().Format(time.RFC3339),
 		Rows:        rows,
-	})
+	}
+	if len(rows) > 0 {
+		rep.Seed = rows[0].Seed
+		rep.Workers = rows[0].Workers
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
 }

@@ -1,0 +1,285 @@
+package core_test
+
+import (
+	"context"
+	"encoding/json"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"semfeed/internal/assignments"
+	"semfeed/internal/core"
+	"semfeed/internal/java/parser"
+	"semfeed/internal/obs"
+	"semfeed/internal/pattern"
+)
+
+// batchSample renders n submissions of the assignment as batch work items.
+func batchSample(t testing.TB, id string, n int) (*assignments.Assignment, []core.Submission) {
+	t.Helper()
+	a := assignments.Get(id)
+	if a == nil {
+		t.Fatalf("unknown assignment %q", id)
+	}
+	var subs []core.Submission
+	for _, k := range a.Synth.Sample(n) {
+		subs = append(subs, core.Submission{ID: a.ID, Src: a.Synth.Render(k)})
+	}
+	return a, subs
+}
+
+// normalizeReport strips the timing-bearing fields so reports can be compared
+// byte-for-byte across sequential and concurrent runs.
+func normalizeReport(t *testing.T, rep *core.Report) string {
+	t.Helper()
+	cp := *rep
+	cp.Elapsed = 0
+	cp.Stats = nil
+	data, err := json.Marshal(&cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// TestGradeAllMatchesSequential is the batch engine's correctness contract:
+// modulo Stats and Elapsed, GradeAll must produce byte-identical reports to
+// one-at-a-time Grade calls, in input order.
+func TestGradeAllMatchesSequential(t *testing.T) {
+	a, subs := batchSample(t, "assignment1", 48)
+	g := core.NewGrader(core.Options{})
+
+	want := make([]string, len(subs))
+	for i, s := range subs {
+		rep, err := g.Grade(s.Src, a.Spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = normalizeReport(t, rep)
+	}
+
+	bg := core.NewBatchGrader(g, core.BatchOptions{Workers: 8})
+	results, stats := bg.GradeAll(context.Background(), a.Spec, subs)
+	if len(results) != len(subs) {
+		t.Fatalf("got %d results for %d submissions", len(results), len(subs))
+	}
+	if stats.Graded != len(subs) || stats.Failed != 0 || stats.Cancelled != 0 {
+		t.Fatalf("stats = %v, want all %d graded", stats, len(subs))
+	}
+	for i, res := range results {
+		if res.Index != i || res.Err != nil || res.Report == nil {
+			t.Fatalf("result %d: index=%d err=%v report=%v", i, res.Index, res.Err, res.Report != nil)
+		}
+		if got := normalizeReport(t, res.Report); got != want[i] {
+			t.Errorf("submission %d: batch report differs from sequential\n batch: %s\n  seq: %s", i, got, want[i])
+		}
+	}
+}
+
+// TestGradeAllPoisonedSubmission checks per-submission error isolation: one
+// unparseable submission fails alone, everything else still grades.
+func TestGradeAllPoisonedSubmission(t *testing.T) {
+	a, subs := batchSample(t, "assignment1", 12)
+	poisoned := 5
+	subs[poisoned].Src = "public class { this is not java ;;;"
+
+	bg := core.NewBatchGrader(core.NewGrader(core.Options{}), core.BatchOptions{Workers: 4})
+	results, stats := bg.GradeAll(context.Background(), a.Spec, subs)
+	if stats.Failed != 1 || stats.Graded != len(subs)-1 {
+		t.Fatalf("stats = %v, want 1 failed / %d graded", stats, len(subs)-1)
+	}
+	for i, res := range results {
+		if i == poisoned {
+			if res.Err == nil || res.Report != nil {
+				t.Errorf("poisoned submission: err=%v report=%v, want parse error only", res.Err, res.Report != nil)
+			}
+			continue
+		}
+		if res.Err != nil || res.Report == nil {
+			t.Errorf("submission %d: err=%v, want graded report", i, res.Err)
+		}
+	}
+}
+
+// TestGradeAllCancelledContext: a batch offered an already-cancelled context
+// grades nothing and marks every submission with the context error.
+func TestGradeAllCancelledContext(t *testing.T) {
+	a, subs := batchSample(t, "assignment1", 8)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	bg := core.NewBatchGrader(core.NewGrader(core.Options{}), core.BatchOptions{Workers: 4})
+	results, stats := bg.GradeAll(ctx, a.Spec, subs)
+	if stats.Cancelled != len(subs) || stats.Graded != 0 {
+		t.Fatalf("stats = %v, want all %d cancelled", stats, len(subs))
+	}
+	for i, res := range results {
+		if res.Err != context.Canceled {
+			t.Errorf("submission %d: err = %v, want context.Canceled", i, res.Err)
+		}
+	}
+}
+
+// TestGradeAllCancelMidBatch cancels from the OnResult stream after the
+// third report: with one worker the remaining submissions must be skipped,
+// and every submission is accounted for exactly once.
+func TestGradeAllCancelMidBatch(t *testing.T) {
+	a, subs := batchSample(t, "assignment1", 10)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var delivered atomic.Int64
+	bg := core.NewBatchGrader(core.NewGrader(core.Options{}), core.BatchOptions{
+		Workers: 1,
+		OnResult: func(res core.BatchResult) {
+			if delivered.Add(1) == 3 {
+				cancel()
+			}
+		},
+	})
+	_, stats := bg.GradeAll(ctx, a.Spec, subs)
+	if stats.Graded != 3 {
+		t.Errorf("graded = %d, want exactly 3 before cancellation (1 worker)", stats.Graded)
+	}
+	if stats.Cancelled != len(subs)-3 {
+		t.Errorf("cancelled = %d, want %d", stats.Cancelled, len(subs)-3)
+	}
+	if got := stats.Graded + stats.Failed + stats.Cancelled; got != len(subs) {
+		t.Errorf("accounted %d of %d submissions", got, len(subs))
+	}
+	if int(delivered.Load()) != len(subs) {
+		t.Errorf("OnResult delivered %d results, want %d (cancelled ones included)", delivered.Load(), len(subs))
+	}
+}
+
+// TestGradeAllWithMetricsAndTracing is the batch engine's -race proof with
+// the observability layer fully on: concurrent workers, concurrent metric
+// snapshots, and the batch counters accounting for every submission.
+func TestGradeAllWithMetricsAndTracing(t *testing.T) {
+	obs.Enable()
+	obs.EnableTracing()
+	defer obs.Disable()
+	defer obs.DisableTracing()
+
+	a, subs := batchSample(t, "assignment1", 32)
+	before := obs.TakeSnapshot()
+
+	done := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			_ = obs.TakeSnapshot()
+			if td := obs.LastTrace(); td != nil {
+				_ = td.Tree()
+			}
+		}
+	}()
+
+	bg := core.NewBatchGrader(core.NewGrader(core.Options{}), core.BatchOptions{Workers: 8})
+	results, stats := bg.GradeAll(context.Background(), a.Spec, subs)
+	close(done)
+	readers.Wait()
+
+	if stats.Graded != len(subs) {
+		t.Fatalf("stats = %v, want %d graded", stats, len(subs))
+	}
+	for i, res := range results {
+		if res.Err != nil || res.Report == nil || res.Report.Stats.MatchCalls == 0 {
+			t.Fatalf("submission %d: err=%v, stats not populated under concurrency", i, res.Err)
+		}
+	}
+	after := obs.TakeSnapshot()
+	if got := after.Counter("semfeed_batch_total") - before.Counter("semfeed_batch_total"); got != 1 {
+		t.Errorf("batch_total moved by %d, want 1", got)
+	}
+	if got := after.Counter("semfeed_batch_submissions_total") - before.Counter("semfeed_batch_submissions_total"); got != int64(len(subs)) {
+		t.Errorf("batch_submissions_total moved by %d, want %d", got, len(subs))
+	}
+	if got := after.Counter("semfeed_grades_total") - before.Counter("semfeed_grades_total"); got < int64(len(subs)) {
+		t.Errorf("grades_total moved by %d, want >= %d", got, len(subs))
+	}
+}
+
+// TestMatchCacheAcrossBindings pins the E×A memoization: with 2 expected and
+// 3 submission methods (no identity binding), Algorithm 2 scores 6 bindings
+// and would run 12 pattern searches; the per-grade cache must compute only
+// the 6 distinct (pattern, method) pairs and serve the rest as hits.
+func TestMatchCacheAcrossBindings(t *testing.T) {
+	mkPattern := func(name, expr string) *pattern.Compiled {
+		return pattern.MustCompile(&pattern.Pattern{
+			Name: name,
+			Vars: []string{"v"},
+			Nodes: []pattern.Node{
+				{ID: "u1", Type: "Return", Exact: []string{expr}},
+			},
+		})
+	}
+	spec := &core.AssignmentSpec{
+		Name: "renamed",
+		Methods: []core.MethodSpec{
+			{Name: "alpha", Patterns: []core.PatternUse{{Pattern: mkPattern("ret-sum", "return v + 1"), Count: 1}}},
+			{Name: "beta", Patterns: []core.PatternUse{{Pattern: mkPattern("ret-double", "return v * 2"), Count: 1}}},
+		},
+	}
+	src := `public class C {
+	  static int one(int x) { return x + 1; }
+	  static int two(int x) { return x * 2; }
+	  static int three(int x) { return x - 3; }
+	}`
+	unit, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := core.NewGrader(core.Options{}).GradeUnit(unit, spec)
+	if rep.Stats.MethodCombos != 6 {
+		t.Fatalf("method combos = %d, want 6 (3P2 bindings)", rep.Stats.MethodCombos)
+	}
+	if rep.Stats.MatchCacheMisses != 6 {
+		t.Errorf("cache misses = %d, want 6 distinct (pattern, method) pairs", rep.Stats.MatchCacheMisses)
+	}
+	if rep.Stats.MatchCacheHits != 6 {
+		t.Errorf("cache hits = %d, want 6 (12 searches - 6 distinct pairs)", rep.Stats.MatchCacheHits)
+	}
+	if rep.Stats.MatchCalls != 6 {
+		t.Errorf("match calls = %d, want 6: cached searches must not re-run Algorithm 1", rep.Stats.MatchCalls)
+	}
+	if !rep.Matched || rep.Bindings["alpha"] != "one" || rep.Bindings["beta"] != "two" {
+		t.Errorf("bindings = %v, want alpha→one beta→two", rep.Bindings)
+	}
+}
+
+// BenchmarkGradeAll measures batch throughput over the assignment1 sample at
+// several pool sizes. The workload is embarrassingly parallel: on an N-core
+// machine the expected speedup at 4 workers is ~4× (bounded by cores); on a
+// single-core runner the sub-benchmarks coincide, which is itself the
+// regression signal that per-submission work has not grown.
+func BenchmarkGradeAll(b *testing.B) {
+	a, subs := batchSample(b, "assignment1", 64)
+	g := core.NewGrader(core.Options{})
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run("workers="+strconv.Itoa(workers), func(b *testing.B) {
+			bg := core.NewBatchGrader(g, core.BatchOptions{Workers: workers})
+			b.ReportAllocs()
+			b.ResetTimer()
+			var graded int
+			var wall float64
+			for i := 0; i < b.N; i++ {
+				results, stats := bg.GradeAll(context.Background(), a.Spec, subs)
+				if stats.Failed > 0 {
+					b.Fatalf("batch failed: %v", stats)
+				}
+				graded += len(results)
+				wall += stats.Wall.Seconds()
+			}
+			b.ReportMetric(float64(graded)/wall, "subs/sec")
+		})
+	}
+}

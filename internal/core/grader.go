@@ -171,6 +171,8 @@ type Stats struct {
 	MatchBacktracks    int64 `json:"match_backtracks"`      // candidates rejected
 	MatchStepLimitHits int64 `json:"match_step_limit_hits"` // searches that hit the step budget
 	Embeddings         int64 `json:"embeddings"`            // embeddings found (pre-pruning)
+	MatchCacheHits     int64 `json:"match_cache_hits"`      // searches served from the per-grade cache
+	MatchCacheMisses   int64 `json:"match_cache_misses"`    // searches computed and cached
 
 	ConstraintChecks int64 `json:"constraint_checks"` // constraint evaluations
 	ConstraintCombos int64 `json:"constraint_combos"` // embedding combinations examined
@@ -240,6 +242,45 @@ func (o Options) maxCombos() int {
 		return o.MaxMethodCombos
 	}
 	return 720
+}
+
+// matchCache memoizes Algorithm 1 results within one GradeUnit call. The
+// method-binding sweep of Algorithm 2 re-grades the same (pattern, graph)
+// pair under every E×A combination that binds a different expected method to
+// the same submission method; embeddings depend only on the pair (and the
+// fixed match options), so each pair is searched exactly once per grade.
+// Embeddings are shared read-only by the feedback and constraint stages, so
+// handing the same slice to several bindings is safe. Keys are pointer
+// identities: patterns are compiled once per spec and graphs once per grade,
+// so pointer equality is exactly value equality here.
+type matchCache struct {
+	entries      map[matchCacheKey][]match.Embedding
+	hits, misses int64
+}
+
+type matchCacheKey struct {
+	p *pattern.Compiled
+	g *pdg.Graph
+}
+
+func newMatchCache() *matchCache {
+	return &matchCache{entries: map[matchCacheKey][]match.Embedding{}}
+}
+
+// find returns the memoized embeddings of p in g, running the matcher on the
+// first request for the pair.
+func (c *matchCache) find(p *pattern.Compiled, g *pdg.Graph, opts match.Options) (embs []match.Embedding, hit bool) {
+	k := matchCacheKey{p, g}
+	if embs, hit = c.entries[k]; hit {
+		c.hits++
+		obs.MatchCacheHitsTotal.Inc()
+		return embs, true
+	}
+	embs = match.FindOpts(p, g, opts)
+	c.entries[k] = embs
+	c.misses++
+	obs.MatchCacheMissesTotal.Inc()
+	return embs, false
 }
 
 // Grader grades submissions against assignment specs.
@@ -329,7 +370,14 @@ func (g *Grader) GradeUnit(unit *ast.CompilationUnit, spec *AssignmentSpec) *Rep
 	sort.Strings(methodNames)
 
 	// Step 2: try every combination of expected and existing methods, keep
-	// the one maximizing Λ.
+	// the one maximizing Λ. The match cache spans the whole sweep: a
+	// (pattern, graph) pair is searched once even when E×A bindings revisit
+	// it under different expected-method names.
+	cache := newMatchCache()
+	defer func() {
+		stats.MatchCacheHits = cache.hits
+		stats.MatchCacheMisses = cache.misses
+	}()
 	best := -1.0
 	for _, binding := range g.bindings(spec, methodNames) {
 		stats.MethodCombos++
@@ -337,7 +385,7 @@ func (g *Grader) GradeUnit(unit *ast.CompilationUnit, spec *AssignmentSpec) *Rep
 		if bindSp != nil {
 			bindSp.SetAttr("methods", renderBinding(binding))
 		}
-		comments, score := g.gradeBinding(spec, graphs, binding, stats, bindSp)
+		comments, score := g.gradeBinding(spec, graphs, binding, cache, stats, bindSp)
 		if bindSp != nil {
 			bindSp.SetAttr("score", fmt.Sprintf("%.1f", score))
 		}
@@ -435,7 +483,7 @@ func (g *Grader) bindings(spec *AssignmentSpec, methods []string) []map[string]s
 // gradeBinding runs steps 2.1 and 2.2 of Algorithm 2 for one method binding
 // and returns the comments with their Λ score. Matcher and constraint work
 // is accumulated into st; spans hang off parent when tracing is on.
-func (g *Grader) gradeBinding(spec *AssignmentSpec, graphs map[string]*pdg.Graph, binding map[string]string, st *Stats, parent *obs.Span) ([]Comment, float64) {
+func (g *Grader) gradeBinding(spec *AssignmentSpec, graphs map[string]*pdg.Graph, binding map[string]string, cache *matchCache, st *Stats, parent *obs.Span) ([]Comment, float64) {
 	mopts := g.opts.MatchOptions
 	work := &match.Work{}
 	mopts.Work = work
@@ -452,10 +500,15 @@ func (g *Grader) gradeBinding(spec *AssignmentSpec, graphs map[string]*pdg.Graph
 			sp := parent.Child("match:" + use.Pattern.Name())
 			stepsBefore := work.Steps
 			t0 := time.Now()
-			m := match.FindOpts(use.Pattern, graph, mopts)
-			st.MatchTime += time.Since(t0)
+			m, hit := cache.find(use.Pattern, graph, mopts)
+			if !hit {
+				st.MatchTime += time.Since(t0)
+			}
 			sp.SetAttrInt("embeddings", int64(len(m)))
 			sp.SetAttrInt("steps", work.Steps-stepsBefore)
+			if hit {
+				sp.SetAttr("cached", "true")
+			}
 			sp.End()
 			embs[use.Pattern.Name()] = m
 			c := provideFeedback(mspec.Name, use, m)
@@ -468,7 +521,7 @@ func (g *Grader) gradeBinding(spec *AssignmentSpec, graphs map[string]*pdg.Graph
 		for _, gu := range mspec.Groups {
 			sp := parent.Child("group:" + gu.Group.Name)
 			t0 := time.Now()
-			c := g.groupFeedback(mspec.Name, gu, graph, embs, mopts)
+			c := g.groupFeedback(mspec.Name, gu, graph, embs, cache, mopts)
 			st.MatchTime += time.Since(t0)
 			sp.End()
 			statuses[gu.Group.Name] = c.Status
@@ -498,12 +551,12 @@ func (g *Grader) gradeBinding(spec *AssignmentSpec, graphs map[string]*pdg.Graph
 // groupFeedback evaluates one pattern group: each member is matched, the
 // best-scoring comment wins, and the winning member's embeddings are stored
 // so constraints can correlate against it.
-func (g *Grader) groupFeedback(method string, gu GroupUse, graph *pdg.Graph, embs map[string][]match.Embedding, mopts match.Options) Comment {
+func (g *Grader) groupFeedback(method string, gu GroupUse, graph *pdg.Graph, embs map[string][]match.Embedding, cache *matchCache, mopts match.Options) Comment {
 	var best Comment
 	var bestEmbs []match.Embedding
 	var bestMember string
 	for i, member := range gu.Group.Members {
-		m := match.FindOpts(member, graph, mopts)
+		m, _ := cache.find(member, graph, mopts)
 		c := provideFeedback(method, PatternUse{Pattern: member, Count: gu.Count}, m)
 		if i == 0 || c.Status.Lambda() > best.Status.Lambda() {
 			best, bestEmbs, bestMember = c, m, member.Name()

@@ -8,7 +8,8 @@ import (
 )
 
 // legacyKey is the fmt.Fprintf implementation Key replaced; kept as the
-// benchmark baseline and as the format oracle for the compat test.
+// benchmark baseline and as the collision witness: its "k=v,k=v" γ encoding
+// conflates distinct variable maps whose names contain '=' or ','.
 func legacyKey(e *Embedding) string {
 	var sb strings.Builder
 	for _, v := range e.Iota {
@@ -33,16 +34,49 @@ func keyFixture() *Embedding {
 	}
 }
 
-func TestKeyMatchesLegacyFormat(t *testing.T) {
-	cases := []*Embedding{
-		keyFixture(),
-		{Iota: []int{5}, Gamma: map[string]string{}},
-		{Iota: nil, Gamma: map[string]string{"X": "y"}},
+// TestKeyDistinguishesSeparatorBytes is the collision regression test for the
+// length-prefixed γ encoding: every pair below collides under the legacy
+// separator-joined format (same sorted "k=v" text) but describes a different
+// variable map, so Key must keep them distinct or the searcher's dedup set
+// silently drops real embeddings.
+func TestKeyDistinguishesSeparatorBytes(t *testing.T) {
+	pairs := [][2]*Embedding{
+		{
+			{Iota: []int{1}, Gamma: map[string]string{"a": "b=c"}},
+			{Iota: []int{1}, Gamma: map[string]string{"a=b": "c"}},
+		},
+		{
+			{Iota: []int{1}, Gamma: map[string]string{"x": "1,y=2"}},
+			{Iota: []int{1}, Gamma: map[string]string{"x": "1", "y": "2"}},
+		},
+		{
+			{Iota: []int{1}, Gamma: map[string]string{"p": "", "q": ""}},
+			{Iota: []int{1}, Gamma: map[string]string{"p": ",q="}},
+		},
 	}
-	for i, e := range cases {
-		if got, want := e.Key(), legacyKey(e); got != want {
-			t.Errorf("case %d: Key() = %q, legacy = %q", i, got, want)
+	for i, pr := range pairs {
+		a, b := pr[0], pr[1]
+		if legacyKey(a) != legacyKey(b) {
+			t.Errorf("case %d: expected a legacy collision, got %q vs %q", i, legacyKey(a), legacyKey(b))
 		}
+		if a.Key() == b.Key() {
+			t.Errorf("case %d: Key collision %q for distinct γ maps %v vs %v", i, a.Key(), a.Gamma, b.Gamma)
+		}
+	}
+}
+
+// TestKeyDeterministic pins the properties dedup relies on: identical
+// embeddings share a key regardless of map iteration order, and ι is part of
+// the identity.
+func TestKeyDeterministic(t *testing.T) {
+	a := keyFixture()
+	b := keyFixture()
+	if a.Key() != b.Key() {
+		t.Errorf("equal embeddings, different keys: %q vs %q", a.Key(), b.Key())
+	}
+	b.Iota[0]++
+	if a.Key() == b.Key() {
+		t.Error("different ι, same key")
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
 	"semfeed/internal/expr"
 	"semfeed/internal/obs"
@@ -52,25 +53,38 @@ func (e *Embedding) Key() string { return string(e.AppendKey(nil)) }
 // slice. The searcher reuses one buffer across the whole search so the dedup
 // check in the hot path does not allocate per candidate embedding (the
 // fmt.Fprintf predecessor allocated per node).
+//
+// γ entries are length-prefixed ("3:abc") rather than joined with separator
+// characters: variable names are arbitrary submission identifiers, so a
+// separator-based encoding ("k=v,k=v") collides whenever a name contains the
+// separator (e.g. {"a": "b=c"} vs {"a=b": "c"}), and colliding keys silently
+// drop distinct embeddings during deduplication.
 func (e *Embedding) AppendKey(buf []byte) []byte {
 	for _, v := range e.Iota {
 		buf = strconv.AppendInt(buf, int64(v), 10)
 		buf = append(buf, ',')
 	}
 	if len(e.Gamma) > 0 {
-		vars := make([]string, 0, len(e.Gamma))
-		for k, v := range e.Gamma {
-			vars = append(vars, k+"="+v)
+		buf = append(buf, '|')
+		keys := make([]string, 0, len(e.Gamma))
+		for k := range e.Gamma {
+			keys = append(keys, k)
 		}
-		sort.Strings(vars)
-		for i, kv := range vars {
-			if i > 0 {
-				buf = append(buf, ',')
-			}
-			buf = append(buf, kv...)
+		sort.Strings(keys)
+		for _, k := range keys {
+			buf = appendLenPrefixed(buf, k)
+			buf = appendLenPrefixed(buf, e.Gamma[k])
 		}
 	}
 	return buf
+}
+
+// appendLenPrefixed appends s as "<len>:<bytes>", an encoding no content of
+// s can forge.
+func appendLenPrefixed(buf []byte, s string) []byte {
+	buf = strconv.AppendInt(buf, int64(len(s)), 10)
+	buf = append(buf, ':')
+	return append(buf, s...)
 }
 
 // String renders the embedding for diagnostics.
@@ -156,20 +170,19 @@ func Find(p *pattern.Compiled, g *pdg.Graph) []Embedding {
 	return FindOpts(p, g, Options{})
 }
 
+// searcherPool recycles searcher scratch state (candidate sets, the partial
+// embedding, the dedup set) across FindOpts calls. The grading engine runs
+// one FindOpts per pattern per method binding per submission, so under batch
+// load this is the allocation hot spot; pooling cuts it to near zero without
+// any API change. Returned embeddings never alias pooled memory.
+var searcherPool = sync.Pool{New: func() any { return new(searcher) }}
+
 // FindOpts computes the embeddings of p in g with explicit options.
 func FindOpts(p *pattern.Compiled, g *pdg.Graph, opts Options) []Embedding {
-	s := &searcher{p: p, g: g, opts: opts}
+	s := searcherPool.Get().(*searcher)
+	s.reset(p, g, opts)
 	s.computeSearchSpace()
 	s.computeOrder()
-	s.iota = make([]int, len(p.Nodes))
-	for i := range s.iota {
-		s.iota[i] = -1
-	}
-	s.approx = make([]bool, len(p.Nodes))
-	s.gamma = map[string]string{}
-	s.used = map[int]bool{}
-	s.ranGamma = map[string]bool{}
-	s.seen = map[string]bool{}
 	s.search(0)
 
 	work := Work{
@@ -190,7 +203,9 @@ func FindOpts(p *pattern.Compiled, g *pdg.Graph, opts Options) []Embedding {
 	obs.MatchEmbeddingsTotal.Add(work.Embeddings)
 	obs.MatchStepLimitTotal.Add(work.StepLimitHits)
 
-	return pruneDominated(s.out)
+	out := pruneDominated(s.out)
+	s.release()
+	return out
 }
 
 // pruneDominated drops embeddings that are strictly dominated by another
@@ -267,7 +282,7 @@ type searcher struct {
 	iota       []int
 	approx     []bool
 	gamma      map[string]string
-	used       map[int]bool
+	used       []bool // graph node ID -> already bound in ι
 	ranGamma   map[string]bool
 	seen       map[string]bool
 	keyBuf     []byte
@@ -277,23 +292,169 @@ type searcher struct {
 	out []Embedding
 }
 
+// maxRetainedSeen bounds the dedup set a pooled searcher keeps between
+// calls; pathological searches would otherwise pin their peak memory.
+const maxRetainedSeen = 4096
+
+// reset prepares a (possibly pooled) searcher for one FindOpts call,
+// reusing whatever scratch capacity survived the previous call.
+func (s *searcher) reset(p *pattern.Compiled, g *pdg.Graph, opts Options) {
+	s.p, s.g, s.opts = p, g, opts
+	n := len(p.Nodes)
+	if cap(s.phi) >= n {
+		s.phi = s.phi[:n]
+	} else {
+		s.phi = make([][]int, n)
+	}
+	s.order = s.order[:0]
+	if cap(s.iota) >= n {
+		s.iota = s.iota[:n]
+	} else {
+		s.iota = make([]int, n)
+	}
+	for i := range s.iota {
+		s.iota[i] = -1
+	}
+	if cap(s.approx) >= n {
+		s.approx = s.approx[:n]
+		for i := range s.approx {
+			s.approx[i] = false
+		}
+	} else {
+		s.approx = make([]bool, n)
+	}
+	if cap(s.used) >= len(g.Nodes) {
+		s.used = s.used[:len(g.Nodes)]
+		for i := range s.used {
+			s.used[i] = false
+		}
+	} else {
+		s.used = make([]bool, len(g.Nodes))
+	}
+	if s.gamma == nil {
+		s.gamma = map[string]string{}
+	} else {
+		clear(s.gamma)
+	}
+	if s.ranGamma == nil {
+		s.ranGamma = map[string]bool{}
+	} else {
+		clear(s.ranGamma)
+	}
+	if s.seen == nil || len(s.seen) > maxRetainedSeen {
+		s.seen = map[string]bool{}
+	} else {
+		clear(s.seen)
+	}
+	s.steps, s.backtracks = 0, 0
+	s.out = nil
+}
+
+// release drops every reference that could pin a pattern, a graph or the
+// returned embeddings, then returns the searcher to the pool.
+func (s *searcher) release() {
+	s.p, s.g = nil, nil
+	s.opts = Options{}
+	s.out = nil
+	searcherPool.Put(s)
+}
+
+// nodeReq is the structural admission test for one pattern node, derived
+// from its pattern edges: a candidate graph node needs at least the
+// pattern node's typed degrees, and its neighborhood must cover every
+// concretely-typed pattern neighbor (see pdg.NeighborBit). Both are
+// necessary conditions for Condition 2 of Definition 7, so pruning on them
+// never loses an embedding.
+type nodeReq struct {
+	outCtrl, outData, inCtrl, inData int
+	mask                             uint32
+}
+
+func (s *searcher) nodeReq(i int) nodeReq {
+	var r nodeReq
+	for _, e := range s.p.Out(i) {
+		if e.Type == pdg.Ctrl {
+			r.outCtrl++
+		} else {
+			r.outData++
+		}
+		if w := s.p.Nodes[e.To]; !w.AnyType {
+			r.mask |= pdg.NeighborBit(true, e.Type, w.TypeResolved)
+		}
+	}
+	for _, e := range s.p.In(i) {
+		if e.Type == pdg.Ctrl {
+			r.inCtrl++
+		} else {
+			r.inData++
+		}
+		if w := s.p.Nodes[e.From]; !w.AnyType {
+			r.mask |= pdg.NeighborBit(false, e.Type, w.TypeResolved)
+		}
+	}
+	return r
+}
+
+// computeSearchSpace builds Φ (step 1 of Algorithm 1). With the prefilter on
+// (the default) it draws candidates from the graph's per-type index instead
+// of scanning every node, rejects candidates whose typed degrees or
+// neighborhood cannot satisfy the pattern node's edges, and tests constant
+// templates up front. NoPrefilter falls back to the paper's plain typed scan.
 func (s *searcher) computeSearchSpace() {
-	s.phi = make([][]int, len(s.p.Nodes))
+	n := len(s.p.Nodes)
+	if cap(s.phi) >= n {
+		s.phi = s.phi[:n]
+	} else {
+		s.phi = make([][]int, n)
+	}
+	prefilter := !s.opts.NoPrefilter
+	var ix *pdg.Index
+	if prefilter {
+		ix = s.g.Index()
+	}
+	emptyGamma := map[string]string{}
 	for i, u := range s.p.Nodes {
-		var cands []int
-		for _, v := range s.g.Nodes {
-			if !u.AnyType && v.Type != u.TypeResolved {
-				continue
-			}
-			if !s.opts.NoPrefilter && len(u.Vars()) == 0 {
-				// Constant templates can be tested up front.
-				empty := map[string]string{}
-				if !u.ExactT.Match(empty, v.Renderings()) &&
-					!u.ApproxT.Match(empty, v.Renderings()) {
-					continue
+		cands := s.phi[i][:0]
+		constTemplate := prefilter && len(u.Vars()) == 0
+		var req nodeReq
+		if ix != nil {
+			req = s.nodeReq(i)
+		}
+		admit := func(v *pdg.Node) bool {
+			if ix != nil {
+				if ix.OutDegree(v.ID, pdg.Ctrl) < req.outCtrl ||
+					ix.OutDegree(v.ID, pdg.Data) < req.outData ||
+					ix.InDegree(v.ID, pdg.Ctrl) < req.inCtrl ||
+					ix.InDegree(v.ID, pdg.Data) < req.inData {
+					return false
+				}
+				if ix.NeighborMask(v.ID)&req.mask != req.mask {
+					return false
 				}
 			}
-			cands = append(cands, v.ID)
+			if constTemplate {
+				if !u.ExactT.Match(emptyGamma, v.Renderings()) &&
+					!u.ApproxT.Match(emptyGamma, v.Renderings()) {
+					return false
+				}
+			}
+			return true
+		}
+		if ix != nil && !u.AnyType {
+			for _, id := range ix.Candidates(u.TypeResolved) {
+				if v := s.g.Nodes[id]; admit(v) {
+					cands = append(cands, id)
+				}
+			}
+		} else {
+			for _, v := range s.g.Nodes {
+				if !u.AnyType && v.Type != u.TypeResolved {
+					continue
+				}
+				if admit(v) {
+					cands = append(cands, v.ID)
+				}
+			}
 		}
 		s.phi[i] = cands
 	}
@@ -304,7 +465,7 @@ func (s *searcher) computeSearchSpace() {
 // (so edge checks prune early). PaperOrder keeps declaration order.
 func (s *searcher) computeOrder() {
 	n := len(s.p.Nodes)
-	s.order = make([]int, 0, n)
+	s.order = s.order[:0]
 	if s.opts.PaperOrder {
 		for i := 0; i < n; i++ {
 			s.order = append(s.order, i)

@@ -25,6 +25,10 @@ var (
 	MatchEmbeddingsTotal = NewCounter("semfeed_match_embeddings_total", "Embeddings found (before dominance pruning).")
 	MatchStepLimitTotal  = NewCounter("semfeed_match_step_limit_total", "Searches that exhausted the step budget.")
 
+	// Per-grade match memoization (the Algorithm 2 binding-sweep cache).
+	MatchCacheHitsTotal   = NewCounter("semfeed_match_cache_hits_total", "Pattern searches served from the per-grade cache.")
+	MatchCacheMissesTotal = NewCounter("semfeed_match_cache_misses_total", "Pattern searches computed and stored in the per-grade cache.")
+
 	// Constraint checking (Definitions 8-10).
 	ConstraintChecksTotal = NewCounter("semfeed_constraint_checks_total", "Constraint evaluations.")
 	ConstraintCombosTotal = NewCounter("semfeed_constraint_combos_total", "Embedding combinations examined by constraint checks.")
@@ -43,6 +47,15 @@ var (
 	GradeSeconds           = NewHistogram("semfeed_grade_seconds", "End-to-end grade latency per submission.", nil)
 	GradeScore             = NewHistogram("semfeed_grade_score", "Λ score distribution of produced reports.", ScoreBuckets)
 	TraceSpansDroppedTotal = NewCounter("semfeed_trace_spans_dropped_total", "Spans dropped because a trace hit its span cap.")
+
+	// Batch grading engine (BatchGrader.GradeAll).
+	BatchesTotal          = NewCounter("semfeed_batch_total", "Batch grading runs started.")
+	BatchSubmissionsTotal = NewCounter("semfeed_batch_submissions_total", "Submissions graded by batch runs.")
+	BatchErrorsTotal      = NewCounter("semfeed_batch_errors_total", "Batch submissions failed by parse error or isolated panic.")
+	BatchCancelledTotal   = NewCounter("semfeed_batch_cancelled_total", "Batch submissions skipped due to context cancellation.")
+	BatchInflight         = NewGauge("semfeed_batch_inflight", "Batch runs currently executing.")
+	BatchWorkers          = NewGauge("semfeed_batch_workers", "Worker pool size of the most recent batch run.")
+	BatchSeconds          = NewHistogram("semfeed_batch_seconds", "End-to-end wall time per batch run.", nil)
 )
 
 // ScoreBuckets cover the Λ range of the assignment corpus (scores are small

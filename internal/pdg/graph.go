@@ -15,6 +15,7 @@ package pdg
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 )
 
 // NodeType is the type of an EPDG node (Definition 1).
@@ -120,6 +121,9 @@ type Graph struct {
 	adj map[edgeKey]bool
 	out map[int][]Edge
 	in  map[int][]Edge
+
+	// idx caches the candidate index (see Index); mutations invalidate it.
+	idx atomic.Pointer[Index]
 }
 
 type edgeKey struct {
@@ -141,6 +145,7 @@ func NewGraph(method string) *Graph {
 func (g *Graph) AddNode(n *Node) *Node {
 	n.ID = len(g.Nodes)
 	g.Nodes = append(g.Nodes, n)
+	g.idx.Store(nil)
 	return n
 }
 
@@ -155,6 +160,7 @@ func (g *Graph) AddEdge(from, to int, typ EdgeType) {
 	g.Edges = append(g.Edges, e)
 	g.out[from] = append(g.out[from], e)
 	g.in[to] = append(g.in[to], e)
+	g.idx.Store(nil)
 }
 
 // HasEdge reports whether the typed edge exists.

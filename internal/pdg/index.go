@@ -1,0 +1,85 @@
+package pdg
+
+// The candidate index groups a graph's nodes by type and precomputes, for
+// every node, its typed in/out degrees and a neighbor-connectivity mask. The
+// subgraph matcher (Algorithm 1) uses it to build its search space Φ without
+// scanning every node for every pattern node, and to reject candidates that
+// cannot possibly satisfy a pattern's edge structure before the backtracking
+// search ever touches them.
+//
+// The index is built lazily on first use and cached on the graph; any later
+// mutation through AddNode/AddEdge invalidates it. Concurrent Index calls may
+// race to build, but every builder produces an identical index, so the last
+// store wins harmlessly — graphs are safe to share read-only across grading
+// goroutines, which is exactly the batch-engine access pattern.
+
+const numNodeTypes = len(nodeTypeNames)
+
+// Index is the per-graph candidate index consumed by the matcher.
+type Index struct {
+	byType [numNodeTypes][]int // node IDs per node type, ascending
+	outDeg [][2]uint16         // per node ID, typed outgoing degree (EdgeType-indexed)
+	inDeg  [][2]uint16         // per node ID, typed incoming degree
+	nbrs   []uint32            // per node ID, neighbor-connectivity mask
+}
+
+// NeighborBit returns the mask bit recording "has an edge of type et, in the
+// given direction, to a neighbor of node type nt". A pattern node's required
+// bits form a mask; candidates whose mask lacks any required bit can never
+// host an embedding (every pattern edge must map to a graph edge).
+func NeighborBit(out bool, et EdgeType, nt NodeType) uint32 {
+	bit := uint(et)*uint(numNodeTypes) + uint(nt)
+	if !out {
+		bit += 2 * uint(numNodeTypes)
+	}
+	return 1 << bit
+}
+
+// Index returns the graph's candidate index, building and caching it on
+// first use.
+func (g *Graph) Index() *Index {
+	if ix := g.idx.Load(); ix != nil {
+		return ix
+	}
+	ix := g.buildIndex()
+	g.idx.Store(ix)
+	return ix
+}
+
+func (g *Graph) buildIndex() *Index {
+	ix := &Index{
+		outDeg: make([][2]uint16, len(g.Nodes)),
+		inDeg:  make([][2]uint16, len(g.Nodes)),
+		nbrs:   make([]uint32, len(g.Nodes)),
+	}
+	for _, n := range g.Nodes {
+		if t := int(n.Type); t >= 0 && t < numNodeTypes {
+			ix.byType[t] = append(ix.byType[t], n.ID)
+		}
+	}
+	for _, e := range g.Edges {
+		ix.outDeg[e.From][e.Type]++
+		ix.inDeg[e.To][e.Type]++
+		ix.nbrs[e.From] |= NeighborBit(true, e.Type, g.Nodes[e.To].Type)
+		ix.nbrs[e.To] |= NeighborBit(false, e.Type, g.Nodes[e.From].Type)
+	}
+	return ix
+}
+
+// Candidates returns the IDs of all nodes with the given type, ascending.
+// The slice is shared — callers must not modify it.
+func (ix *Index) Candidates(t NodeType) []int {
+	if t < 0 || int(t) >= numNodeTypes {
+		return nil
+	}
+	return ix.byType[t]
+}
+
+// OutDegree returns node id's outgoing degree counting only edges of type t.
+func (ix *Index) OutDegree(id int, t EdgeType) int { return int(ix.outDeg[id][t]) }
+
+// InDegree returns node id's incoming degree counting only edges of type t.
+func (ix *Index) InDegree(id int, t EdgeType) int { return int(ix.inDeg[id][t]) }
+
+// NeighborMask returns node id's neighbor-connectivity mask (see NeighborBit).
+func (ix *Index) NeighborMask(id int) uint32 { return ix.nbrs[id] }

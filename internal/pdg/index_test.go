@@ -1,0 +1,94 @@
+package pdg
+
+import (
+	"sync"
+	"testing"
+)
+
+func indexFixture() *Graph {
+	g := NewGraph("f")
+	g.AddNode(&Node{Type: Decl, Content: "int x = 0"})   // v0
+	g.AddNode(&Node{Type: Cond, Content: "x < 10"})      // v1
+	g.AddNode(&Node{Type: Assign, Content: "x = x + 1"}) // v2
+	g.AddNode(&Node{Type: Return, Content: "return x"})  // v3
+	g.AddEdge(0, 1, Data)
+	g.AddEdge(0, 2, Data)
+	g.AddEdge(1, 2, Ctrl)
+	g.AddEdge(2, 3, Data)
+	return g
+}
+
+func TestIndexCandidatesAndDegrees(t *testing.T) {
+	g := indexFixture()
+	ix := g.Index()
+	if got := ix.Candidates(Assign); len(got) != 1 || got[0] != 2 {
+		t.Errorf("Candidates(Assign) = %v, want [2]", got)
+	}
+	if got := ix.Candidates(Break); got != nil {
+		t.Errorf("Candidates(Break) = %v, want none", got)
+	}
+	if d := ix.OutDegree(0, Data); d != 2 {
+		t.Errorf("OutDegree(v0, Data) = %d, want 2", d)
+	}
+	if d := ix.OutDegree(0, Ctrl); d != 0 {
+		t.Errorf("OutDegree(v0, Ctrl) = %d, want 0", d)
+	}
+	if d := ix.InDegree(2, Ctrl); d != 1 {
+		t.Errorf("InDegree(v2, Ctrl) = %d, want 1", d)
+	}
+	// v2 has an outgoing Data edge to a Return node and an incoming Ctrl
+	// edge from a Cond node; it has no outgoing Ctrl edges at all.
+	m := ix.NeighborMask(2)
+	if m&NeighborBit(true, Data, Return) == 0 {
+		t.Error("v2 mask missing out-Data→Return bit")
+	}
+	if m&NeighborBit(false, Ctrl, Cond) == 0 {
+		t.Error("v2 mask missing in-Ctrl←Cond bit")
+	}
+	if m&NeighborBit(true, Ctrl, Return) != 0 {
+		t.Error("v2 mask has spurious out-Ctrl→Return bit")
+	}
+}
+
+func TestIndexInvalidatedByMutation(t *testing.T) {
+	g := indexFixture()
+	before := g.Index()
+	if g.Index() != before {
+		t.Fatal("index not cached between calls")
+	}
+	g.AddNode(&Node{Type: Assign, Content: "x = 0"})
+	after := g.Index()
+	if after == before {
+		t.Fatal("index not invalidated by AddNode")
+	}
+	if got := after.Candidates(Assign); len(got) != 2 {
+		t.Errorf("Candidates(Assign) after AddNode = %v, want 2 IDs", got)
+	}
+	g.AddEdge(3, 4, Ctrl)
+	final := g.Index()
+	if final == after {
+		t.Fatal("index not invalidated by AddEdge")
+	}
+	if d := final.OutDegree(3, Ctrl); d != 1 {
+		t.Errorf("OutDegree(v3, Ctrl) after AddEdge = %d, want 1", d)
+	}
+}
+
+// TestIndexConcurrentBuild races many readers on a freshly built graph; every
+// builder must produce an equivalent index and no call may observe a partial
+// one. Run with -race.
+func TestIndexConcurrentBuild(t *testing.T) {
+	g := indexFixture()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ix := g.Index()
+			if len(ix.Candidates(Assign)) != 1 || ix.OutDegree(0, Data) != 2 {
+				t.Error("concurrent Index returned inconsistent data")
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -158,7 +158,14 @@ func Lines(src string) int {
 // Sample returns up to n deterministic, distinct submission indexes spread
 // over the space: index 0 (the reference) plus a coprime stride walk. When
 // n >= Size() it returns every index.
-func (s *Spec) Sample(n int) []int64 {
+func (s *Spec) Sample(n int) []int64 { return s.SampleSeed(n, 0) }
+
+// SampleSeed is Sample with an explicit sample seed: the same (n, seed) pair
+// always selects the same indexes, and different seeds start the coprime
+// walk from different offsets, so repeated sampled Table I runs can either
+// reproduce each other exactly or cover fresh slices of the space. Seed 0 is
+// the historical Sample walk. The reference (index 0) is always included.
+func (s *Spec) SampleSeed(n int, seed int64) []int64 {
 	size := s.Size()
 	if int64(n) >= size {
 		out := make([]int64, size)
@@ -171,6 +178,13 @@ func (s *Spec) Sample(n int) []int64 {
 	out := make([]int64, 0, n)
 	seen := map[int64]bool{}
 	k := int64(0)
+	if seed != 0 {
+		// Mix the seed so adjacent seeds land far apart, then walk from
+		// there; the reference is force-included first.
+		k = int64(splitmix64(uint64(seed)) % uint64(size))
+		seen[0] = true
+		out = append(out, 0)
+	}
 	for len(out) < n {
 		if !seen[k] {
 			seen[k] = true
@@ -179,6 +193,15 @@ func (s *Spec) Sample(n int) []int64 {
 		k = (k + stride) % size
 	}
 	return out
+}
+
+// splitmix64 is the SplitMix64 mixing function — a stdlib-only way to turn
+// a small seed into a well-spread starting offset.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
 }
 
 // coprimeStride picks a stride near the golden ratio of the space size that

@@ -193,3 +193,45 @@ func TestQuickDecodeBijective(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestSampleSeedProperties: seeded sampling is reproducible per seed, keeps
+// seed 0 identical to the historical Sample walk, always includes the
+// reference, and moves to a different slice of the space for other seeds.
+func TestSampleSeedProperties(t *testing.T) {
+	s := demo()
+	zero := s.SampleSeed(5, 0)
+	plain := s.Sample(5)
+	for i := range plain {
+		if zero[i] != plain[i] {
+			t.Fatalf("SampleSeed(n, 0) = %v, want Sample(n) = %v", zero, plain)
+		}
+	}
+	a := s.SampleSeed(5, 42)
+	b := s.SampleSeed(5, 42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seed 42 not reproducible: %v vs %v", a, b)
+		}
+	}
+	if a[0] != 0 {
+		t.Errorf("seeded sample %v does not start with the reference", a)
+	}
+	seen := map[int64]bool{}
+	for _, k := range a {
+		if k < 0 || k >= s.Size() || seen[k] {
+			t.Fatalf("bad seeded sample %v", a)
+		}
+		seen[k] = true
+	}
+	c := s.SampleSeed(5, 7)
+	differs := false
+	for i := range a {
+		if a[i] != c[i] {
+			differs = true
+			break
+		}
+	}
+	if !differs {
+		t.Errorf("seeds 42 and 7 selected identical samples %v", a)
+	}
+}
