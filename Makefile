@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke table table-json metrics-smoke fuzz fmt vet examples clean
+.PHONY: all build test race bench bench-smoke bench-server table table-json metrics-smoke server-smoke fuzz fmt vet examples clean
 
 all: build vet test
 
@@ -47,6 +47,17 @@ metrics-smoke:
 	echo "$$out" | grep -q "grade/assignment1" || { echo "metrics-smoke FAIL: no span tree"; echo "$$out"; exit 1; }; \
 	echo "$$out" | grep -q "match:" || { echo "metrics-smoke FAIL: no per-pattern match spans"; echo "$$out"; exit 1; }; \
 	echo "metrics-smoke: OK"
+
+# Grading-service smoke: fixture KB via kbdump, semfeedd over HTTP, metrics
+# scrape, SIGTERM drain. See scripts/server_smoke.sh.
+server-smoke:
+	bash scripts/server_smoke.sh
+
+# Closed-loop load test of the grading service (spawns an in-process server)
+# and record the percentile summary. The hot phase must show the result-cache
+# path well ahead of cold grading.
+bench-server:
+	$(GO) run ./cmd/loadgen -clients 8 -subs 64 -rounds 3 -out BENCH_server.json > /dev/null
 
 fuzz:
 	$(GO) test ./internal/java/parser -fuzz FuzzParse -fuzztime 30s

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"semfeed/internal/assignments"
 	"semfeed/internal/core"
@@ -51,7 +52,12 @@ func main() {
 		obs.Enable()
 	}
 	if *metricsAddr != "" {
-		errc := obs.Serve(*metricsAddr)
+		msrv, errc := obs.StartServer(*metricsAddr)
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			_ = msrv.Shutdown(ctx)
+		}()
 		go func() {
 			if err := <-errc; err != nil {
 				fmt.Fprintf(os.Stderr, "feedback: metrics server: %v\n", err)

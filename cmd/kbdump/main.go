@@ -8,6 +8,7 @@
 //	kbdump > knowledge_base.json
 //	kbdump -list
 //	kbdump -dot seq-odd-access | dot -Tpng -o pattern.png
+//	kbdump -assignment assignment1 > kbdir/assignment1.json   # semfeedd KB file
 package main
 
 import (
@@ -15,13 +16,32 @@ import (
 	"fmt"
 	"os"
 
+	"semfeed/internal/assignments"
 	"semfeed/internal/kb"
 )
 
 func main() {
 	list := flag.Bool("list", false, "list pattern names and descriptions instead of JSON")
 	dot := flag.String("dot", "", "render one pattern as Graphviz DOT (Figures 4-6 style)")
+	assignment := flag.String("assignment", "", "export one built-in assignment as a semfeedd definition file")
 	flag.Parse()
+
+	// A built-in assignment exported this way round-trips through
+	// kb.ReadAssignmentDef, so it serves as a seed or fixture for the grading
+	// service's hot-reload directory.
+	if *assignment != "" {
+		a := assignments.Get(*assignment)
+		if a == nil {
+			fmt.Fprintf(os.Stderr, "kbdump: unknown assignment %q\n", *assignment)
+			os.Exit(2)
+		}
+		def := kb.ExportAssignmentDef(a.ID, a.Description, a.Spec)
+		if err := kb.WriteAssignmentDef(os.Stdout, def); err != nil {
+			fmt.Fprintf(os.Stderr, "kbdump: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *dot != "" {
 		for _, name := range kb.Names() {

@@ -1,16 +1,27 @@
-// Command kblint validates an instructor-authored JSON pattern file: every
-// pattern must compile (types, templates, edges, the Vars(r̂) ⊆ Vars(r) rule
-// of Definition 4), and optional probe files let authors check that a
-// pattern matches the code they intend.
+// Command kblint validates instructor-authored knowledge-base JSON before it
+// reaches the grading service. Two file shapes are accepted, distinguished by
+// the first JSON token:
+//
+//   - a pattern list (top-level array, kbdump's output): every pattern must
+//     compile (types, templates, edges, the Vars(r̂) ⊆ Vars(r) rule of
+//     Definition 4), and optional probe files let authors check that a
+//     pattern matches the code they intend;
+//   - an assignment definition (top-level object, the files semfeedd
+//     hot-reloads): every pattern and group use and every constraint's
+//     Pi/Pj/Supporting/node references must resolve against the KB. All
+//     violations are reported, not just the first, and the exit status is
+//     nonzero — so a CI step can gate definition uploads.
 //
 // Usage:
 //
 //	kblint patterns.json
 //	kblint -probe Good.java -pattern array-sum patterns.json
+//	kblint assignment1.json other-assignment.json
 //	kbdump | kblint /dev/stdin       # the built-in catalog always lints clean
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
@@ -18,6 +29,7 @@ import (
 	"strings"
 
 	"semfeed/internal/java/parser"
+	"semfeed/internal/kb"
 	"semfeed/internal/match"
 	"semfeed/internal/pattern"
 	"semfeed/internal/pdg"
@@ -29,9 +41,15 @@ func main() {
 		patternName = flag.String("pattern", "", "restrict the probe to one pattern")
 	)
 	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: kblint [-probe file.java [-pattern name]] patterns.json")
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: kblint [-probe file.java [-pattern name]] file.json...")
 		os.Exit(2)
+	}
+
+	// Assignment-definition files (top-level JSON objects) lint through the
+	// cross-reference path; several may be named at once.
+	if flag.NArg() > 1 || isAssignmentDef(flag.Arg(0)) {
+		os.Exit(lintDefs(flag.Args()))
 	}
 
 	f, err := os.Open(flag.Arg(0))
@@ -98,6 +116,67 @@ func main() {
 			}
 		}
 	}
+}
+
+// isAssignmentDef sniffs the first JSON token: definitions are objects,
+// pattern lists are arrays.
+func isAssignmentDef(path string) bool {
+	f, err := os.Open(path)
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	for {
+		b, err := r.ReadByte()
+		if err != nil {
+			return false
+		}
+		switch b {
+		case ' ', '\t', '\n', '\r':
+			continue
+		case '{':
+			return true
+		default:
+			return false
+		}
+	}
+}
+
+// lintDefs validates assignment-definition files and reports every violation
+// — unknown pattern or group uses, constraints whose Pi/Pj/Supporting name
+// patterns absent from the KB, node references that don't exist in their
+// pattern. Returns the process exit code.
+func lintDefs(paths []string) int {
+	violations := 0
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kblint: %v\n", err)
+			violations++
+			continue
+		}
+		def, err := kb.ReadAssignmentDef(f)
+		f.Close()
+		if err != nil {
+			fmt.Printf("%s: %v\n", path, err)
+			violations++
+			continue
+		}
+		spec, errs := def.Compile()
+		for _, e := range errs {
+			fmt.Printf("%s: %v\n", path, e)
+		}
+		violations += len(errs)
+		if spec != nil {
+			fmt.Printf("%s: assignment %q ok (%d methods)\n", path, def.ID, len(spec.Methods))
+		}
+	}
+	if violations > 0 {
+		fmt.Printf("%d violation(s)\n", violations)
+		return 1
+	}
+	return 0
 }
 
 // substantive reports whether any exact alternative is a real expression

@@ -1,0 +1,220 @@
+// Command loadgen is a closed-loop load generator for the grading service:
+// each of -clients workers keeps exactly one request in flight, so measured
+// latency reflects service time plus queueing, not coordinated omission.
+//
+// The run has two phases over the same submission set (distinct synthesized
+// variants of -assignment):
+//
+//	cold — every submission is new, so every request takes the full grading
+//	       path (parse → EPDG → Algorithm 1/2 → constraints);
+//	hot  — the same submissions are resubmitted and served from the result
+//	       cache, the dominant MOOC resubmission pattern.
+//
+// Both phases report p50/p95/p99 latency and throughput; the summary JSON
+// (written to -out) records the cold:hot speedup, the number the result
+// cache exists to deliver.
+//
+// Usage:
+//
+//	loadgen -addr localhost:8080
+//	loadgen -clients 8 -subs 64 -rounds 4 -out BENCH_server.json
+//	loadgen                       # no -addr: spawns an in-process server
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"semfeed/internal/assignments"
+	"semfeed/internal/server"
+)
+
+type phaseStats struct {
+	Requests int     `json:"requests"`
+	Errors   int     `json:"errors"`
+	CacheHit int     `json:"cache_hits"`
+	WallS    float64 `json:"wall_seconds"`
+	RPS      float64 `json:"rps"`
+	P50MS    float64 `json:"p50_ms"`
+	P95MS    float64 `json:"p95_ms"`
+	P99MS    float64 `json:"p99_ms"`
+	MeanMS   float64 `json:"mean_ms"`
+}
+
+type benchOut struct {
+	Assignment string     `json:"assignment"`
+	Clients    int        `json:"clients"`
+	Subs       int        `json:"submissions"`
+	Rounds     int        `json:"rounds"`
+	Cold       phaseStats `json:"cold"`
+	Hot        phaseStats `json:"hot"`
+	Speedup    float64    `json:"hot_speedup_p50"`
+}
+
+func main() {
+	var (
+		addr       = flag.String("addr", "", "server address (host:port); empty spawns an in-process server")
+		assignment = flag.String("assignment", "assignment1", "assignment ID to grade against")
+		clients    = flag.Int("clients", 8, "concurrent closed-loop clients")
+		subs       = flag.Int("subs", 64, "distinct synthesized submissions")
+		rounds     = flag.Int("rounds", 3, "hot-phase resubmission rounds")
+		out        = flag.String("out", "", "write the JSON summary to this file as well as stdout")
+	)
+	flag.Parse()
+
+	a := assignments.Get(*assignment)
+	if a == nil {
+		fmt.Fprintf(os.Stderr, "loadgen: unknown assignment %q\n", *assignment)
+		os.Exit(2)
+	}
+
+	base := *addr
+	if base == "" {
+		reg := server.NewRegistry("", nil)
+		reg.AddBuiltin(a.ID, a.Spec)
+		if err := reg.Load(); err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+			os.Exit(1)
+		}
+		srv := server.New(server.Config{Registry: reg})
+		if _, err := srv.Start("127.0.0.1:0"); err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+			os.Exit(1)
+		}
+		base = srv.Addr()
+		fmt.Fprintf(os.Stderr, "loadgen: in-process server on %s\n", base)
+	}
+	url := "http://" + base + "/v1/grade"
+
+	// Distinct variants from the assignment's synthesis space, so the cold
+	// phase cannot accidentally hit the cache.
+	sources := make([]string, 0, *subs)
+	for _, k := range a.Synth.Sample(*subs) {
+		sources = append(sources, a.Synth.Render(k))
+	}
+
+	// One keep-alive connection per closed-loop client; the default
+	// MaxIdleConnsPerHost (2) would make most measurements pay connection
+	// setup instead of service time.
+	client := &http.Client{
+		Timeout: 60 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:        *clients,
+			MaxIdleConnsPerHost: *clients,
+		},
+	}
+	res := benchOut{Assignment: a.ID, Clients: *clients, Subs: len(sources), Rounds: *rounds}
+	res.Cold = runPhase(client, url, a.ID, sources, *clients, 1)
+	res.Hot = runPhase(client, url, a.ID, sources, *clients, *rounds)
+	if res.Hot.P50MS > 0 {
+		res.Speedup = res.Cold.P50MS / res.Hot.P50MS
+	}
+
+	fmt.Fprintf(os.Stderr, "cold: %d reqs  p50 %.2fms  p95 %.2fms  p99 %.2fms  %.0f rps\n",
+		res.Cold.Requests, res.Cold.P50MS, res.Cold.P95MS, res.Cold.P99MS, res.Cold.RPS)
+	fmt.Fprintf(os.Stderr, "hot:  %d reqs  p50 %.2fms  p95 %.2fms  p99 %.2fms  %.0f rps  (%d/%d cached)\n",
+		res.Hot.Requests, res.Hot.P50MS, res.Hot.P95MS, res.Hot.P99MS, res.Hot.RPS, res.Hot.CacheHit, res.Hot.Requests)
+	fmt.Fprintf(os.Stderr, "hot p50 speedup: %.1fx\n", res.Speedup)
+
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(string(data))
+	if *out != "" {
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if res.Cold.Errors > 0 || res.Hot.Errors > 0 {
+		os.Exit(1)
+	}
+}
+
+// runPhase pushes rounds×len(sources) requests through the closed loop and
+// aggregates latency.
+func runPhase(client *http.Client, url, assignment string, sources []string, clients, rounds int) phaseStats {
+	// Request bodies are marshaled once up front so the measured latency is
+	// the request, not client-side encoding.
+	bodies := make([][]byte, len(sources))
+	for i, src := range sources {
+		bodies[i], _ = json.Marshal(server.GradeRequest{Assignment: assignment, Source: src})
+	}
+	jobs := make(chan []byte)
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		stats     phaseStats
+	)
+
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for body := range jobs {
+				t0 := time.Now()
+				resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+				elapsed := time.Since(t0)
+				mu.Lock()
+				stats.Requests++
+				if err != nil {
+					stats.Errors++
+					mu.Unlock()
+					continue
+				}
+				var gr server.GradeResponse
+				decErr := json.NewDecoder(resp.Body).Decode(&gr)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK || decErr != nil {
+					stats.Errors++
+				} else {
+					latencies = append(latencies, elapsed)
+					if gr.Cached {
+						stats.CacheHit++
+					}
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+
+	t0 := time.Now()
+	for r := 0; r < rounds; r++ {
+		for _, body := range bodies {
+			jobs <- body
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	stats.WallS = time.Since(t0).Seconds()
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	if n := len(latencies); n > 0 {
+		pct := func(p float64) float64 {
+			idx := int(p * float64(n-1))
+			return float64(latencies[idx].Microseconds()) / 1000
+		}
+		stats.P50MS = pct(0.50)
+		stats.P95MS = pct(0.95)
+		stats.P99MS = pct(0.99)
+		var sum time.Duration
+		for _, l := range latencies {
+			sum += l
+		}
+		stats.MeanMS = float64(sum.Microseconds()) / 1000 / float64(n)
+	}
+	if stats.WallS > 0 {
+		stats.RPS = float64(stats.Requests-stats.Errors) / stats.WallS
+	}
+	return stats
+}

@@ -1,0 +1,105 @@
+// Command semfeedd is the long-running grading service: the paper's feedback
+// engine behind an HTTP JSON API, sized for MOOC-scale traffic. It serves the
+// twelve built-in assignments plus any definition files in -kb-dir, which it
+// hot-reloads on a poll interval without interrupting in-flight grades.
+//
+// Usage:
+//
+//	semfeedd -addr :8080
+//	semfeedd -addr :8080 -kb-dir /etc/semfeed/kb -poll 5s
+//	semfeedd -addr :8080 -no-builtin -kb-dir ./kb      # file-backed KB only
+//
+// Endpoints:
+//
+//	POST /v1/grade        grade one submission        {"assignment","id","source"}
+//	POST /v1/batch        grade a batch               {"assignment","submissions":[...]}
+//	GET  /v1/assignments  list served assignments
+//	GET  /healthz         liveness
+//	GET  /readyz          readiness (503 while draining or with no KB)
+//	GET  /metrics         Prometheus exposition (also /metrics.json, /debug/traces)
+//
+// Overload is shed with 429 + Retry-After once the admission queue is full.
+// SIGTERM or SIGINT drains gracefully: readiness flips, the listener closes,
+// and in-flight requests complete (bounded by -drain-timeout).
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"semfeed/internal/assignments"
+	"semfeed/internal/obs"
+	"semfeed/internal/server"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		kbDir        = flag.String("kb-dir", "", "directory of assignment definition files to serve and hot-reload")
+		poll         = flag.Duration("poll", 5*time.Second, "KB directory poll interval")
+		noBuiltin    = flag.Bool("no-builtin", false, "serve only -kb-dir definitions, not the built-in assignments")
+		queue        = flag.Int("queue", 64, "admission queue depth before requests are shed with 429")
+		workers      = flag.Int("workers", 0, "max concurrent grading requests (0 = GOMAXPROCS)")
+		timeout      = flag.Duration("timeout", 10*time.Second, "per-request grading deadline")
+		cacheSize    = flag.Int("cache", 4096, "result cache capacity in entries (negative disables)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight requests on shutdown")
+	)
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "semfeedd: ", log.LstdFlags)
+	obs.Enable()
+
+	reg := server.NewRegistry(*kbDir, logger.Printf)
+	if !*noBuiltin {
+		for _, a := range assignments.All() {
+			reg.AddBuiltin(a.ID, a.Spec)
+		}
+	}
+	if err := reg.Load(); err != nil {
+		logger.Fatalf("load KB: %v", err)
+	}
+	if reg.Len() == 0 {
+		logger.Fatal("no assignments to serve (empty -kb-dir and -no-builtin)")
+	}
+	if *kbDir != "" {
+		reg.Start(*poll)
+		defer reg.Stop()
+	}
+
+	srv := server.New(server.Config{
+		Registry:       reg,
+		MaxConcurrent:  *workers,
+		QueueDepth:     *queue,
+		RequestTimeout: *timeout,
+		CacheSize:      *cacheSize,
+		Logf:           logger.Printf,
+	})
+	errc, err := srv.Start(*addr)
+	if err != nil {
+		logger.Fatalf("listen: %v", err)
+	}
+	logger.Printf("serving %d assignments on %s", reg.Len(), srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case s := <-sig:
+		logger.Printf("received %v, draining (up to %v)", s, *drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			logger.Fatalf("drain: %v", err)
+		}
+		<-errc
+		logger.Print("drained cleanly")
+	case err := <-errc:
+		if err != nil {
+			logger.Fatalf("serve: %v", err)
+		}
+	}
+}

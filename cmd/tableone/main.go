@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -43,7 +44,12 @@ func main() {
 		obs.EnableTracing()
 	}
 	if *metricsAddr != "" {
-		errc := obs.Serve(*metricsAddr)
+		msrv, errc := obs.StartServer(*metricsAddr)
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			_ = msrv.Shutdown(ctx)
+		}()
 		go func() {
 			if err := <-errc; err != nil {
 				fmt.Fprintf(os.Stderr, "tableone: metrics server: %v\n", err)

@@ -1,0 +1,146 @@
+// Serving example: a minimal LMS-side client for the semfeedd grading
+// service. It lists the served assignments, posts one submission to
+// POST /v1/grade, and prints the personalized feedback from the response.
+//
+// Start a server first:
+//
+//	go run ./cmd/semfeedd -addr :8080
+//
+// then:
+//
+//	go run ./examples/serving                    # grades a built-in sample
+//	go run ./examples/serving -addr host:8080 -assignment assignment1 sub.java
+//
+// The client demonstrates the two behaviors an integration must handle:
+// cached responses (the "cached" field — identical resubmissions are free)
+// and load shedding (HTTP 429 with a Retry-After hint under overload).
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"semfeed/internal/core"
+	"semfeed/internal/server"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "localhost:8080", "semfeedd address")
+		assignment = flag.String("assignment", "assignment1", "assignment ID")
+	)
+	flag.Parse()
+	base := "http://" + *addr
+
+	// Which assignments does this server grade?
+	resp, err := http.Get(base + "/v1/assignments")
+	if err != nil {
+		fatal(err)
+	}
+	var served []struct {
+		ID      string `json:"id"`
+		Version string `json:"version"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&served); err != nil {
+		fatal(err)
+	}
+	resp.Body.Close()
+	fmt.Printf("server grades %d assignments:\n", len(served))
+	for _, s := range served {
+		fmt.Printf("  %-20s (kb %s)\n", s.ID, s.Version)
+	}
+
+	source := sampleSubmission
+	if flag.NArg() > 0 {
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		source = string(data)
+	}
+
+	report, cached, err := grade(base, *assignment, source)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\nfeedback (cached=%v):\n%s", cached, report)
+
+	// Resubmit unchanged — the canonical MOOC pattern. The service answers
+	// from its result cache without re-running the pipeline.
+	_, cached, err = grade(base, *assignment, source)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\nidentical resubmission served from cache: %v\n", cached)
+}
+
+// grade posts one submission and decodes the report, retrying once when the
+// service sheds load.
+func grade(base, assignment, source string) (*core.Report, bool, error) {
+	body, err := json.Marshal(server.GradeRequest{Assignment: assignment, Source: source})
+	if err != nil {
+		return nil, false, err
+	}
+	for attempt := 0; ; attempt++ {
+		resp, err := http.Post(base+"/v1/grade", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return nil, false, err
+		}
+		if resp.StatusCode == http.StatusTooManyRequests && attempt == 0 {
+			// Overload: honor the Retry-After hint once.
+			resp.Body.Close()
+			wait := time.Second
+			if s := resp.Header.Get("Retry-After"); s != "" {
+				if d, err := time.ParseDuration(s + "s"); err == nil {
+					wait = d
+				}
+			}
+			fmt.Printf("server busy, retrying in %v\n", wait)
+			time.Sleep(wait)
+			continue
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			var e struct {
+				Error string `json:"error"`
+			}
+			_ = json.NewDecoder(resp.Body).Decode(&e)
+			return nil, false, fmt.Errorf("HTTP %d: %s", resp.StatusCode, e.Error)
+		}
+		var gr server.GradeResponse
+		if err := json.NewDecoder(resp.Body).Decode(&gr); err != nil {
+			return nil, false, err
+		}
+		var report core.Report
+		if err := json.Unmarshal(gr.Report, &report); err != nil {
+			return nil, false, err
+		}
+		return &report, gr.Cached, nil
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "serving example: %v\n", err)
+	os.Exit(1)
+}
+
+// sampleSubmission is a slightly wrong assignment1 attempt: it multiplies the
+// odd positions instead of summing them, so the feedback flags the
+// accumulation line while confirming the rest.
+const sampleSubmission = `void assignment1(int[] a) {
+  int sum = 0;
+  int prod = 1;
+  for (int i = 1; i < a.length; i += 2) {
+    sum = sum * a[i];
+  }
+  for (int j = 0; j < a.length; j += 2) {
+    prod = prod * a[j];
+  }
+  System.out.println(sum);
+  System.out.println(prod);
+}`

@@ -64,10 +64,10 @@ type Row struct {
 	AvgEPDGEdges        float64 `json:"avg_epdg_edges"`
 
 	// Batch grading throughput (the BatchGrader run that graded this row).
-	Seed            int64         `json:"seed"`               // sample seed (0 = historical walk)
-	Workers         int           `json:"workers"`            // batch pool size
-	GradeWall       time.Duration `json:"grade_wall_ns"`      // wall time of the batch grading pass
-	SubsPerSec      float64       `json:"grade_subs_per_sec"` // graded submissions per wall second
+	Seed            int64         `json:"seed"`                        // sample seed (0 = historical walk)
+	Workers         int           `json:"workers"`                     // batch pool size
+	GradeWall       time.Duration `json:"grade_wall_ns"`               // wall time of the batch grading pass
+	SubsPerSec      float64       `json:"grade_subs_per_sec"`          // graded submissions per wall second
 	SpeedupVsSerial float64       `json:"speedup_vs_serial,omitempty"` // measured only when Workers > 1
 }
 

@@ -4,6 +4,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -270,6 +271,7 @@ func newMatchCache() *matchCache {
 // find returns the memoized embeddings of p in g, running the matcher on the
 // first request for the pair.
 func (c *matchCache) find(p *pattern.Compiled, g *pdg.Graph, opts match.Options) (embs []match.Embedding, hit bool) {
+	obs.MatchCacheLookupsTotal.Inc()
 	k := matchCacheKey{p, g}
 	if embs, hit = c.entries[k]; hit {
 		c.hits++
@@ -293,20 +295,36 @@ func NewGrader(opts Options) *Grader { return &Grader{opts: opts} }
 
 // Grade parses src and grades it against spec.
 func (g *Grader) Grade(src string, spec *AssignmentSpec) (*Report, error) {
+	return g.GradeContext(context.Background(), src, spec)
+}
+
+// GradeContext is Grade under a context: a cancelled or expired ctx stops
+// the grade early — the deadline propagates into Algorithm 1's search loop —
+// and ctx.Err() is returned alongside the (partial) report. The serving path
+// uses this to bound per-request latency.
+func (g *Grader) GradeContext(ctx context.Context, src string, spec *AssignmentSpec) (*Report, error) {
 	t0 := time.Now()
 	unit, err := parser.Parse(src)
 	parseTime := time.Since(t0)
 	if err != nil {
 		return nil, err
 	}
-	report := g.GradeUnit(unit, spec)
+	report := g.GradeUnitContext(ctx, unit, spec)
 	report.Stats.ParseTime = parseTime
 	report.Stats.TotalTime += parseTime
-	return report, nil
+	return report, ctx.Err()
 }
 
 // GradeUnit grades a parsed compilation unit against spec (Algorithm 2).
 func (g *Grader) GradeUnit(unit *ast.CompilationUnit, spec *AssignmentSpec) *Report {
+	return g.GradeUnitContext(context.Background(), unit, spec)
+}
+
+// GradeUnitContext is GradeUnit under a context. Cancellation is polled
+// between method bindings and inside the matcher's candidate-extension loop,
+// so even a single pathological binding is cut promptly; the report produced
+// so far is returned (check ctx.Err() to distinguish a complete grade).
+func (g *Grader) GradeUnitContext(ctx context.Context, unit *ast.CompilationUnit, spec *AssignmentSpec) *Report {
 	start := time.Now()
 	obs.GradesTotal.Inc()
 	obs.GradesInflight.Inc()
@@ -380,12 +398,15 @@ func (g *Grader) GradeUnit(unit *ast.CompilationUnit, spec *AssignmentSpec) *Rep
 	}()
 	best := -1.0
 	for _, binding := range g.bindings(spec, methodNames) {
+		if ctx.Err() != nil {
+			break
+		}
 		stats.MethodCombos++
 		bindSp := root.Child("binding")
 		if bindSp != nil {
 			bindSp.SetAttr("methods", renderBinding(binding))
 		}
-		comments, score := g.gradeBinding(spec, graphs, binding, cache, stats, bindSp)
+		comments, score := g.gradeBinding(ctx, spec, graphs, binding, cache, stats, bindSp)
 		if bindSp != nil {
 			bindSp.SetAttr("score", fmt.Sprintf("%.1f", score))
 		}
@@ -483,10 +504,13 @@ func (g *Grader) bindings(spec *AssignmentSpec, methods []string) []map[string]s
 // gradeBinding runs steps 2.1 and 2.2 of Algorithm 2 for one method binding
 // and returns the comments with their Λ score. Matcher and constraint work
 // is accumulated into st; spans hang off parent when tracing is on.
-func (g *Grader) gradeBinding(spec *AssignmentSpec, graphs map[string]*pdg.Graph, binding map[string]string, cache *matchCache, st *Stats, parent *obs.Span) ([]Comment, float64) {
+func (g *Grader) gradeBinding(ctx context.Context, spec *AssignmentSpec, graphs map[string]*pdg.Graph, binding map[string]string, cache *matchCache, st *Stats, parent *obs.Span) ([]Comment, float64) {
 	mopts := g.opts.MatchOptions
 	work := &match.Work{}
 	mopts.Work = work
+	if ctx.Done() != nil {
+		mopts.Done = ctx.Done()
+	}
 	var comments []Comment
 	for _, mspec := range spec.Methods {
 		graph := graphs[binding[mspec.Name]]

@@ -1,0 +1,62 @@
+package core_test
+
+import (
+	"context"
+	"testing"
+
+	"semfeed/internal/assignments"
+	"semfeed/internal/core"
+	"semfeed/internal/obs"
+)
+
+// TestMatchCacheCountersConsistent pins the accounting invariant of the
+// per-grade match cache under parallel batch grading: every lookup is
+// classified as exactly one of hit or miss, so the shared counters satisfy
+// lookups == hits + misses even when many grades increment them
+// concurrently. Run under -race, this is also the data-race proof for the
+// cache's counter path.
+func TestMatchCacheCountersConsistent(t *testing.T) {
+	obs.Enable()
+	defer obs.Disable()
+
+	a := assignments.Get("assignment1")
+	subs := make([]core.Submission, 0, 48)
+	for _, k := range a.Synth.Sample(48) {
+		subs = append(subs, core.Submission{Src: a.Synth.Render(k)})
+	}
+
+	before := obs.TakeSnapshot()
+	bg := core.NewBatchGrader(core.NewGrader(core.Options{}), core.BatchOptions{Workers: 8})
+	results, stats := bg.GradeAll(context.Background(), a.Spec, subs)
+	if stats.Failed > 0 || stats.Cancelled > 0 {
+		t.Fatalf("batch did not grade cleanly: %+v", stats)
+	}
+	after := obs.TakeSnapshot()
+
+	lookups := after.Counter("semfeed_match_cache_lookups_total") - before.Counter("semfeed_match_cache_lookups_total")
+	hits := after.Counter("semfeed_match_cache_hits_total") - before.Counter("semfeed_match_cache_hits_total")
+	misses := after.Counter("semfeed_match_cache_misses_total") - before.Counter("semfeed_match_cache_misses_total")
+
+	if lookups == 0 {
+		t.Fatal("no cache lookups recorded — is the per-grade cache wired in?")
+	}
+	if lookups != hits+misses {
+		t.Fatalf("cache counters inconsistent: lookups=%d, hits=%d + misses=%d = %d",
+			lookups, hits, misses, hits+misses)
+	}
+
+	// Cross-check against the per-report stats, which are counted locally
+	// (not via the shared registry) and summed here.
+	var wantHits, wantMisses int64
+	for _, res := range results {
+		if res.Err != nil {
+			t.Fatalf("%s: %v", res.ID, res.Err)
+		}
+		wantHits += res.Report.Stats.MatchCacheHits
+		wantMisses += res.Report.Stats.MatchCacheMisses
+	}
+	if hits != wantHits || misses != wantMisses {
+		t.Fatalf("registry counters (hits=%d misses=%d) disagree with summed per-report stats (hits=%d misses=%d)",
+			hits, misses, wantHits, wantMisses)
+	}
+}

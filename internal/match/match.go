@@ -122,6 +122,9 @@ type Work struct {
 	Embeddings int64
 	// StepLimitHits is the number of searches that exhausted MaxSteps.
 	StepLimitHits int64
+	// Cancelled is the number of searches abandoned because Options.Done
+	// fired (a serving deadline); their embeddings are partial.
+	Cancelled int64
 }
 
 // Add accumulates other into w.
@@ -131,6 +134,7 @@ func (w *Work) Add(other Work) {
 	w.Backtracks += other.Backtracks
 	w.Embeddings += other.Embeddings
 	w.StepLimitHits += other.StepLimitHits
+	w.Cancelled += other.Cancelled
 }
 
 // Options tune the matcher; the zero value applies the defaults.
@@ -149,7 +153,17 @@ type Options struct {
 	// Work, when non-nil, receives this call's cost counters (the grader
 	// threads a per-report collector through here).
 	Work *Work
+	// Done, when non-nil, cancels the search when it becomes readable
+	// (closed contexts, per-request serving deadlines). The searcher polls
+	// it every cancelPollInterval steps and returns the embeddings found so
+	// far, so cancellation latency is bounded without a per-step select.
+	Done <-chan struct{}
 }
+
+// cancelPollInterval is how many candidate extensions run between Done
+// polls: frequent enough that a deadline cuts a pathological search within
+// microseconds, rare enough that the select never shows up in profiles.
+const cancelPollInterval = 256
 
 func (o Options) maxEmbeddings() int {
 	if o.MaxEmbeddings > 0 {
@@ -193,6 +207,9 @@ func FindOpts(p *pattern.Compiled, g *pdg.Graph, opts Options) []Embedding {
 	}
 	if s.steps >= opts.maxSteps() {
 		work.StepLimitHits = 1
+	}
+	if s.cancelled {
+		work.Cancelled = 1
 	}
 	if opts.Work != nil {
 		opts.Work.Add(work)
@@ -288,6 +305,7 @@ type searcher struct {
 	keyBuf     []byte
 	steps      int
 	backtracks int
+	cancelled  bool
 
 	out []Embedding
 }
@@ -347,6 +365,7 @@ func (s *searcher) reset(p *pattern.Compiled, g *pdg.Graph, opts Options) {
 		clear(s.seen)
 	}
 	s.steps, s.backtracks = 0, 0
+	s.cancelled = false
 	s.out = nil
 }
 
@@ -507,7 +526,7 @@ func (s *searcher) computeOrder() {
 }
 
 func (s *searcher) search(depth int) {
-	if len(s.out) >= s.opts.maxEmbeddings() || s.steps >= s.opts.maxSteps() {
+	if s.cancelled || len(s.out) >= s.opts.maxEmbeddings() || s.steps >= s.opts.maxSteps() {
 		return
 	}
 	if depth == len(s.p.Nodes) {
@@ -536,6 +555,14 @@ func (s *searcher) search(depth int) {
 		s.steps++
 		if s.steps >= s.opts.maxSteps() {
 			return
+		}
+		if s.opts.Done != nil && s.steps%cancelPollInterval == 0 {
+			select {
+			case <-s.opts.Done:
+				s.cancelled = true
+				return
+			default:
+			}
 		}
 		if !s.edgesHold(ui, vid) {
 			s.backtracks++
@@ -567,12 +594,12 @@ func (s *searcher) search(depth int) {
 				s.search(depth + 1)
 			}
 			s.unbind(z)
-			if len(s.out) >= s.opts.maxEmbeddings() || s.steps >= s.opts.maxSteps() {
+			if s.cancelled || len(s.out) >= s.opts.maxEmbeddings() || s.steps >= s.opts.maxSteps() {
 				break
 			}
 		}
 		matchedApprox := false
-		if !matchedExact && !u.ApproxT.Empty() {
+		if !matchedExact && !u.ApproxT.Empty() && !s.cancelled {
 			for _, z := range expr.Injections(s.fresh(u.ApproxT.Vars()), ys) {
 				s.bind(z)
 				if u.ApproxT.Match(s.gamma, v.Renderings()) {
@@ -581,7 +608,7 @@ func (s *searcher) search(depth int) {
 					s.search(depth + 1)
 				}
 				s.unbind(z)
-				if len(s.out) >= s.opts.maxEmbeddings() || s.steps >= s.opts.maxSteps() {
+				if s.cancelled || len(s.out) >= s.opts.maxEmbeddings() || s.steps >= s.opts.maxSteps() {
 					break
 				}
 			}
@@ -592,6 +619,9 @@ func (s *searcher) search(depth int) {
 
 		s.used[vid] = false
 		s.iota[ui] = -1
+		if s.cancelled {
+			return
+		}
 	}
 }
 

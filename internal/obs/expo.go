@@ -147,11 +147,28 @@ func Mux() *http.ServeMux {
 	return mux
 }
 
-// Serve enables metrics and serves Mux on addr in a background goroutine,
-// returning the error channel of the server. Used by the CLIs' -metrics-addr.
-func Serve(addr string) <-chan error {
+// StartServer enables metrics and serves Mux on addr in a background
+// goroutine. It returns the *http.Server so the caller can drain it with
+// Shutdown (the CLIs stop it on exit; semfeedd ties it into SIGTERM drain),
+// plus the server's terminal error channel. ErrServerClosed is swallowed:
+// a graceful Shutdown is not an error the caller needs to see.
+func StartServer(addr string) (*http.Server, <-chan error) {
 	Enable()
+	srv := &http.Server{Addr: addr, Handler: Mux()}
 	errc := make(chan error, 1)
-	go func() { errc <- http.ListenAndServe(addr, Mux()) }()
+	go func() {
+		err := srv.ListenAndServe()
+		if err == http.ErrServerClosed {
+			err = nil
+		}
+		errc <- err
+	}()
+	return srv, errc
+}
+
+// Serve is StartServer without the shutdown handle, for fire-and-forget
+// callers that live exactly as long as the process.
+func Serve(addr string) <-chan error {
+	_, errc := StartServer(addr)
 	return errc
 }

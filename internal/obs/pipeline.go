@@ -26,8 +26,11 @@ var (
 	MatchStepLimitTotal  = NewCounter("semfeed_match_step_limit_total", "Searches that exhausted the step budget.")
 
 	// Per-grade match memoization (the Algorithm 2 binding-sweep cache).
-	MatchCacheHitsTotal   = NewCounter("semfeed_match_cache_hits_total", "Pattern searches served from the per-grade cache.")
-	MatchCacheMissesTotal = NewCounter("semfeed_match_cache_misses_total", "Pattern searches computed and stored in the per-grade cache.")
+	// Every lookup is exactly a hit or a miss, so at any quiescent point
+	// lookups == hits + misses (pinned by TestMatchCacheCountersConsistent).
+	MatchCacheLookupsTotal = NewCounter("semfeed_match_cache_lookups_total", "Pattern searches requested from the per-grade cache (hits + misses).")
+	MatchCacheHitsTotal    = NewCounter("semfeed_match_cache_hits_total", "Pattern searches served from the per-grade cache.")
+	MatchCacheMissesTotal  = NewCounter("semfeed_match_cache_misses_total", "Pattern searches computed and stored in the per-grade cache.")
 
 	// Constraint checking (Definitions 8-10).
 	ConstraintChecksTotal = NewCounter("semfeed_constraint_checks_total", "Constraint evaluations.")
@@ -56,6 +59,21 @@ var (
 	BatchInflight         = NewGauge("semfeed_batch_inflight", "Batch runs currently executing.")
 	BatchWorkers          = NewGauge("semfeed_batch_workers", "Worker pool size of the most recent batch run.")
 	BatchSeconds          = NewHistogram("semfeed_batch_seconds", "End-to-end wall time per batch run.", nil)
+
+	// Grading service (internal/server, cmd/semfeedd).
+	ServerRequestsTotal   = NewCounter("semfeed_server_requests_total", "HTTP requests accepted by the grading endpoints.")
+	ServerRejectedTotal   = NewCounter("semfeed_server_rejected_total", "Requests shed with 429 because the admission queue was full.")
+	ServerErrorsTotal     = NewCounter("semfeed_server_errors_total", "Grading requests that failed (bad input, unknown assignment, internal error).")
+	ServerTimeoutsTotal   = NewCounter("semfeed_server_timeouts_total", "Grading requests cut by the per-request deadline.")
+	ServerInflight        = NewGauge("semfeed_server_inflight", "Grading requests currently holding a worker slot.")
+	ServerQueued          = NewGauge("semfeed_server_queued", "Requests currently waiting in the admission queue.")
+	ServerRequestSeconds  = NewHistogram("semfeed_server_request_seconds", "End-to-end latency per grading request.", nil)
+	ServerCacheHitsTotal  = NewCounter("semfeed_server_cache_hits_total", "Grading requests served from the result cache.")
+	ServerCacheMissTotal  = NewCounter("semfeed_server_cache_misses_total", "Grading requests that ran the full pipeline.")
+	ServerCacheEvictTotal = NewCounter("semfeed_server_cache_evictions_total", "Result-cache entries evicted by the LRU policy.")
+	ServerKBReloadsTotal  = NewCounter("semfeed_server_kb_reloads_total", "Knowledge-base registry swaps (initial load and hot reloads).")
+	ServerKBErrorsTotal   = NewCounter("semfeed_server_kb_errors_total", "Knowledge-base reload attempts rejected by validation.")
+	ServerKBAssignments   = NewGauge("semfeed_server_kb_assignments", "Assignments currently served by the registry.")
 )
 
 // ScoreBuckets cover the Λ range of the assignment corpus (scores are small

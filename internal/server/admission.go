@@ -1,0 +1,65 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+
+	"semfeed/internal/obs"
+)
+
+// errQueueFull sheds a request: every worker slot is busy and the wait queue
+// is at capacity. The handler maps it to 429 with a Retry-After hint —
+// backpressure to the client instead of unbounded latency on the server.
+var errQueueFull = errors.New("server: admission queue full")
+
+// admission is the bounded admission queue in front of the grading pool:
+// MaxConcurrent slots execute, up to queueDepth more requests wait, and the
+// rest are rejected immediately. Waiters honor their request context, so a
+// client that gives up (or a deadline that fires) releases its queue
+// position without ever holding a slot.
+type admission struct {
+	slots      chan struct{}
+	queued     atomic.Int64
+	queueDepth int64
+}
+
+func newAdmission(concurrent int, queueDepth int) *admission {
+	return &admission{
+		slots:      make(chan struct{}, concurrent),
+		queueDepth: int64(queueDepth),
+	}
+}
+
+// acquire takes a worker slot, waiting in the bounded queue if necessary.
+// It returns errQueueFull when the queue is at capacity and ctx.Err() when
+// the context fires first. On nil return the caller must release().
+func (a *admission) acquire(ctx context.Context) error {
+	select {
+	case a.slots <- struct{}{}:
+		obs.ServerInflight.Inc()
+		return nil
+	default:
+	}
+	if a.queued.Add(1) > a.queueDepth {
+		a.queued.Add(-1)
+		return errQueueFull
+	}
+	obs.ServerQueued.Inc()
+	defer func() {
+		a.queued.Add(-1)
+		obs.ServerQueued.Dec()
+	}()
+	select {
+	case a.slots <- struct{}{}:
+		obs.ServerInflight.Inc()
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (a *admission) release() {
+	<-a.slots
+	obs.ServerInflight.Dec()
+}

@@ -1,0 +1,84 @@
+package server
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"sync"
+
+	"semfeed/internal/obs"
+)
+
+// resultCache is a mutex-guarded LRU over rendered report JSON. The key is
+// (assignment ID, KB version, submission source hash): identical
+// resubmissions — the dominant MOOC traffic pattern — skip parsing, EPDG
+// construction and matching entirely, and a KB hot-reload naturally misses
+// because the version component changes.
+type resultCache struct {
+	mu      sync.Mutex
+	max     int
+	ll      *list.List
+	entries map[string]*list.Element
+}
+
+type cacheItem struct {
+	key  string
+	body []byte
+}
+
+func newResultCache(max int) *resultCache {
+	return &resultCache{max: max, ll: list.New(), entries: make(map[string]*list.Element)}
+}
+
+// cacheKey builds the lookup key. The source is hashed so the cache holds
+// one digest, not one copy of every submission ever seen.
+func cacheKey(assignmentID, kbVersion, source string) string {
+	sum := sha256.Sum256([]byte(source))
+	return assignmentID + "\x00" + kbVersion + "\x00" + hex.EncodeToString(sum[:])
+}
+
+// get returns the cached body and promotes the entry to most-recently-used.
+func (c *resultCache) get(key string) ([]byte, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheItem).body, true
+}
+
+// put inserts or refreshes an entry, evicting from the LRU tail when full.
+func (c *resultCache) put(key string, body []byte) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheItem).body = body
+		return
+	}
+	c.entries[key] = c.ll.PushFront(&cacheItem{key: key, body: body})
+	for c.ll.Len() > c.max {
+		tail := c.ll.Back()
+		c.ll.Remove(tail)
+		delete(c.entries, tail.Value.(*cacheItem).key)
+		obs.ServerCacheEvictTotal.Inc()
+	}
+}
+
+// len returns the number of cached entries.
+func (c *resultCache) len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the grading service: export a fixture KB with
+# kbdump, start semfeedd against it (file-backed only, no builtins), grade
+# one submission over HTTP, scrape /metrics for the request counter, then
+# SIGTERM and assert a clean drain. CI runs this on every push.
+set -euo pipefail
+
+PORT="${PORT:-18652}"
+ADDR="127.0.0.1:${PORT}"
+WORK="$(mktemp -d)"
+LOG="${WORK}/semfeedd.log"
+trap 'kill "${SRV_PID:-}" 2>/dev/null || true; rm -rf "${WORK}"' EXIT
+
+fail() { echo "server-smoke FAIL: $1"; [ -f "${LOG}" ] && cat "${LOG}"; exit 1; }
+
+echo "== building"
+go build -o "${WORK}/semfeedd" ./cmd/semfeedd
+go build -o "${WORK}/kbdump" ./cmd/kbdump
+go build -o "${WORK}/kblint" ./cmd/kblint
+
+echo "== exporting fixture KB"
+mkdir "${WORK}/kb"
+"${WORK}/kbdump" -assignment assignment1 > "${WORK}/kb/assignment1.json"
+"${WORK}/kblint" "${WORK}/kb/assignment1.json" || fail "fixture KB does not lint"
+
+echo "== starting semfeedd on ${ADDR}"
+"${WORK}/semfeedd" -addr "${ADDR}" -kb-dir "${WORK}/kb" -no-builtin -poll 1s >"${LOG}" 2>&1 &
+SRV_PID=$!
+
+for i in $(seq 1 50); do
+  if curl -sf "http://${ADDR}/readyz" >/dev/null 2>&1; then break; fi
+  kill -0 "${SRV_PID}" 2>/dev/null || fail "semfeedd exited during startup"
+  sleep 0.2
+  [ "$i" = 50 ] && fail "server never became ready"
+done
+echo "== ready"
+
+echo "== grading one submission over HTTP"
+cat > "${WORK}/req.json" <<'EOF'
+{"assignment": "assignment1", "id": "smoke-1",
+ "source": "void assignment1(int[] a) { int sum = 0; int prod = 1; for (int i = 0; i < a.length; i++) { if (i % 2 == 1) { sum = sum + a[i]; } if (i % 2 == 0) { prod = prod * a[i]; } } System.out.println(sum); System.out.println(prod); }"}
+EOF
+RESP="$(curl -sf -X POST -H 'Content-Type: application/json' \
+  --data @"${WORK}/req.json" "http://${ADDR}/v1/grade")" || fail "grade request failed"
+echo "${RESP}" | grep -q '"report"' || fail "no report in response: ${RESP}"
+echo "${RESP}" | grep -q '"id":"smoke-1"' || fail "submission ID not echoed: ${RESP}"
+
+echo "== scraping /metrics"
+METRICS="$(curl -sf "http://${ADDR}/metrics")" || fail "metrics scrape failed"
+echo "${METRICS}" | grep -q '^semfeed_server_requests_total 1$' \
+  || fail "semfeed_server_requests_total != 1:
+$(echo "${METRICS}" | grep semfeed_server || true)"
+
+echo "== draining (SIGTERM)"
+kill -TERM "${SRV_PID}"
+if ! wait "${SRV_PID}"; then fail "semfeedd exited nonzero on SIGTERM"; fi
+SRV_PID=""
+grep -q "drained cleanly" "${LOG}" || fail "no clean-drain log line"
+
+echo "server-smoke: OK"
