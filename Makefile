@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke bench-server table table-json metrics-smoke server-smoke fuzz fmt vet examples clean
+.PHONY: all build test race bench bench-smoke bench-server table table-json metrics-smoke server-smoke javalint-smoke fuzz fmt vet examples clean
 
 all: build vet test
 
@@ -52,6 +52,16 @@ metrics-smoke:
 # scrape, SIGTERM drain. See scripts/server_smoke.sh.
 server-smoke:
 	bash scripts/server_smoke.sh
+
+# Static-analyzer smoke: the clean fixture must lint silently with exit 0,
+# the buggy one must produce findings and exit nonzero.
+javalint-smoke:
+	@$(GO) run ./cmd/javalint examples/javalint/Clean.java || { echo "javalint-smoke FAIL: clean fixture flagged"; exit 1; }
+	@if $(GO) run ./cmd/javalint examples/javalint/Buggy.java > /tmp/javalint-smoke.out 2>&1; then \
+		echo "javalint-smoke FAIL: buggy fixture linted clean"; exit 1; \
+	fi
+	@grep -q "deadstore" /tmp/javalint-smoke.out || { echo "javalint-smoke FAIL: no deadstore finding"; cat /tmp/javalint-smoke.out; exit 1; }
+	@echo "javalint-smoke: OK"
 
 # Closed-loop load test of the grading service (spawns an in-process server)
 # and record the percentile summary. The hot phase must show the result-cache

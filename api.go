@@ -4,6 +4,7 @@ import (
 	"io"
 	"net/http"
 
+	"semfeed/internal/analysis"
 	"semfeed/internal/constraint"
 	"semfeed/internal/core"
 	"semfeed/internal/functest"
@@ -50,6 +51,28 @@ type (
 	// "stats" JSON field.
 	ReportStats = core.Stats
 )
+
+// Static analysis: pattern-independent dataflow diagnostics over submission
+// EPDGs, attached to reports when an analysis driver is enabled via
+// Options.Analyzers (or per assignment via AssignmentSpec.Analysis).
+type (
+	// Diagnostic is one static-analysis finding.
+	Diagnostic = analysis.Diagnostic
+	// AnalysisDriver runs a fixed analyzer set over every method EPDG.
+	AnalysisDriver = analysis.Driver
+	// AnalyzerRegistry names available analyzers and builds drivers over
+	// enable/disable subsets.
+	AnalyzerRegistry = analysis.Registry
+)
+
+// DefaultAnalyzers returns a driver running the full built-in analyzer suite
+// (use-before-definition, dead store, unreachable code, constant condition,
+// non-advancing loop, missing return).
+func DefaultAnalyzers() *AnalysisDriver { return analysis.DefaultDriver() }
+
+// Analyzers returns the registry of built-in analyzers, for enable/disable
+// subsets via its Driver method.
+func Analyzers() *AnalyzerRegistry { return analysis.Default() }
 
 // Batch grading engine: grade whole submission loads on a bounded worker
 // pool with per-submission error isolation and context cancellation.

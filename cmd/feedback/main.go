@@ -11,6 +11,9 @@
 //	feedback -assignment assignment1 -reference -trace -metrics-dump
 //	feedback -assignment assignment1 -metrics-addr :9090 submission.java
 //	feedback -assignment assignment1 -workers 4 sub1.java sub2.java sub3.java
+//	feedback -assignment assignment1 -json submission.java      # machine-readable
+//	feedback -assignment assignment1 -analyze=false submission.java
+//	feedback -assignment assignment1 -analyzers deadstore,noreturn submission.java
 package main
 
 import (
@@ -20,8 +23,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
+	"semfeed/internal/analysis"
 	"semfeed/internal/assignments"
 	"semfeed/internal/core"
 	"semfeed/internal/obs"
@@ -37,6 +42,8 @@ func main() {
 		inlineHelpers = flag.Bool("inline", false, "inline simple helper methods before grading (future-work extension)")
 		normalizeElse = flag.Bool("normalize-else", false, "normalize else branches into negated conditions (future-work extension)")
 		jsonOut       = flag.Bool("json", false, "emit the report as JSON (for LMS integration)")
+		analyze       = flag.Bool("analyze", true, "run the static analyzers and include their diagnostics in the report")
+		analyzerList  = flag.String("analyzers", "", "comma-separated analyzer subset to run (default: all; implies -analyze)")
 		workers       = flag.Int("workers", 0, "batch pool size when grading multiple files (0 = GOMAXPROCS)")
 		traceFlag     = flag.Bool("trace", false, "record the grade as a span trace and print the span tree to stderr")
 		metricsDump   = flag.Bool("metrics-dump", false, "print the Prometheus metrics exposition to stderr on exit")
@@ -92,9 +99,26 @@ func main() {
 		os.Exit(2)
 	}
 
+	// The analyzers default on: every built-in reference solution grades
+	// clean, so diagnostics on a submission are signal, not noise. KB
+	// definitions may still narrow or disable them per assignment.
+	var driver *analysis.Driver
+	switch {
+	case *analyzerList != "":
+		d, err := analysis.Default().Driver(strings.Split(*analyzerList, ","), nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "feedback: -analyzers: %v\n", err)
+			os.Exit(2)
+		}
+		driver = d
+	case *analyze:
+		driver = analysis.DefaultDriver()
+	}
+
 	grader := core.NewGrader(core.Options{
 		InlineHelpers: *inlineHelpers,
 		BuildOptions:  pdg.BuildOpts{NormalizeElse: *normalizeElse},
+		Analyzers:     driver,
 	})
 
 	// Several file arguments grade as one batch on the worker pool; the

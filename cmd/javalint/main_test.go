@@ -1,0 +1,148 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const buggyJava = `int pick(int n) {
+  int unused = 3;
+  unused = 5;
+  if (n > 0) {
+    return n;
+  }
+}`
+
+const cleanJava = `int sum(int[] a) {
+  int s = 0;
+  for (int i = 0; i < a.length; i++) {
+    s += a[i];
+  }
+  return s;
+}`
+
+func writeJava(t *testing.T, name, src string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func runLint(args ...string) (code int, stdout, stderr string) {
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestLintFindings(t *testing.T) {
+	path := writeJava(t, "Buggy.java", buggyJava)
+	code, out, _ := runLint(path)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\n%s", code, out)
+	}
+	// file:line: [analyzer] message, sorted by line.
+	want := []string{
+		path + ":2: [deadstore]",
+		path + ":3: [deadstore]",
+		": [noreturn]",
+	}
+	for _, w := range want {
+		if !strings.Contains(out, w) {
+			t.Errorf("output lacks %q:\n%s", w, out)
+		}
+	}
+}
+
+func TestLintCleanExitsZero(t *testing.T) {
+	path := writeJava(t, "Clean.java", cleanJava)
+	code, out, errb := runLint(path)
+	if code != 0 || out != "" {
+		t.Fatalf("exit = %d, stdout %q, stderr %q", code, out, errb)
+	}
+}
+
+func TestLintJSON(t *testing.T) {
+	path := writeJava(t, "Buggy.java", buggyJava)
+	code, out, _ := runLint("-json", path)
+	if code != 1 {
+		t.Fatalf("exit = %d", code)
+	}
+	var findings []struct {
+		File     string `json:"file"`
+		Analyzer string `json:"analyzer"`
+		Line     int    `json:"line"`
+		Severity string `json:"severity"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal([]byte(out), &findings); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out)
+	}
+	if len(findings) < 3 {
+		t.Fatalf("findings = %+v", findings)
+	}
+	for _, f := range findings {
+		if f.File != path || f.Analyzer == "" || f.Line == 0 || f.Severity == "" || f.Message == "" {
+			t.Errorf("incomplete finding: %+v", f)
+		}
+	}
+
+	// A clean run emits an empty array, not null.
+	clean := writeJava(t, "Clean.java", cleanJava)
+	code, out, _ = runLint("-json", clean)
+	if code != 0 || strings.TrimSpace(out) != "[]" {
+		t.Errorf("clean JSON run: exit %d, output %q", code, out)
+	}
+}
+
+func TestLintEnableDisable(t *testing.T) {
+	path := writeJava(t, "Buggy.java", buggyJava)
+
+	// Only noreturn: dead stores suppressed.
+	code, out, _ := runLint("-enable", "noreturn", path)
+	if code != 1 || strings.Contains(out, "deadstore") || !strings.Contains(out, "noreturn") {
+		t.Errorf("-enable noreturn: exit %d\n%s", code, out)
+	}
+
+	// Disable everything that fires here: clean exit.
+	code, out, _ = runLint("-disable", "deadstore,noreturn", path)
+	if code != 0 || out != "" {
+		t.Errorf("-disable: exit %d\n%s", code, out)
+	}
+
+	// Unknown analyzer names are usage errors.
+	code, _, errb := runLint("-enable", "spellcheck", path)
+	if code != 2 || !strings.Contains(errb, "spellcheck") {
+		t.Errorf("unknown analyzer: exit %d, stderr %q", code, errb)
+	}
+}
+
+func TestLintUsageAndErrors(t *testing.T) {
+	if code, _, _ := runLint(); code != 2 {
+		t.Errorf("no args: exit %d, want 2", code)
+	}
+	// Unreadable and unparseable files fail with exit 1 but don't stop the run.
+	good := writeJava(t, "Clean.java", cleanJava)
+	bad := writeJava(t, "Broken.java", "int f( {")
+	code, _, errb := runLint(bad, good)
+	if code != 1 || !strings.Contains(errb, "Broken.java") {
+		t.Errorf("parse error: exit %d, stderr %q", code, errb)
+	}
+}
+
+func TestLintList(t *testing.T) {
+	code, out, _ := runLint("-list")
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	for _, name := range []string{"usebeforedef", "deadstore", "unreachable", "constcond", "loopnoprogress", "noreturn"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("-list lacks %s:\n%s", name, out)
+		}
+	}
+}

@@ -8,9 +8,11 @@
 //     pattern matches the code they intend;
 //   - an assignment definition (top-level object, the files semfeedd
 //     hot-reloads): every pattern and group use and every constraint's
-//     Pi/Pj/Supporting/node references must resolve against the KB. All
-//     violations are reported, not just the first, and the exit status is
-//     nonzero — so a CI step can gate definition uploads.
+//     Pi/Pj/Supporting/node references must resolve against the KB, inline
+//     patterns must actually be referenced somewhere (no orphans), and no
+//     constraint may relate a pattern to itself. All violations are
+//     reported, not just the first, and the exit status is nonzero — so a
+//     CI step can gate definition uploads.
 //
 // Usage:
 //
@@ -24,6 +26,7 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"strings"
@@ -49,7 +52,7 @@ func main() {
 	// Assignment-definition files (top-level JSON objects) lint through the
 	// cross-reference path; several may be named at once.
 	if flag.NArg() > 1 || isAssignmentDef(flag.Arg(0)) {
-		os.Exit(lintDefs(flag.Args()))
+		os.Exit(lintDefs(os.Stdout, flag.Args()))
 	}
 
 	f, err := os.Open(flag.Arg(0))
@@ -146,8 +149,9 @@ func isAssignmentDef(path string) bool {
 // lintDefs validates assignment-definition files and reports every violation
 // — unknown pattern or group uses, constraints whose Pi/Pj/Supporting name
 // patterns absent from the KB, node references that don't exist in their
-// pattern. Returns the process exit code.
-func lintDefs(paths []string) int {
+// pattern, plus the structural rules of defLints. Returns the process exit
+// code.
+func lintDefs(w io.Writer, paths []string) int {
 	violations := 0
 	for _, path := range paths {
 		f, err := os.Open(path)
@@ -159,24 +163,76 @@ func lintDefs(paths []string) int {
 		def, err := kb.ReadAssignmentDef(f)
 		f.Close()
 		if err != nil {
-			fmt.Printf("%s: %v\n", path, err)
+			fmt.Fprintf(w, "%s: %v\n", path, err)
 			violations++
 			continue
 		}
 		spec, errs := def.Compile()
 		for _, e := range errs {
-			fmt.Printf("%s: %v\n", path, e)
+			fmt.Fprintf(w, "%s: %v\n", path, e)
 		}
 		violations += len(errs)
-		if spec != nil {
-			fmt.Printf("%s: assignment %q ok (%d methods)\n", path, def.ID, len(spec.Methods))
+		structural := defLints(def)
+		for _, v := range structural {
+			fmt.Fprintf(w, "%s: %s\n", path, v)
+		}
+		violations += len(structural)
+		if spec != nil && len(structural) == 0 {
+			fmt.Fprintf(w, "%s: assignment %q ok (%d methods)\n", path, def.ID, len(spec.Methods))
 		}
 	}
 	if violations > 0 {
-		fmt.Printf("%d violation(s)\n", violations)
+		fmt.Fprintf(w, "%d violation(s)\n", violations)
 		return 1
 	}
 	return 0
+}
+
+// defLints checks the structural rules Compile cannot express as resolution
+// failures:
+//
+//   - orphan pattern: an inline pattern that no method use, group member or
+//     constraint reference ever names — dead weight that silently rots as
+//     the catalog evolves;
+//   - self-constraint: a binary constraint whose pi and pj name the same
+//     pattern. Equality is then trivially satisfiable by any single
+//     embedding matched against itself and edge existence degenerates the
+//     same way, so the constraint never rejects anything.
+func defLints(def *kb.AssignmentDef) []string {
+	var out []string
+
+	referenced := map[string]bool{}
+	for _, g := range def.Groups {
+		for _, m := range g.Members {
+			referenced[m] = true
+		}
+	}
+	for _, md := range def.Methods {
+		for _, pu := range md.Patterns {
+			referenced[pu.Name] = true
+		}
+		for i := range md.Constraints {
+			c := &md.Constraints[i]
+			referenced[c.Pi] = true
+			referenced[c.Pj] = true
+			for _, s := range c.Supporting {
+				referenced[s] = true
+			}
+			if c.Pj != "" && c.Pi == c.Pj {
+				out = append(out, fmt.Sprintf(
+					"assignment %s: method %s: constraint %q relates pattern %q to itself",
+					def.ID, md.Name, c.Name, c.Pi))
+			}
+		}
+	}
+	for i := range def.Patterns {
+		if name := def.Patterns[i].Name; !referenced[name] {
+			out = append(out, fmt.Sprintf(
+				"assignment %s: orphan pattern %q is defined but never referenced",
+				def.ID, name))
+		}
+	}
+	return out
 }
 
 // substantive reports whether any exact alternative is a real expression

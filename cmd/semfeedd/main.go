@@ -29,10 +29,13 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"semfeed/internal/analysis"
 	"semfeed/internal/assignments"
+	"semfeed/internal/core"
 	"semfeed/internal/obs"
 	"semfeed/internal/server"
 )
@@ -48,11 +51,26 @@ func main() {
 		timeout      = flag.Duration("timeout", 10*time.Second, "per-request grading deadline")
 		cacheSize    = flag.Int("cache", 4096, "result cache capacity in entries (negative disables)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight requests on shutdown")
+		analyzers    = flag.String("analyzers", "all", `static analyzers run on every submission: "all", "none", or a comma-separated name list (assignment definitions may override per assignment)`)
 	)
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "semfeedd: ", log.LstdFlags)
 	obs.Enable()
+
+	var driver *analysis.Driver
+	switch *analyzers {
+	case "all":
+		driver = analysis.DefaultDriver()
+	case "none", "":
+		driver = nil
+	default:
+		d, err := analysis.Default().Driver(strings.Split(*analyzers, ","), nil)
+		if err != nil {
+			logger.Fatalf("-analyzers: %v", err)
+		}
+		driver = d
+	}
 
 	reg := server.NewRegistry(*kbDir, logger.Printf)
 	if !*noBuiltin {
@@ -73,6 +91,7 @@ func main() {
 
 	srv := server.New(server.Config{
 		Registry:       reg,
+		GradeOptions:   core.Options{Analyzers: driver},
 		MaxConcurrent:  *workers,
 		QueueDepth:     *queue,
 		RequestTimeout: *timeout,

@@ -11,6 +11,7 @@
 //	tableone -json        # also write BENCH_tableone.json (T, M, D plus matcher work counters)
 //	tableone -workers 4   # batch-grade each row on a 4-worker pool (also measures speedup vs serial)
 //	tableone -seed 42     # reproducible alternate sample of non-exhaustive rows
+//	tableone -analysis    # also run the static analyzers; records per-grade overhead (analysis_ns)
 //	tableone -metrics-addr :9090   # serve live pipeline metrics during the sweep
 package main
 
@@ -32,6 +33,7 @@ func main() {
 		one         = flag.String("assignment", "", "measure a single assignment")
 		workers     = flag.Int("workers", 0, "batch grading pool size (0 = GOMAXPROCS)")
 		seed        = flag.Int64("seed", 0, "sample seed for non-exhaustive rows (0 = historical walk)")
+		analysisOn  = flag.Bool("analysis", false, "run the static analyzers on every submission and record the per-grade overhead")
 		jsonOut     = flag.Bool("json", false, "write the sweep (incl. matcher work counters) to -json-out")
 		jsonPath    = flag.String("json-out", "BENCH_tableone.json", "output path for -json")
 		traceFlag   = flag.Bool("trace", false, "record grade span traces and print the last span tree to stderr")
@@ -57,7 +59,7 @@ func main() {
 		}()
 	}
 
-	opts := bench.Options{MaxSubs: *n, Workers: *workers, Seed: *seed}
+	opts := bench.Options{MaxSubs: *n, Workers: *workers, Seed: *seed, Analysis: *analysisOn}
 	var rows []bench.Row
 	if *one != "" {
 		a := assignments.Get(*one)

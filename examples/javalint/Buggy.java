@@ -1,0 +1,11 @@
+int countdown(int n) {
+  int steps = 0;
+  int wasted = 12;
+  wasted = 3;
+  while (n > 0) {
+    steps++;
+  }
+  if (2 > 1) {
+    return steps;
+  }
+}

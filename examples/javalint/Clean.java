@@ -1,0 +1,20 @@
+int sumPositives(int[] a) {
+  int total = 0;
+  for (int i = 0; i < a.length; i++) {
+    if (a[i] > 0) {
+      total += a[i];
+    }
+  }
+  return total;
+}
+
+int firstIndexOf(int[] a, int target) {
+  int found = -1;
+  for (int i = 0; i < a.length; i++) {
+    if (a[i] == target) {
+      found = i;
+      break;
+    }
+  }
+  return found;
+}

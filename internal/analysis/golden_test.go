@@ -1,0 +1,90 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"semfeed/internal/java/parser"
+	"semfeed/internal/pdg"
+)
+
+// TestAnalyzersGolden runs the full default analyzer suite over every .java
+// file in testdata/ and compares the findings against "// want analyzer"
+// line markers. Files without markers are clean programs pinning zero false
+// positives.
+func TestAnalyzersGolden(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "*.java"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no golden corpus: %v", err)
+	}
+	for _, file := range files {
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			src, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			unit, err := parser.Parse(string(src))
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			graphs := pdg.BuildAll(unit)
+			if len(graphs) == 0 {
+				t.Fatal("no method graphs built")
+			}
+			diags := DefaultDriver().Run(graphs)
+
+			got := map[string]bool{} // "line analyzer"
+			for _, d := range diags {
+				got[fmt.Sprintf("%d %s", d.Line, d.Analyzer)] = true
+			}
+			want := parseWant(t, string(src))
+			for key := range want {
+				if !got[key] {
+					t.Errorf("%s:%s: missing diagnostic", file, strings.Replace(key, " ", ": want ", 1))
+				}
+			}
+			var unexpected []string
+			for key := range got {
+				if !want[key] {
+					unexpected = append(unexpected, key)
+				}
+			}
+			sort.Strings(unexpected)
+			for _, key := range unexpected {
+				t.Errorf("%s:%s: unexpected diagnostic (false positive)", file, strings.Replace(key, " ", ": got ", 1))
+			}
+			if t.Failed() {
+				for _, d := range diags {
+					t.Logf("  %s", d)
+				}
+			}
+		})
+	}
+}
+
+// parseWant extracts "// want name1 name2" markers, keyed "line analyzer".
+func parseWant(t *testing.T, src string) map[string]bool {
+	t.Helper()
+	known := map[string]bool{}
+	for _, n := range Default().Names() {
+		known[n] = true
+	}
+	out := map[string]bool{}
+	for i, line := range strings.Split(src, "\n") {
+		_, marker, ok := strings.Cut(line, "// want ")
+		if !ok {
+			continue
+		}
+		for _, name := range strings.Fields(marker) {
+			if !known[name] {
+				t.Fatalf("line %d: unknown analyzer %q in want marker", i+1, name)
+			}
+			out[fmt.Sprintf("%d %s", i+1, name)] = true
+		}
+	}
+	return out
+}

@@ -1,0 +1,25 @@
+class CleanArrays {
+    static double average(int[] values) {
+        int total = 0;
+        for (int i = 0; i < values.length; i++) {
+            total = total + values[i];
+        }
+        return (double) total / values.length;
+    }
+
+    static int maxValue(int[] values) {
+        int best = values[0];
+        for (int v : values) {
+            if (v > best) {
+                best = v;
+            }
+        }
+        return best;
+    }
+
+    static void swap(int[] a, int i, int j) {
+        int tmp = a[i];
+        a[i] = a[j];
+        a[j] = tmp;
+    }
+}

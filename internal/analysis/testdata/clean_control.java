@@ -1,0 +1,39 @@
+class CleanControl {
+    static int classify(int score) {
+        int grade;
+        if (score >= 90) {
+            grade = 4;
+        } else if (score >= 60) {
+            grade = 2;
+        } else {
+            grade = 0;
+        }
+        return grade;
+    }
+
+    static String describe(int n) {
+        String label = "";
+        switch (n) {
+            case 0:
+                label = "zero";
+                break;
+            case 1:
+                label = "one";
+                break;
+            default:
+                label = "many";
+                break;
+        }
+        return label;
+    }
+
+    static long factorial(int n) {
+        long f = 1;
+        int i = 1;
+        do {
+            f = f * i;
+            i = i + 1;
+        } while (i <= n);
+        return f;
+    }
+}

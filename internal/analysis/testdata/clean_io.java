@@ -1,0 +1,21 @@
+class CleanEcho {
+    static void echo(Scanner sc) {
+        int count = 0;
+        while (sc.hasNextInt()) {
+            int value = sc.nextInt();
+            System.out.println(value);
+            count++;
+        }
+        System.out.println(count);
+    }
+
+    static void countdown(int n) {
+        while (true) {
+            if (n <= 0) {
+                break;
+            }
+            System.out.println(n);
+            n--;
+        }
+    }
+}

@@ -1,0 +1,17 @@
+class ConstCond {
+    static int check(int n) {
+        if (2 > 1) { // want constcond
+            n = n + 1;
+        }
+        if (1 + 1 == 3) { // want constcond
+            n = 0;
+        }
+        return n;
+    }
+
+    static void loop() {
+        while (false) { // want constcond
+            System.out.println(1);
+        }
+    }
+}

@@ -1,0 +1,13 @@
+class DeadStore {
+    static int overwritten(int n) {
+        int x = n * 2; // want deadstore
+        x = n + 1;
+        return x;
+    }
+
+    static void lastWrite(int n) {
+        int total = 0;
+        total = total + n; // want deadstore
+        System.out.println(n);
+    }
+}

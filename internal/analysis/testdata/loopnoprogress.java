@@ -1,0 +1,20 @@
+class LoopNoProgress {
+    static int stuck(int n) {
+        int i = 0;
+        int sum = 0;
+        while (i < n) { // want loopnoprogress
+            sum = sum + i;
+        }
+        return sum;
+    }
+
+    static int fine(int n) {
+        int i = 0;
+        int sum = 0;
+        while (i < n) {
+            sum = sum + i;
+            i = i + 1;
+        }
+        return sum;
+    }
+}

@@ -1,0 +1,17 @@
+class NoReturn {
+    static int sign(int n) {
+        if (n > 0) {
+            return 1;
+        } else if (n < 0) { // want noreturn
+            return -1;
+        }
+    }
+
+    static int firstNeg(int[] a) {
+        for (int i = 0; i < a.length; i++) { // want noreturn
+            if (a[i] < 0) {
+                return i;
+            }
+        }
+    }
+}

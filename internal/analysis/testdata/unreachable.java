@@ -1,0 +1,16 @@
+class Unreachable {
+    static int afterReturn(int n) {
+        int doubled = n * 2;
+        return doubled;
+        doubled = doubled + 1; // want unreachable
+        return doubled;
+    }
+
+    static void afterBreak(int n) {
+        while (n > 0) {
+            break;
+            n = n - 1; // want unreachable
+        }
+        System.out.println(n);
+    }
+}

@@ -1,0 +1,14 @@
+class UseBeforeDef {
+    static int late(int n) {
+        int sum = x + n; // want usebeforedef
+        int x = 2;
+        return sum + x;
+    }
+
+    static int uninit(int n) {
+        int y;
+        int z = y + n; // want usebeforedef
+        y = 1;
+        return z + y;
+    }
+}

@@ -15,6 +15,7 @@ import (
 	"strings"
 	"time"
 
+	"semfeed/internal/analysis"
 	"semfeed/internal/assignments"
 	"semfeed/internal/core"
 	"semfeed/internal/java/ast"
@@ -34,6 +35,10 @@ type Options struct {
 	// Seed selects the sample of non-exhaustive rows (see synth.SampleSeed);
 	// it is recorded in the row so sampled runs are reproducible.
 	Seed int64
+	// Analysis additionally runs the full static-analyzer suite on every
+	// graded submission, recording the mean per-submission analysis time so
+	// the overhead of the analysis layer is tracked next to M.
+	Analysis bool
 }
 
 // Row is one measured Table I row, extended with the mean per-submission
@@ -62,6 +67,12 @@ type Row struct {
 	AvgConstraintCombos float64 `json:"avg_constraint_combos"`
 	AvgEPDGNodes        float64 `json:"avg_epdg_nodes"`
 	AvgEPDGEdges        float64 `json:"avg_epdg_edges"`
+
+	// Static-analysis overhead, measured only when Options.Analysis is set:
+	// mean per-submission analyzer-driver time (a slice of M's wall clock)
+	// and mean diagnostics per submission.
+	AnalysisTime time.Duration `json:"analysis_ns,omitempty"`
+	AvgFindings  float64       `json:"avg_analysis_findings,omitempty"`
 
 	// Batch grading throughput (the BatchGrader run that graded this row).
 	Seed            int64         `json:"seed"`                        // sample seed (0 = historical walk)
@@ -124,14 +135,19 @@ func MeasureRowOpts(a *assignments.Assignment, opts Options) Row {
 	// Columns M and D: batch-grade every parsed unit. M averages the
 	// per-report grading time (measured inside GradeUnit, so it stays a
 	// per-submission cost no matter how many workers run).
-	grader := core.NewGrader(core.Options{})
+	var gopts core.Options
+	if opts.Analysis {
+		gopts.Analyzers = analysis.DefaultDriver()
+	}
+	grader := core.NewGrader(gopts)
 	bg := core.NewBatchGrader(grader, core.BatchOptions{Workers: opts.Workers})
 	results, bstats := bg.GradeUnits(context.Background(), a.Spec, units)
 	row.Workers = bstats.Workers
 	row.GradeWall = bstats.Wall
 	row.SubsPerSec = bstats.Throughput()
 
-	var matchTotal time.Duration
+	var matchTotal, analysisTotal time.Duration
+	var findings int
 	var work core.Stats
 	for i, res := range results {
 		if res.Err != nil || res.Report == nil {
@@ -142,6 +158,10 @@ func MeasureRowOpts(a *assignments.Assignment, opts Options) Row {
 		matchTotal += rep.Elapsed
 
 		st := rep.Stats
+		analysisTotal += st.AnalysisTime
+		for _, c := range st.AnalysisFindings {
+			findings += c
+		}
 		work.MatchSteps += st.MatchSteps
 		work.MatchBacktracks += st.MatchBacktracks
 		work.Embeddings += st.Embeddings
@@ -178,6 +198,10 @@ func MeasureRowOpts(a *assignments.Assignment, opts Options) Row {
 		row.AvgConstraintCombos = float64(work.ConstraintCombos) / fn
 		row.AvgEPDGNodes = float64(work.EPDGNodes) / fn
 		row.AvgEPDGEdges = float64(work.EPDGEdges) / fn
+		if opts.Analysis {
+			row.AnalysisTime = analysisTotal / time.Duration(n)
+			row.AvgFindings = float64(findings) / fn
+		}
 	}
 	if row.Exhaustive {
 		row.DScaled = int64(row.D)

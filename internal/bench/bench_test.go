@@ -4,8 +4,11 @@ import (
 	"strings"
 	"testing"
 
+	"semfeed/internal/analysis"
 	"semfeed/internal/assignments"
 	"semfeed/internal/bench"
+	"semfeed/internal/java/parser"
+	"semfeed/internal/pdg"
 )
 
 func TestMeasureRowExhaustiveSmallSpace(t *testing.T) {
@@ -41,6 +44,45 @@ func TestMeasureRowSampledLargeSpace(t *testing.T) {
 	want := int64(float64(row.D) / 50 * 640000)
 	if row.DScaled != want {
 		t.Errorf("DScaled = %d, want %d", row.DScaled, want)
+	}
+}
+
+func TestMeasureRowWithAnalysis(t *testing.T) {
+	a := assignments.Get("esc-LAB-3-P2-V2")
+	row := bench.MeasureRowOpts(a, bench.Options{MaxSubs: 30, Analysis: true})
+	if row.AnalysisTime <= 0 {
+		t.Errorf("analysis time not recorded: %+v", row)
+	}
+	if row.AnalysisTime >= row.M {
+		t.Errorf("analysis (%v) should be a fraction of total grading time (%v)", row.AnalysisTime, row.M)
+	}
+
+	// Off by default: the field stays zero and is omitted from the JSON.
+	row = bench.MeasureRowOpts(a, bench.Options{MaxSubs: 10})
+	if row.AnalysisTime != 0 || row.AvgFindings != 0 {
+		t.Errorf("analysis ran without the option: %+v", row)
+	}
+}
+
+// BenchmarkAnalysisDriver runs the full analyzer suite over the EPDGs of a
+// slice of the Table I synthetic corpus — the driver cost alone, without
+// parsing or matching, which is what the grading path adds per submission
+// when analysis is enabled.
+func BenchmarkAnalysisDriver(b *testing.B) {
+	var corpus []map[string]*pdg.Graph
+	for _, a := range assignments.All() {
+		for _, k := range a.Synth.SampleSeed(8, 1) {
+			unit, err := parser.Parse(a.Synth.Render(k))
+			if err != nil {
+				b.Fatal(err)
+			}
+			corpus = append(corpus, pdg.BuildAll(unit))
+		}
+	}
+	driver := analysis.DefaultDriver()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		driver.Run(corpus[i%len(corpus)])
 	}
 }
 

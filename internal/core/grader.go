@@ -10,6 +10,7 @@ import (
 	"strings"
 	"time"
 
+	"semfeed/internal/analysis"
 	"semfeed/internal/constraint"
 	"semfeed/internal/java/ast"
 	"semfeed/internal/java/inline"
@@ -51,6 +52,11 @@ type MethodSpec struct {
 type AssignmentSpec struct {
 	Name    string
 	Methods []MethodSpec
+
+	// Analysis, when non-nil, overrides the grader's default static-analysis
+	// driver for this assignment (the KB's per-assignment "analyzers" enable
+	// list compiles into it). An empty driver disables analysis outright.
+	Analysis *analysis.Driver
 }
 
 // PatternCount returns the total number of pattern uses across methods
@@ -146,6 +152,11 @@ type Report struct {
 	Matched    bool              // false when the expected headers are absent
 	Elapsed    time.Duration
 	Stats      *Stats `json:"stats"` // per-report cost accounting
+
+	// Diagnostics are pattern-independent static-analysis findings (dead
+	// stores, unreachable code, use-before-definition, ...) produced when an
+	// analysis driver is enabled; empty otherwise.
+	Diagnostics []analysis.Diagnostic `json:"Diagnostics,omitempty"`
 }
 
 // Stats is the per-report cost accounting block: where the grade's time went
@@ -160,6 +171,7 @@ type Stats struct {
 	BuildTime      time.Duration `json:"build_ns"`      // EPDG construction
 	MatchTime      time.Duration `json:"match_ns"`      // Algorithm 1 across all bindings
 	ConstraintTime time.Duration `json:"constraint_ns"` // constraint checking across all bindings
+	AnalysisTime   time.Duration `json:"analysis_ns"`   // static-analysis driver, when enabled
 	TotalTime      time.Duration `json:"total_ns"`      // end-to-end grade time
 
 	Methods      int `json:"methods"`       // submission methods with an EPDG
@@ -177,6 +189,9 @@ type Stats struct {
 
 	ConstraintChecks int64 `json:"constraint_checks"` // constraint evaluations
 	ConstraintCombos int64 `json:"constraint_combos"` // embedding combinations examined
+
+	// AnalysisFindings counts static-analysis diagnostics per analyzer name.
+	AnalysisFindings map[string]int `json:"analysis_findings,omitempty"`
 }
 
 // addWork folds matcher work counters into the stats.
@@ -219,6 +234,12 @@ func (r *Report) String() string {
 			fmt.Fprintf(&sb, "      - %s\n", d)
 		}
 	}
+	if len(r.Diagnostics) > 0 {
+		sb.WriteString("  Static analysis:\n")
+		for _, d := range r.Diagnostics {
+			fmt.Fprintf(&sb, "    %s: line %d: [%s] %s\n", d.Severity, d.Line, d.Analyzer, d.Message)
+		}
+	}
 	return sb.String()
 }
 
@@ -236,6 +257,11 @@ type Options struct {
 	// MaxMethodCombos caps the number of expected↔actual method bindings
 	// tried (default 720).
 	MaxMethodCombos int
+	// Analyzers, when non-nil, runs pattern-independent static analysis over
+	// every submission method's EPDG and attaches the findings to
+	// Report.Diagnostics. Nil disables analysis entirely (zero overhead). A
+	// spec's own Analysis driver takes precedence for its assignment.
+	Analyzers *analysis.Driver
 }
 
 func (o Options) maxCombos() int {
@@ -292,6 +318,14 @@ type Grader struct {
 
 // NewGrader returns a grader with the given options.
 func NewGrader(opts Options) *Grader { return &Grader{opts: opts} }
+
+// analysisDriver resolves which static-analysis driver applies to spec.
+func (g *Grader) analysisDriver(spec *AssignmentSpec) *analysis.Driver {
+	if spec.Analysis != nil {
+		return spec.Analysis
+	}
+	return g.opts.Analyzers
+}
 
 // Grade parses src and grades it against spec.
 func (g *Grader) Grade(src string, spec *AssignmentSpec) (*Report, error) {
@@ -381,6 +415,20 @@ func (g *Grader) GradeUnitContext(ctx context.Context, unit *ast.CompilationUnit
 	if len(graphs) == 0 {
 		return report
 	}
+
+	// Step 1b: pattern-independent static analysis over the fresh EPDGs. The
+	// driver is per-assignment when the spec carries one, else the grader
+	// default; nil means disabled and costs nothing.
+	if driver := g.analysisDriver(spec); driver != nil {
+		sp := root.Child("analysis")
+		t0 := time.Now()
+		report.Diagnostics = driver.Run(graphs)
+		stats.AnalysisTime = time.Since(t0)
+		stats.AnalysisFindings = analysis.Counts(report.Diagnostics)
+		sp.SetAttrInt("diagnostics", int64(len(report.Diagnostics)))
+		sp.End()
+	}
+
 	methodNames := make([]string, 0, len(graphs))
 	for name := range graphs {
 		methodNames = append(methodNames, name)

@@ -1,0 +1,47 @@
+package interp
+
+import "semfeed/internal/java/ast"
+
+// FoldConst evaluates a closed expression — one built purely from literals,
+// arithmetic/logical operators, parentheses, casts and ternaries — to its
+// constant value. The static-analysis layer uses it to detect conditions
+// that fold to true or false at compile time ("constant condition").
+//
+// ok is false when the expression mentions a variable, call, allocation or
+// any other non-constant construct, or when evaluation itself fails (e.g.
+// division by zero): such expressions are simply not constants, never an
+// error.
+func FoldConst(e ast.Expr) (Value, bool) {
+	if e == nil || !closedExpr(e) {
+		return nil, false
+	}
+	m := &machine{
+		cfg:     Config{MaxSteps: 1024},
+		methods: map[string]*ast.Method{},
+		globals: map[string]Value{},
+	}
+	f := &frame{machine: m, method: "<fold>"}
+	f.push()
+	v, err := m.eval(e, f)
+	if err != nil {
+		return nil, false
+	}
+	return v, true
+}
+
+// closedExpr reports whether e is built only from constant-foldable node
+// kinds. Idents, calls, indexing, allocations and assignments all make the
+// expression depend on runtime state.
+func closedExpr(e ast.Expr) bool {
+	ok := true
+	ast.Inspect(e, func(x ast.Expr) bool {
+		switch x.(type) {
+		case *ast.Literal, *ast.Paren, *ast.Unary, *ast.Binary, *ast.Cast, *ast.Ternary:
+			return ok
+		default:
+			ok = false
+			return false
+		}
+	})
+	return ok
+}

@@ -1,0 +1,44 @@
+package interp
+
+import (
+	"testing"
+
+	"semfeed/internal/java/parser"
+)
+
+func TestFoldConst(t *testing.T) {
+	cases := []struct {
+		src  string
+		want Value
+		ok   bool
+	}{
+		{"1 + 1 == 2", true, true},
+		{"2 > 3", false, true},
+		{"(1 + 2) * 3", int64(9), true},
+		{"!false", true, true},
+		{"true && false", false, true},
+		{"1 < 2 ? 10 : 20", int64(10), true},
+		{"x + 1", nil, false},         // free variable
+		{"f()", nil, false},           // call
+		{"a[0]", nil, false},          // index
+		{"1 / 0", nil, false},         // folds but faults: not a constant
+		{"\"a\" + \"b\"", "ab", true}, // string concatenation
+	}
+	for _, c := range cases {
+		e, err := parser.ParseExpr(c.src)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", c.src, err)
+		}
+		got, ok := FoldConst(e)
+		if ok != c.ok {
+			t.Errorf("FoldConst(%s) ok = %v, want %v", c.src, ok, c.ok)
+			continue
+		}
+		if ok && got != c.want {
+			t.Errorf("FoldConst(%s) = %v (%T), want %v", c.src, got, got, c.want)
+		}
+	}
+	if _, ok := FoldConst(nil); ok {
+		t.Error("FoldConst(nil) should not fold")
+	}
+}

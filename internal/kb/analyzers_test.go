@@ -1,0 +1,93 @@
+package kb_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"semfeed/internal/analysis"
+	"semfeed/internal/kb"
+)
+
+func minimalDef(analyzers []string) *kb.AssignmentDef {
+	return &kb.AssignmentDef{
+		ID: "lint-demo",
+		Methods: []kb.MethodDef{{
+			Name:     "m",
+			Patterns: []kb.PatternUseDef{{Name: "counter-increment", Count: 1}},
+		}},
+		Analyzers: analyzers,
+	}
+}
+
+func TestAssignmentDefAnalyzers(t *testing.T) {
+	// Absent: inherit the grader default (spec.Analysis stays nil).
+	spec, errs := minimalDef(nil).Compile()
+	if len(errs) > 0 {
+		t.Fatal(errs)
+	}
+	if spec.Analysis != nil {
+		t.Error("absent analyzers field should leave spec.Analysis nil")
+	}
+
+	// Explicit list: a driver over exactly those analyzers.
+	spec, errs = minimalDef([]string{"deadstore", "noreturn"}).Compile()
+	if len(errs) > 0 {
+		t.Fatal(errs)
+	}
+	if spec.Analysis == nil {
+		t.Fatal("analyzers list should compile into a driver")
+	}
+	if names := spec.Analysis.Names(); len(names) != 2 || names[0] != "deadstore" || names[1] != "noreturn" {
+		t.Errorf("driver names = %v", names)
+	}
+
+	// Explicit empty list: analysis disabled outright.
+	spec, errs = minimalDef([]string{}).Compile()
+	if len(errs) > 0 {
+		t.Fatal(errs)
+	}
+	if spec.Analysis == nil || len(spec.Analysis.Names()) != 0 {
+		t.Errorf("empty analyzers list should produce an empty driver, got %v", spec.Analysis)
+	}
+
+	// Unknown name: a collected violation.
+	_, errs = minimalDef([]string{"spellcheck"}).Compile()
+	if len(errs) == 0 || !strings.Contains(errs[0].Error(), "spellcheck") {
+		t.Errorf("unknown analyzer should fail compile, got %v", errs)
+	}
+}
+
+func TestAssignmentDefAnalyzersRoundTrip(t *testing.T) {
+	def := minimalDef([]string{"usebeforedef", "constcond"})
+	var buf bytes.Buffer
+	if err := kb.WriteAssignmentDef(&buf, def); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"analyzers"`) {
+		t.Fatalf("serialized definition lacks analyzers field:\n%s", buf.String())
+	}
+	back, err := kb.ReadAssignmentDef(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, errs := back.Compile()
+	if len(errs) > 0 {
+		t.Fatal(errs)
+	}
+	out := kb.ExportAssignmentDef("lint-demo", "", spec)
+	if len(out.Analyzers) != 2 || out.Analyzers[0] != "usebeforedef" || out.Analyzers[1] != "constcond" {
+		t.Errorf("exported analyzers = %v", out.Analyzers)
+	}
+}
+
+func TestAssignmentDefAnalyzersAllNames(t *testing.T) {
+	// Every registry name is accepted in a KB file.
+	spec, errs := minimalDef(analysis.Default().Names()).Compile()
+	if len(errs) > 0 {
+		t.Fatal(errs)
+	}
+	if got := len(spec.Analysis.Names()); got != len(analysis.Default().Names()) {
+		t.Errorf("driver has %d analyzers", got)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"io"
 	"sort"
 
+	"semfeed/internal/analysis"
 	"semfeed/internal/constraint"
 	"semfeed/internal/core"
 	"semfeed/internal/pattern"
@@ -23,6 +24,12 @@ type AssignmentDef struct {
 	Patterns    []pattern.Pattern `json:"patterns,omitempty"` // inline pattern definitions
 	Groups      []GroupDef        `json:"groups,omitempty"`
 	Methods     []MethodDef       `json:"methods"`
+
+	// Analyzers selects the static analyzers run on submissions to this
+	// assignment, by name from the built-in analysis registry. Absent means
+	// "inherit the grader default"; an explicit empty list disables analysis
+	// for this assignment. Hot-reloads with the rest of the definition.
+	Analyzers []string `json:"analyzers,omitempty"`
 }
 
 // GroupDef declares a pattern variability group over named patterns.
@@ -141,6 +148,15 @@ func (d *AssignmentDef) Compile() (*core.AssignmentSpec, []error) {
 	}
 
 	spec := &core.AssignmentSpec{Name: d.ID}
+	if d.Analyzers != nil {
+		if len(d.Analyzers) == 0 {
+			spec.Analysis = analysis.NewDriver() // explicit opt-out
+		} else if drv, err := analysis.Default().Driver(d.Analyzers, nil); err != nil {
+			fail("assignment %s: %v", d.ID, err)
+		} else {
+			spec.Analysis = drv
+		}
+	}
 	seenMethods := map[string]bool{}
 	for _, md := range d.Methods {
 		if md.Name == "" {
@@ -197,6 +213,12 @@ func (d *AssignmentDef) Compile() (*core.AssignmentSpec, []error) {
 // self-contained and round-trips through Compile.
 func ExportAssignmentDef(id, description string, spec *core.AssignmentSpec) *AssignmentDef {
 	def := &AssignmentDef{ID: id, Description: description}
+	if spec.Analysis != nil {
+		// An empty driver (explicit opt-out) has no names and exports as an
+		// absent field, i.e. "inherit": the opt-out is not representable in
+		// omitted-field JSON and callers must keep the grader default off.
+		def.Analyzers = spec.Analysis.Names()
+	}
 	inlined := map[string]bool{}
 	groupsSeen := map[string]bool{}
 

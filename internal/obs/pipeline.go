@@ -41,6 +41,12 @@ var (
 	InterpStepsTotal     = NewCounter("semfeed_interp_steps_total", "Interpreter steps executed.")
 	InterpStepLimitTotal = NewCounter("semfeed_interp_step_limit_total", "Executions killed by fuel exhaustion (step budget).")
 
+	// Static-analysis layer (internal/analysis).
+	AnalysisRunsTotal        = NewCounter("semfeed_analysis_runs_total", "Analysis driver runs (one per analyzed submission).")
+	AnalysisGraphsTotal      = NewCounter("semfeed_analysis_graphs_total", "Method EPDGs analyzed.")
+	AnalysisDiagnosticsTotal = NewCounter("semfeed_analysis_diagnostics_total", "Diagnostics produced by analyzers.")
+	AnalysisSeconds          = NewHistogram("semfeed_analysis_seconds", "Analysis driver latency per submission.", nil)
+
 	// Grading engine (Algorithm 2).
 	GradesTotal            = NewCounter("semfeed_grades_total", "Submissions graded.")
 	GradeMatchedTotal      = NewCounter("semfeed_grade_matched_total", "Reports where a method binding was found.")

@@ -36,7 +36,7 @@ func Build(m *ast.Method) *Graph {
 
 // BuildWith constructs the EPDG with explicit construction options.
 func BuildWith(m *ast.Method, opts BuildOpts) *Graph {
-	b := &builder{g: NewGraph(m.Name), opts: opts}
+	b := &builder{g: NewGraph(m.Name), opts: opts, elseArm: -1}
 	defs := defEnv{}
 	for _, p := range m.Params {
 		n := b.g.AddNode(&Node{
@@ -120,6 +120,10 @@ type builder struct {
 	// condParent records each Cond node's own controlling Cond, so the
 	// TransitiveCtrl ablation can walk the chain outward.
 	condParent map[int]int
+	// elseArm is the Cond node whose else branch is currently being built
+	// (-1 outside any else branch): nodes created with that parent are the
+	// else arm's direct children and get Node.Else set.
+	elseArm int
 }
 
 // addNode creates a node, wires its Ctrl edge from the innermost controlling
@@ -128,6 +132,9 @@ type builder struct {
 func (b *builder) addNode(n *Node, parent int, defs defEnv) *Node {
 	b.g.AddNode(n)
 	if parent >= 0 {
+		if parent == b.elseArm {
+			n.Else = true
+		}
 		b.g.AddEdge(parent, n.ID, Ctrl)
 		if b.opts.TransitiveCtrl {
 			for p, ok := b.condParent[parent]; ok && p >= 0; p, ok = b.condParent[p] {
@@ -178,7 +185,7 @@ func (b *builder) stmt(s ast.Stmt, parent int, defs defEnv) defEnv {
 		return b.exprStmt(x.X, x.P.Line, parent, defs)
 
 	case *ast.If:
-		cond := b.condNode(x.Cond, x.P.Line, parent, defs)
+		cond := b.condNode(x.Cond, x.P.Line, parent, CondIf, defs)
 		thenOut := b.stmt(x.Then, cond.ID, defs.clone())
 		if x.Else == nil {
 			if b.opts.ConservativeData {
@@ -189,14 +196,22 @@ func (b *builder) stmt(s ast.Stmt, parent int, defs defEnv) defEnv {
 		}
 		elseParent := cond.ID
 		if b.opts.NormalizeElse {
-			neg := b.condNode(negate(x.Cond), x.P.Line, parent, defs)
+			neg := b.condNode(negate(x.Cond), x.P.Line, parent, CondIf, defs)
 			elseParent = neg.ID
 		}
+		prevElse := b.elseArm
+		if elseParent == cond.ID {
+			// Direct children of the shared Cond built from here on are the
+			// else arm. Under NormalizeElse they hang off the synthesized
+			// negated condition instead, which is its own (then) branch.
+			b.elseArm = cond.ID
+		}
 		elseOut := b.stmt(x.Else, elseParent, defs.clone())
+		b.elseArm = prevElse
 		return merge(thenOut, elseOut)
 
 	case *ast.While:
-		cond := b.condNode(x.Cond, x.P.Line, parent, defs)
+		cond := b.condNode(x.Cond, x.P.Line, parent, CondLoop, defs)
 		out := b.stmt(x.Body, cond.ID, defs.clone())
 		if b.opts.ConservativeData {
 			return merge(out, defs)
@@ -207,7 +222,7 @@ func (b *builder) stmt(s ast.Stmt, parent int, defs defEnv) defEnv {
 		// The body executes at least once, so it is not control-dependent on
 		// the condition; the condition reads the post-body definitions.
 		out := b.stmt(x.Body, parent, defs.clone())
-		b.condNode(x.Cond, x.P.Line, parent, out)
+		b.condNode(x.Cond, x.P.Line, parent, CondLoop, out)
 		return out
 
 	case *ast.For:
@@ -216,9 +231,9 @@ func (b *builder) stmt(s ast.Stmt, parent int, defs defEnv) defEnv {
 		}
 		var cond *Node
 		if x.Cond != nil {
-			cond = b.condNode(x.Cond, x.P.Line, parent, defs)
+			cond = b.condNode(x.Cond, x.P.Line, parent, CondLoop, defs)
 		} else {
-			cond = b.addNode(&Node{Type: Cond, Content: "true", Line: x.P.Line}, parent, defs)
+			cond = b.addNode(&Node{Type: Cond, Content: "true", Line: x.P.Line, Kind: CondLoop}, parent, defs)
 		}
 		out := b.stmt(x.Body, cond.ID, defs.clone())
 		for _, u := range x.Update {
@@ -233,20 +248,22 @@ func (b *builder) stmt(s ast.Stmt, parent int, defs defEnv) defEnv {
 		content := x.ElemType.String() + " " + x.Name + " : " + pretty.Expr(x.Iterable)
 		uses := ast.Idents(x.Iterable)
 		n := b.addNode(&Node{
-			Type:    Cond,
-			Content: content,
-			Alts:    []string{x.Name + " : " + pretty.Expr(x.Iterable)},
-			Vars:    dedup(append([]string{x.Name}, uses...)),
-			Defs:    []string{x.Name},
-			Uses:    uses,
-			Line:    x.P.Line,
+			Type:     Cond,
+			Content:  content,
+			Alts:     []string{x.Name + " : " + pretty.Expr(x.Iterable)},
+			Vars:     dedup(append([]string{x.Name}, uses...)),
+			Defs:     []string{x.Name},
+			Uses:     uses,
+			Line:     x.P.Line,
+			Kind:     CondForEach,
+			Declares: true,
 		}, parent, defs)
 		out := defs.clone()
 		out.kill(x.Name, n.ID)
 		return b.stmt(x.Body, n.ID, out)
 
 	case *ast.Switch:
-		cond := b.condNode(x.Tag, x.P.Line, parent, defs)
+		cond := b.condNode(x.Tag, x.P.Line, parent, CondSwitch, defs)
 		hasDefault := false
 		envs := []defEnv{}
 		for _, c := range x.Cases {
@@ -310,13 +327,15 @@ func (b *builder) declarator(t ast.Type, d ast.Declarator, parent int, defs defE
 		alts = append(alts, d.Name)
 	}
 	n := b.addNode(&Node{
-		Type:    Assign,
-		Content: pretty.Declarator(t, d),
-		Alts:    alts,
-		Vars:    dedup(append([]string{d.Name}, uses...)),
-		Defs:    []string{d.Name},
-		Uses:    uses,
-		Line:    d.P.Line,
+		Type:     Assign,
+		Content:  pretty.Declarator(t, d),
+		Alts:     alts,
+		Vars:     dedup(append([]string{d.Name}, uses...)),
+		Defs:     []string{d.Name},
+		Uses:     uses,
+		Line:     d.P.Line,
+		Uninit:   d.Init == nil,
+		Declares: true,
 	}, parent, defs)
 	defs.kill(d.Name, n.ID)
 	return defs
@@ -359,6 +378,7 @@ func (b *builder) exprStmt(e ast.Expr, line int, parent int, defs defEnv) defEnv
 			Defs:    defList(defName),
 			Uses:    uses,
 			Line:    line,
+			WeakDef: weak,
 		}, parent, defs)
 		switch {
 		case defName == "":
@@ -373,6 +393,7 @@ func (b *builder) exprStmt(e ast.Expr, line int, parent int, defs defEnv) defEnv
 		if x.Op == token.INC || x.Op == token.DEC {
 			name := rootIdent(x.X)
 			uses := ast.Idents(x.X)
+			_, isIdent := unparen(x.X).(*ast.Ident)
 			n := b.addNode(&Node{
 				Type:    Assign,
 				Content: pretty.Expr(x),
@@ -380,9 +401,10 @@ func (b *builder) exprStmt(e ast.Expr, line int, parent int, defs defEnv) defEnv
 				Defs:    defList(name),
 				Uses:    uses,
 				Line:    line,
+				WeakDef: name != "" && !isIdent,
 			}, parent, defs)
 			if name != "" {
-				if _, isIdent := unparen(x.X).(*ast.Ident); isIdent {
+				if isIdent {
 					defs.kill(name, n.ID)
 				} else {
 					defs.weak(name, n.ID)
@@ -420,7 +442,7 @@ func (b *builder) exprStmt(e ast.Expr, line int, parent int, defs defEnv) defEnv
 }
 
 // condNode emits a Cond node for a controlling expression.
-func (b *builder) condNode(cond ast.Expr, line int, parent int, defs defEnv) *Node {
+func (b *builder) condNode(cond ast.Expr, line int, parent int, kind CondKind, defs defEnv) *Node {
 	uses := ast.Idents(cond)
 	return b.addNode(&Node{
 		Type:    Cond,
@@ -428,6 +450,7 @@ func (b *builder) condNode(cond ast.Expr, line int, parent int, defs defEnv) *No
 		Vars:    uses,
 		Uses:    uses,
 		Line:    line,
+		Kind:    kind,
 	}, parent, defs)
 }
 

@@ -68,6 +68,33 @@ func (t EdgeType) String() string {
 	return "Data"
 }
 
+// CondKind refines Cond nodes with the construct they were built from. The
+// paper's node taxonomy (Definition 1) folds every controlling expression
+// into one Cond type, which is all the matcher needs; the static-analysis
+// layer additionally needs to know whether a Cond heads a loop (back edge),
+// a for-each (implicit progress), a switch (multi-way dispatch) or a plain
+// if, because the control-flow graph it derives differs for each.
+type CondKind int
+
+// Cond kinds. The zero value is a plain if condition, so graphs built before
+// this field existed keep their meaning.
+const (
+	CondIf      CondKind = iota // if condition (or not a Cond node)
+	CondLoop                    // while / do-while / for condition
+	CondForEach                 // for-each iteration header
+	CondSwitch                  // switch tag
+)
+
+var condKindNames = [...]string{"If", "Loop", "ForEach", "Switch"}
+
+// String names the kind for diagnostics.
+func (k CondKind) String() string {
+	if k < 0 || int(k) >= len(condKindNames) {
+		return fmt.Sprintf("CondKind(%d)", int(k))
+	}
+	return condKindNames[k]
+}
+
 // ParseEdgeType converts "Ctrl"/"Data" back to an EdgeType.
 func ParseEdgeType(s string) (EdgeType, error) {
 	switch s {
@@ -92,6 +119,27 @@ type Node struct {
 	// drive Data-edge construction and are exposed for tests and tooling.
 	Defs []string
 	Uses []string
+
+	// Kind refines Cond nodes by originating construct (loop, for-each,
+	// switch, plain if); zero for non-Cond nodes. See CondKind.
+	Kind CondKind
+	// Else marks a node whose Ctrl edge comes from the else arm of its
+	// controlling condition (both arms share the same Cond parent in the
+	// paper's construction, which the matcher wants; flow analyses need the
+	// arms apart).
+	Else bool
+	// Uninit marks a declaration without an initializer ("int x;"): the node
+	// defines the variable's scope but assigns it no value, which the
+	// use-before-definition analysis distinguishes from a real store.
+	Uninit bool
+	// Declares marks a node that introduces the variable it defines (local
+	// declarations and for-each headers; parameters are Decl-typed already).
+	// Variables assigned but never declared in the method are class fields,
+	// which flow analyses must treat as escaping the method.
+	Declares bool
+	// WeakDef marks a non-killing definition (array element or field writes:
+	// a[i] = e updates part of a, so earlier definitions of a survive).
+	WeakDef bool
 }
 
 // Renderings returns the canonical content followed by any alternatives.
