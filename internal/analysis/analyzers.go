@@ -23,8 +23,10 @@ func init() {
 // UseBeforeDef flags reads of a variable on paths where no assignment can
 // have happened yet: either every definition appears later in the method, or
 // every reaching definition is an uninitialized declaration ("int x;").
-// Variables with no definition anywhere in the graph are class fields or
-// library names and are never reported.
+// Variables never declared inside the method — whether never defined at all
+// (library names) or only assigned ("count = count + n;" on a field) — are
+// class fields whose values arrive from outside the method and are never
+// reported.
 var UseBeforeDef = &Analyzer{
 	Name:     "usebeforedef",
 	Doc:      "reports variables read before any assignment can have executed",
@@ -45,6 +47,9 @@ var UseBeforeDef = &Analyzer{
 				defs := reach.In(n.ID, u)
 				switch {
 				case len(defs) == 0:
+					if !p.Declared(u) {
+						continue // field read-modify-write: the value outlives the method
+					}
 					seen[u] = true
 					out = append(out, Diagnostic{
 						Line: n.Line, NodeID: n.ID,

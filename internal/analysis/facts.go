@@ -77,10 +77,12 @@ type flowCtx struct {
 
 // BuildCFG recovers the control-flow graph of g. The reconstruction is
 // conservative where the EPDG underdetermines flow: switch case boundaries
-// are approximated (a statement after a break re-enters from the tag), a
-// do-while condition gets no back edge, and conditions are not evaluated
-// (both arms are always considered possible), except that a literal-true
-// loop condition ("while (true)", "for (;;)") has no normal exit.
+// are approximated (a statement after a break re-enters from the tag; the
+// tag is only an exit when the switch has no default case), a do-while
+// condition gets no back edge, labeled breaks are treated as unlabeled
+// breaks of the innermost construct, and conditions are not evaluated (both
+// arms are always considered possible), except that a literal-true loop
+// condition ("while (true)", "for (;;)") has no normal exit.
 func BuildCFG(g *pdg.Graph) *CFG {
 	n := len(g.Nodes)
 	c := &CFG{
@@ -161,11 +163,14 @@ func (b *cfgBuilder) stmt(id int) []int {
 			}
 			return []int{id} // stray continue: fall through
 		}
-		for i := len(b.ctx) - 1; i >= 0; i-- {
-			if b.ctx[i].isLoop || !b.ctx[i].isLoop { // innermost loop or switch
-				b.ctx[i].breaks = append(b.ctx[i].breaks, id)
-				return nil
-			}
+		if len(b.ctx) > 0 {
+			// Breaks leave the innermost loop or switch. A labeled break
+			// ("break outer;") is approximated the same way — the EPDG does
+			// not record labels, so like do-while this is a known
+			// simplification (see BuildCFG's doc comment).
+			top := &b.ctx[len(b.ctx)-1]
+			top.breaks = append(top.breaks, id)
+			return nil
 		}
 		return []int{id} // stray break: fall through
 
@@ -214,9 +219,13 @@ func (b *cfgBuilder) cond(id int, n *pdg.Node) []int {
 		}
 		top := b.ctx[len(b.ctx)-1]
 		b.ctx = b.ctx[:len(b.ctx)-1]
-		// The tag itself exits too: without default-case information the
-		// dispatch may match nothing.
-		return append(append(pending, top.breaks...), id)
+		exits := append(pending, top.breaks...)
+		if !n.HasDefault {
+			// Without a default case the dispatch may match nothing, so the
+			// tag itself exits too.
+			exits = append(exits, id)
+		}
+		return exits
 
 	default: // CondIf
 		var thenKids, elseKids []int

@@ -20,11 +20,19 @@ class CleanControl {
             case 1:
                 label = "one";
                 break;
-            default:
-                label = "many";
-                break;
         }
         return label;
+    }
+
+    static int grade(int band) {
+        switch (band) {
+            case 4:
+                return 90;
+            case 2:
+                return 60;
+            default:
+                return 0;
+        }
     }
 
     static long factorial(int n) {

@@ -1,0 +1,19 @@
+class Counter {
+    int count;
+    int total;
+
+    void add(int n) {
+        count = count + n;
+        total = total + n;
+    }
+
+    int snapshot() {
+        int copy = count;
+        return copy;
+    }
+
+    void reset() {
+        count = 0;
+        total = 0;
+    }
+}

@@ -9,15 +9,20 @@ import (
 	"semfeed/internal/kb"
 )
 
+// minimalDef builds a definition with the given analyzers list; nil means
+// the field is absent (inherit), an empty slice is the explicit opt-out.
 func minimalDef(analyzers []string) *kb.AssignmentDef {
-	return &kb.AssignmentDef{
+	def := &kb.AssignmentDef{
 		ID: "lint-demo",
 		Methods: []kb.MethodDef{{
 			Name:     "m",
 			Patterns: []kb.PatternUseDef{{Name: "counter-increment", Count: 1}},
 		}},
-		Analyzers: analyzers,
 	}
+	if analyzers != nil {
+		def.Analyzers = &analyzers
+	}
+	return def
 }
 
 func TestAssignmentDefAnalyzers(t *testing.T) {
@@ -76,8 +81,43 @@ func TestAssignmentDefAnalyzersRoundTrip(t *testing.T) {
 		t.Fatal(errs)
 	}
 	out := kb.ExportAssignmentDef("lint-demo", "", spec)
-	if len(out.Analyzers) != 2 || out.Analyzers[0] != "usebeforedef" || out.Analyzers[1] != "constcond" {
-		t.Errorf("exported analyzers = %v", out.Analyzers)
+	if out.Analyzers == nil {
+		t.Fatal("exported definition lacks analyzers field")
+	}
+	if names := *out.Analyzers; len(names) != 2 || names[0] != "usebeforedef" || names[1] != "constcond" {
+		t.Errorf("exported analyzers = %v", names)
+	}
+}
+
+func TestAssignmentDefAnalyzersOptOutRoundTrip(t *testing.T) {
+	// An explicit empty list (analysis disabled) must survive
+	// Compile -> Export -> serialize -> Compile without silently
+	// re-enabling the inherited grader default.
+	spec, errs := minimalDef([]string{}).Compile()
+	if len(errs) > 0 {
+		t.Fatal(errs)
+	}
+	out := kb.ExportAssignmentDef("lint-demo", "", spec)
+	if out.Analyzers == nil || len(*out.Analyzers) != 0 {
+		t.Fatalf("opt-out should export as an explicit empty list, got %v", out.Analyzers)
+	}
+	var buf bytes.Buffer
+	if err := kb.WriteAssignmentDef(&buf, out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"analyzers": []`) {
+		t.Fatalf("serialized opt-out lacks explicit empty analyzers list:\n%s", buf.String())
+	}
+	back, err := kb.ReadAssignmentDef(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec2, errs := back.Compile()
+	if len(errs) > 0 {
+		t.Fatal(errs)
+	}
+	if spec2.Analysis == nil || len(spec2.Analysis.Names()) != 0 {
+		t.Errorf("opt-out did not survive the round-trip: Analysis = %v", spec2.Analysis)
 	}
 }
 

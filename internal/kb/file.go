@@ -26,10 +26,12 @@ type AssignmentDef struct {
 	Methods     []MethodDef       `json:"methods"`
 
 	// Analyzers selects the static analyzers run on submissions to this
-	// assignment, by name from the built-in analysis registry. Absent means
-	// "inherit the grader default"; an explicit empty list disables analysis
-	// for this assignment. Hot-reloads with the rest of the definition.
-	Analyzers []string `json:"analyzers,omitempty"`
+	// assignment, by name from the built-in analysis registry. Absent (nil)
+	// means "inherit the grader default"; an explicit empty list disables
+	// analysis for this assignment — the pointer keeps the two states apart
+	// in JSON so the opt-out survives an Export round-trip. Hot-reloads with
+	// the rest of the definition.
+	Analyzers *[]string `json:"analyzers,omitempty"`
 }
 
 // GroupDef declares a pattern variability group over named patterns.
@@ -149,9 +151,9 @@ func (d *AssignmentDef) Compile() (*core.AssignmentSpec, []error) {
 
 	spec := &core.AssignmentSpec{Name: d.ID}
 	if d.Analyzers != nil {
-		if len(d.Analyzers) == 0 {
+		if names := *d.Analyzers; len(names) == 0 {
 			spec.Analysis = analysis.NewDriver() // explicit opt-out
-		} else if drv, err := analysis.Default().Driver(d.Analyzers, nil); err != nil {
+		} else if drv, err := analysis.Default().Driver(names, nil); err != nil {
 			fail("assignment %s: %v", d.ID, err)
 		} else {
 			spec.Analysis = drv
@@ -214,10 +216,11 @@ func (d *AssignmentDef) Compile() (*core.AssignmentSpec, []error) {
 func ExportAssignmentDef(id, description string, spec *core.AssignmentSpec) *AssignmentDef {
 	def := &AssignmentDef{ID: id, Description: description}
 	if spec.Analysis != nil {
-		// An empty driver (explicit opt-out) has no names and exports as an
-		// absent field, i.e. "inherit": the opt-out is not representable in
-		// omitted-field JSON and callers must keep the grader default off.
-		def.Analyzers = spec.Analysis.Names()
+		// An empty driver (the explicit opt-out) exports as an explicit empty
+		// list — not an absent field — so disabling analysis survives the
+		// round-trip through Compile.
+		names := spec.Analysis.Names()
+		def.Analyzers = &names
 	}
 	inlined := map[string]bool{}
 	groupsSeen := map[string]bool{}

@@ -272,6 +272,7 @@ func (b *builder) stmt(s ast.Stmt, parent int, defs defEnv) defEnv {
 			}
 			envs = append(envs, b.stmts(c.Stmts, cond.ID, defs.clone()))
 		}
+		cond.HasDefault = hasDefault
 		if !hasDefault {
 			envs = append(envs, defs)
 		}

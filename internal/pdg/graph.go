@@ -123,6 +123,10 @@ type Node struct {
 	// Kind refines Cond nodes by originating construct (loop, for-each,
 	// switch, plain if); zero for non-Cond nodes. See CondKind.
 	Kind CondKind
+	// HasDefault marks a CondSwitch node whose switch has a default case, so
+	// the dispatch always enters some arm; flow analyses use it to decide
+	// whether control can bypass the cases entirely.
+	HasDefault bool
 	// Else marks a node whose Ctrl edge comes from the else arm of its
 	// controlling condition (both arms share the same Cond parent in the
 	// paper's construction, which the matcher wants; flow analyses need the
