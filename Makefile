@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke bench-server table table-json metrics-smoke server-smoke javalint-smoke fuzz fmt vet examples clean
+.PHONY: all build test race bench bench-smoke bench-server table table-json metrics-smoke server-smoke statusz-smoke javalint-smoke fuzz fmt vet examples clean
 
 all: build vet test
 
@@ -48,10 +48,16 @@ metrics-smoke:
 	echo "$$out" | grep -q "match:" || { echo "metrics-smoke FAIL: no per-pattern match spans"; echo "$$out"; exit 1; }; \
 	echo "metrics-smoke: OK"
 
-# Grading-service smoke: fixture KB via kbdump, semfeedd over HTTP, metrics
-# scrape, SIGTERM drain. See scripts/server_smoke.sh.
+# Grading-service smoke: fixture KB via kbdump, semfeedd over HTTP with JSON
+# logs + tracing + pprof, request-ID/trace/statusz correlation checks, SIGTERM
+# drain. See scripts/server_smoke.sh.
 server-smoke:
 	bash scripts/server_smoke.sh
+
+# SLO-window smoke: burst of grades, then assert /statusz and the
+# semfeed_slo_* gauges report non-zero sliding-window traffic and latency.
+statusz-smoke:
+	bash scripts/statusz_smoke.sh
 
 # Static-analyzer smoke: the clean fixture must lint silently with exit 0,
 # the buggy one must produce findings and exit nonzero.

@@ -1,7 +1,9 @@
 package semfeed
 
 import (
+	"context"
 	"io"
+	"log/slog"
 	"net/http"
 
 	"semfeed/internal/analysis"
@@ -130,12 +132,28 @@ func WriteMetricsProm(w io.Writer) error { return obs.WriteProm(w) }
 func MetricsHandler() http.Handler { return obs.Handler() }
 
 // MetricsMux serves the full observability endpoint set: /metrics
-// (Prometheus text), /metrics.json (JSON snapshot) and /trace (latest span
-// tree; ?format=json for the structure).
+// (Prometheus text), /metrics.json (JSON snapshot), /trace (latest span
+// tree; ?format=json for the structure) and /statusz (rolling SLO windows
+// plus runtime state).
 func MetricsMux() *http.ServeMux { return obs.Mux() }
 
 // LastTrace returns the most recently recorded span tree, or nil.
 func LastTrace() *Trace { return obs.LastTrace() }
+
+// TraceByID returns the retained span tree with the given ID, or nil. On the
+// serving path the ID is the request ID echoed in X-Request-ID.
+func TraceByID(id string) *Trace { return obs.TraceByID(id) }
+
+// SetStructuredLogger installs the process-wide structured event logger used
+// by the grading service (one summary line per grade/batch/shed/reload/drain
+// event). Pass nil to restore the discarding default.
+func SetStructuredLogger(l *slog.Logger) { obs.SetLogger(l) }
+
+// WithRequestID returns a context carrying a request correlation ID; grades
+// run under it stamp the ID on their trace and Report.Stats.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return obs.WithRequestID(ctx, id)
+}
 
 // Comment statuses with their Λ weights (Equation 3 of the paper).
 const (

@@ -22,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"strings"
 	"time"
@@ -48,9 +49,13 @@ func main() {
 		traceFlag     = flag.Bool("trace", false, "record the grade as a span trace and print the span tree to stderr")
 		metricsDump   = flag.Bool("metrics-dump", false, "print the Prometheus metrics exposition to stderr on exit")
 		metricsAddr   = flag.String("metrics-addr", "", "serve /metrics, /metrics.json and /trace on this address while running")
+		logFormat     = flag.String("log-format", "", `emit structured event logs to stderr: "text" or "json" (empty disables)`)
 	)
 	flag.Parse()
 
+	if *logFormat != "" {
+		obs.SetLogger(obs.NewLogger(os.Stderr, *logFormat, slog.LevelInfo))
+	}
 	if *traceFlag {
 		obs.Enable()
 		obs.EnableTracing()
@@ -140,6 +145,14 @@ func main() {
 	}
 	// Dumps run last so they cover the functional tests too.
 	defer dumpObs()
+	// One structured event line per grade, same schema as the service (the
+	// logger discards unless -log-format installed a sink).
+	obs.Logger().Info("grade",
+		"assignment", a.ID,
+		"matched", report.Matched,
+		"score", report.Score,
+		"max_score", report.MaxScore,
+		"elapsed_ms", float64(report.Elapsed.Microseconds())/1000)
 
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)

@@ -36,16 +36,38 @@ import (
 	"semfeed/internal/server"
 )
 
+// classStats is one response class's share of a phase: its request count and
+// latency percentiles. Splitting by outcome keeps a shedding or erroring run
+// from polluting the success latency distribution (a 429 returns in
+// microseconds and would flatter every percentile it is folded into).
+type classStats struct {
+	Count  int     `json:"count"`
+	P50MS  float64 `json:"p50_ms"`
+	P95MS  float64 `json:"p95_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	MeanMS float64 `json:"mean_ms"`
+}
+
 type phaseStats struct {
-	Requests int     `json:"requests"`
+	Requests int `json:"requests"`
+	// Errors counts hard failures: network errors, decode failures, 4xx
+	// (other than 429) and 5xx. Sheds (429) are counted separately — load
+	// shedding is the admission queue working as designed, not a failure.
 	Errors   int     `json:"errors"`
+	Sheds    int     `json:"sheds"`
 	CacheHit int     `json:"cache_hits"`
 	WallS    float64 `json:"wall_seconds"`
 	RPS      float64 `json:"rps"`
-	P50MS    float64 `json:"p50_ms"`
-	P95MS    float64 `json:"p95_ms"`
-	P99MS    float64 `json:"p99_ms"`
-	MeanMS   float64 `json:"mean_ms"`
+	// GoodputRPS is successful (2xx) responses per second.
+	GoodputRPS float64 `json:"goodput_rps"`
+	// Top-level percentiles cover 2xx responses only.
+	P50MS  float64 `json:"p50_ms"`
+	P95MS  float64 `json:"p95_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	MeanMS float64 `json:"mean_ms"`
+	// ByStatus breaks the phase down per response class ("2xx", "429",
+	// "4xx", "5xx", "network") with per-class latency percentiles.
+	ByStatus map[string]classStats `json:"by_status,omitempty"`
 }
 
 type benchOut struct {
@@ -117,10 +139,10 @@ func main() {
 		res.Speedup = res.Cold.P50MS / res.Hot.P50MS
 	}
 
-	fmt.Fprintf(os.Stderr, "cold: %d reqs  p50 %.2fms  p95 %.2fms  p99 %.2fms  %.0f rps\n",
-		res.Cold.Requests, res.Cold.P50MS, res.Cold.P95MS, res.Cold.P99MS, res.Cold.RPS)
-	fmt.Fprintf(os.Stderr, "hot:  %d reqs  p50 %.2fms  p95 %.2fms  p99 %.2fms  %.0f rps  (%d/%d cached)\n",
-		res.Hot.Requests, res.Hot.P50MS, res.Hot.P95MS, res.Hot.P99MS, res.Hot.RPS, res.Hot.CacheHit, res.Hot.Requests)
+	fmt.Fprintf(os.Stderr, "cold: %d reqs  p50 %.2fms  p95 %.2fms  p99 %.2fms  %.0f rps (%.0f goodput)  %d shed  %d errors\n",
+		res.Cold.Requests, res.Cold.P50MS, res.Cold.P95MS, res.Cold.P99MS, res.Cold.RPS, res.Cold.GoodputRPS, res.Cold.Sheds, res.Cold.Errors)
+	fmt.Fprintf(os.Stderr, "hot:  %d reqs  p50 %.2fms  p95 %.2fms  p99 %.2fms  %.0f rps (%.0f goodput)  %d shed  %d errors  (%d/%d cached)\n",
+		res.Hot.Requests, res.Hot.P50MS, res.Hot.P95MS, res.Hot.P99MS, res.Hot.RPS, res.Hot.GoodputRPS, res.Hot.Sheds, res.Hot.Errors, res.Hot.CacheHit, res.Hot.Requests)
 	fmt.Fprintf(os.Stderr, "hot p50 speedup: %.1fx\n", res.Speedup)
 
 	data, err := json.MarshalIndent(res, "", "  ")
@@ -135,6 +157,8 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	// Sheds (429) are deliberately not fatal: a loadgen run hot enough to
+	// trip admission control is still a valid measurement.
 	if res.Cold.Errors > 0 || res.Hot.Errors > 0 {
 		os.Exit(1)
 	}
@@ -151,9 +175,9 @@ func runPhase(client *http.Client, url, assignment string, sources []string, cli
 	}
 	jobs := make(chan []byte)
 	var (
-		mu        sync.Mutex
-		latencies []time.Duration
-		stats     phaseStats
+		mu      sync.Mutex
+		byClass = map[string][]time.Duration{}
+		stats   phaseStats
 	)
 
 	var wg sync.WaitGroup
@@ -165,23 +189,38 @@ func runPhase(client *http.Client, url, assignment string, sources []string, cli
 				t0 := time.Now()
 				resp, err := client.Post(url, "application/json", bytes.NewReader(body))
 				elapsed := time.Since(t0)
+				class := "network"
+				cached := false
+				if err == nil {
+					var gr server.GradeResponse
+					decErr := json.NewDecoder(resp.Body).Decode(&gr)
+					resp.Body.Close()
+					switch {
+					case resp.StatusCode == http.StatusTooManyRequests:
+						class = "429"
+					case resp.StatusCode >= 500:
+						class = "5xx"
+					case resp.StatusCode >= 400:
+						class = "4xx"
+					case decErr != nil:
+						class = "network"
+					default:
+						class = "2xx"
+						cached = gr.Cached
+					}
+				}
 				mu.Lock()
 				stats.Requests++
-				if err != nil {
-					stats.Errors++
-					mu.Unlock()
-					continue
-				}
-				var gr server.GradeResponse
-				decErr := json.NewDecoder(resp.Body).Decode(&gr)
-				resp.Body.Close()
-				if resp.StatusCode != http.StatusOK || decErr != nil {
-					stats.Errors++
-				} else {
-					latencies = append(latencies, elapsed)
-					if gr.Cached {
+				byClass[class] = append(byClass[class], elapsed)
+				switch class {
+				case "2xx":
+					if cached {
 						stats.CacheHit++
 					}
+				case "429":
+					stats.Sheds++
+				default:
+					stats.Errors++
 				}
 				mu.Unlock()
 			}
@@ -198,23 +237,38 @@ func runPhase(client *http.Client, url, assignment string, sources []string, cli
 	wg.Wait()
 	stats.WallS = time.Since(t0).Seconds()
 
-	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
-	if n := len(latencies); n > 0 {
-		pct := func(p float64) float64 {
-			idx := int(p * float64(n-1))
-			return float64(latencies[idx].Microseconds()) / 1000
-		}
-		stats.P50MS = pct(0.50)
-		stats.P95MS = pct(0.95)
-		stats.P99MS = pct(0.99)
-		var sum time.Duration
-		for _, l := range latencies {
-			sum += l
-		}
-		stats.MeanMS = float64(sum.Microseconds()) / 1000 / float64(n)
+	stats.ByStatus = map[string]classStats{}
+	for class, lats := range byClass {
+		stats.ByStatus[class] = summarize(lats)
+	}
+	if ok := stats.ByStatus["2xx"]; ok.Count > 0 {
+		stats.P50MS, stats.P95MS, stats.P99MS, stats.MeanMS = ok.P50MS, ok.P95MS, ok.P99MS, ok.MeanMS
 	}
 	if stats.WallS > 0 {
-		stats.RPS = float64(stats.Requests-stats.Errors) / stats.WallS
+		stats.RPS = float64(stats.Requests) / stats.WallS
+		stats.GoodputRPS = float64(stats.ByStatus["2xx"].Count) / stats.WallS
 	}
 	return stats
+}
+
+// summarize sorts one class's latencies and extracts count + percentiles.
+func summarize(lats []time.Duration) classStats {
+	cs := classStats{Count: len(lats)}
+	if cs.Count == 0 {
+		return cs
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(p float64) float64 {
+		idx := int(p * float64(cs.Count-1))
+		return float64(lats[idx].Microseconds()) / 1000
+	}
+	cs.P50MS = pct(0.50)
+	cs.P95MS = pct(0.95)
+	cs.P99MS = pct(0.99)
+	var sum time.Duration
+	for _, l := range lats {
+		sum += l
+	}
+	cs.MeanMS = float64(sum.Microseconds()) / 1000 / float64(cs.Count)
+	return cs
 }

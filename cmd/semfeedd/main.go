@@ -8,15 +8,23 @@
 //	semfeedd -addr :8080
 //	semfeedd -addr :8080 -kb-dir /etc/semfeed/kb -poll 5s
 //	semfeedd -addr :8080 -no-builtin -kb-dir ./kb      # file-backed KB only
+//	semfeedd -addr :8080 -log-format json -pprof       # production observability
 //
 // Endpoints:
 //
 //	POST /v1/grade        grade one submission        {"assignment","id","source"}
 //	POST /v1/batch        grade a batch               {"assignment","submissions":[...]}
 //	GET  /v1/assignments  list served assignments
+//	GET  /v1/trace/{id}   retained trace by request ID (?format=text for the tree)
 //	GET  /healthz         liveness
 //	GET  /readyz          readiness (503 while draining or with no KB)
+//	GET  /statusz         rolling SLO windows + runtime state, JSON
 //	GET  /metrics         Prometheus exposition (also /metrics.json, /debug/traces)
+//	GET  /debug/pprof/    runtime profiles (only with -pprof)
+//
+// Every response carries X-Request-ID (minted, or adopted from the request);
+// the same ID keys the grade's structured log line, its Report.Stats block
+// and its /v1/trace/{id} entry.
 //
 // Overload is shed with 429 + Retry-After once the admission queue is full.
 // SIGTERM or SIGINT drains gracefully: readiness flips, the listener closes,
@@ -26,7 +34,8 @@ package main
 import (
 	"context"
 	"flag"
-	"log"
+	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"strings"
@@ -52,11 +61,31 @@ func main() {
 		cacheSize    = flag.Int("cache", 4096, "result cache capacity in entries (negative disables)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight requests on shutdown")
 		analyzers    = flag.String("analyzers", "all", `static analyzers run on every submission: "all", "none", or a comma-separated name list (assignment definitions may override per assignment)`)
+		logFormat    = flag.String("log-format", "text", `structured log format: "text" or "json"`)
+		logLevel     = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
+		pprofOn      = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		traceOn      = flag.Bool("trace", true, "record per-grade span traces (served at /v1/trace/{id})")
+		traceSlow    = flag.Duration("trace-slow", 100*time.Millisecond, "traces at least this slow are always retained")
+		traceSample  = flag.Int("trace-sample", 1, "keep 1 in N normal (fast, successful) traces; anomalous ones are always kept")
+		traceCap     = flag.Int("trace-cap", 256, "retained trace capacity")
 	)
 	flag.Parse()
 
-	logger := log.New(os.Stderr, "semfeedd: ", log.LstdFlags)
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		slog.New(slog.NewTextHandler(os.Stderr, nil)).Error("bad -log-level", "error", err)
+		os.Exit(2)
+	}
+	logger := obs.NewLogger(os.Stderr, *logFormat, level)
+	obs.SetLogger(logger)
+
 	obs.Enable()
+	if *traceOn {
+		obs.EnableTracing()
+		obs.SetSlowTraceThreshold(*traceSlow)
+		obs.SetTraceSampling(*traceSample)
+		obs.SetTraceCapacity(*traceCap)
+	}
 
 	var driver *analysis.Driver
 	switch *analyzers {
@@ -67,22 +96,27 @@ func main() {
 	default:
 		d, err := analysis.Default().Driver(strings.Split(*analyzers, ","), nil)
 		if err != nil {
-			logger.Fatalf("-analyzers: %v", err)
+			logger.Error("bad -analyzers", "error", err)
+			os.Exit(2)
 		}
 		driver = d
 	}
 
-	reg := server.NewRegistry(*kbDir, logger.Printf)
+	reg := server.NewRegistry(*kbDir, func(format string, args ...any) {
+		logger.Info("kb", "detail", fmt.Sprintf(format, args...))
+	})
 	if !*noBuiltin {
 		for _, a := range assignments.All() {
 			reg.AddBuiltin(a.ID, a.Spec)
 		}
 	}
 	if err := reg.Load(); err != nil {
-		logger.Fatalf("load KB: %v", err)
+		logger.Error("load KB failed", "error", err)
+		os.Exit(1)
 	}
 	if reg.Len() == 0 {
-		logger.Fatal("no assignments to serve (empty -kb-dir and -no-builtin)")
+		logger.Error("no assignments to serve (empty -kb-dir and -no-builtin)")
+		os.Exit(1)
 	}
 	if *kbDir != "" {
 		reg.Start(*poll)
@@ -96,29 +130,38 @@ func main() {
 		QueueDepth:     *queue,
 		RequestTimeout: *timeout,
 		CacheSize:      *cacheSize,
-		Logf:           logger.Printf,
+		Logger:         logger,
+		EnablePprof:    *pprofOn,
 	})
 	errc, err := srv.Start(*addr)
 	if err != nil {
-		logger.Fatalf("listen: %v", err)
+		logger.Error("listen failed", "addr", *addr, "error", err)
+		os.Exit(1)
 	}
-	logger.Printf("serving %d assignments on %s", reg.Len(), srv.Addr())
+	logger.Info("serving",
+		"assignments", reg.Len(),
+		"addr", srv.Addr(),
+		"pprof", *pprofOn,
+		"tracing", *traceOn)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
 	select {
 	case s := <-sig:
-		logger.Printf("received %v, draining (up to %v)", s, *drainTimeout)
+		t0 := time.Now()
+		logger.Info("draining", "signal", s.String(), "drain_timeout", drainTimeout.String())
 		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
-			logger.Fatalf("drain: %v", err)
+			logger.Error("drain failed", "error", err)
+			os.Exit(1)
 		}
 		<-errc
-		logger.Print("drained cleanly")
+		logger.Info("drained cleanly", "duration_ms", float64(time.Since(t0).Microseconds())/1000)
 	case err := <-errc:
 		if err != nil {
-			logger.Fatalf("serve: %v", err)
+			logger.Error("serve failed", "error", err)
+			os.Exit(1)
 		}
 	}
 }

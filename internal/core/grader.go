@@ -192,6 +192,11 @@ type Stats struct {
 
 	// AnalysisFindings counts static-analysis diagnostics per analyzer name.
 	AnalysisFindings map[string]int `json:"analysis_findings,omitempty"`
+
+	// RequestID is the correlation key of the serving path: the same ID the
+	// HTTP layer echoed in X-Request-ID and stamped on the grade's trace, so
+	// a stored report joins against its log line and /v1/trace/{id} entry.
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // addWork folds matcher work counters into the stats.
@@ -365,6 +370,10 @@ func (g *Grader) GradeUnitContext(ctx context.Context, unit *ast.CompilationUnit
 	stats := &Stats{}
 	report := &Report{Assignment: spec.Name, Bindings: map[string]string{}, Stats: stats}
 	root := obs.StartTrace("grade/" + spec.Name)
+	if rid := obs.RequestIDFrom(ctx); rid != "" {
+		stats.RequestID = rid
+		root.SetTraceID(rid)
+	}
 	defer func() {
 		report.Elapsed = time.Since(start)
 		stats.TotalTime = report.Elapsed
@@ -376,6 +385,12 @@ func (g *Grader) GradeUnitContext(ctx context.Context, unit *ast.CompilationUnit
 			obs.GradeMatchedTotal.Inc()
 		} else {
 			obs.GradeUnmatchedTotal.Inc()
+		}
+		switch ctx.Err() {
+		case context.DeadlineExceeded:
+			root.SetOutcome("timeout")
+		case context.Canceled:
+			root.SetOutcome("canceled")
 		}
 		root.SetAttr("score", fmt.Sprintf("%.1f/%.1f", report.Score, report.MaxScore))
 		root.SetAttrInt("method_combos", int64(stats.MethodCombos))

@@ -5,8 +5,41 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
+	"sync"
+	"time"
 )
+
+// ---------------------------------------------------------------------------
+// Collectors
+//
+// A collector refreshes derived metrics (SLO gauges, runtime gauges) lazily
+// at exposition time, so the serving path never pays for them per request.
+
+var (
+	collectorsMu sync.Mutex
+	collectorFns []func()
+)
+
+// RegisterCollector adds a function run before every metrics exposition and
+// /statusz render.
+func RegisterCollector(f func()) {
+	collectorsMu.Lock()
+	collectorFns = append(collectorFns, f)
+	collectorsMu.Unlock()
+}
+
+// Collect runs every registered collector.
+func Collect() {
+	collectorsMu.Lock()
+	fns := make([]func(), len(collectorFns))
+	copy(fns, collectorFns)
+	collectorsMu.Unlock()
+	for _, f := range fns {
+		f()
+	}
+}
 
 // Snapshot is an expvar-style point-in-time copy of every registered metric.
 type Snapshot struct {
@@ -100,6 +133,7 @@ func (r *Registry) WriteProm(w io.Writer) error {
 // Handler serves the default registry as Prometheus text format.
 func Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		Collect()
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = WriteProm(w)
 	})
@@ -108,11 +142,88 @@ func Handler() http.Handler {
 // JSONHandler serves the default registry as an expvar-style JSON snapshot.
 func JSONHandler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		Collect()
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(TakeSnapshot())
 	})
+}
+
+// processStart anchors /statusz uptime.
+var processStart = time.Now()
+
+// Statusz is the /statusz payload: the at-a-glance health page an operator
+// reads first — rolling SLO windows, runtime state, trace-store accounting
+// and every gauge, one JSON document.
+type Statusz struct {
+	UptimeSeconds float64             `json:"uptime_seconds"`
+	SLO           map[string]SLOStats `json:"slo"`
+	Runtime       StatuszRuntime      `json:"runtime"`
+	Traces        StatuszTraces       `json:"traces"`
+	Gauges        map[string]int64    `json:"gauges"`
+}
+
+// StatuszRuntime is the runtime block of /statusz.
+type StatuszRuntime struct {
+	Goroutines     int64 `json:"goroutines"`
+	HeapBytes      int64 `json:"heap_bytes"`
+	GCRuns         int64 `json:"gc_runs"`
+	GCPauseTotalNS int64 `json:"gc_pause_total_ns"`
+}
+
+// StatuszTraces is the trace-store block of /statusz.
+type StatuszTraces struct {
+	Stored       int   `json:"stored"`
+	DroppedTotal int64 `json:"dropped_total"`
+	SpanDropped  int64 `json:"spans_dropped_total"`
+}
+
+// TakeStatusz builds the /statusz payload.
+func TakeStatusz() Statusz {
+	Collect()
+	snap := TakeSnapshot()
+	return Statusz{
+		UptimeSeconds: time.Since(processStart).Seconds(),
+		SLO: map[string]SLOStats{
+			"1m": SLO.Stats(time.Minute),
+			"5m": SLO.Stats(5 * time.Minute),
+		},
+		Runtime: StatuszRuntime{
+			Goroutines:     RuntimeGoroutines.Value(),
+			HeapBytes:      RuntimeHeapBytes.Value(),
+			GCRuns:         RuntimeGCRuns.Value(),
+			GCPauseTotalNS: RuntimeGCPauseTotal.Value(),
+		},
+		Traces: StatuszTraces{
+			Stored:       StoredTraces(),
+			DroppedTotal: TracesDroppedTotal.Value(),
+			SpanDropped:  TraceSpansDroppedTotal.Value(),
+		},
+		Gauges: snap.Gauges,
+	}
+}
+
+// StatuszHandler serves the /statusz JSON health page.
+func StatuszHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(TakeStatusz())
+	})
+}
+
+// AttachPprof mounts the net/http/pprof profile handlers under
+// /debug/pprof/ on mux. Kept behind an explicit call (semfeedd -pprof, the
+// CLIs' metrics mux) rather than the package's silent DefaultServeMux
+// side effect.
+func AttachPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 }
 
 // TraceHandler serves the most recent recorded trace: the rendered span tree
@@ -137,13 +248,14 @@ func TraceHandler() http.Handler {
 }
 
 // Mux returns the standard observability endpoint set the CLIs serve under
-// -metrics-addr: /metrics (Prometheus text), /metrics.json (snapshot) and
-// /trace (latest span tree).
+// -metrics-addr: /metrics (Prometheus text), /metrics.json (snapshot),
+// /trace (latest span tree) and /statusz (SLO windows + runtime).
 func Mux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", Handler())
 	mux.Handle("/metrics.json", JSONHandler())
 	mux.Handle("/trace", TraceHandler())
+	mux.Handle("/statusz", StatuszHandler())
 	return mux
 }
 

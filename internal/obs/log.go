@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+	"sync/atomic"
+)
+
+// Structured logging on log/slog. The package holds one process-wide logger
+// (default: discard) so every layer — server handlers, the KB registry, the
+// daemons — emits through the same sink without plumbing a logger through
+// every constructor. Event log lines follow one convention: a short stable
+// msg naming the event ("grade", "batch", "shed", "kb_reload", "drain_start",
+// "drain_complete") plus flat attributes; request-scoped events always carry
+// request_id so they join against spans and Report.Stats.
+
+// discardHandler drops every record. It is the default so library users who
+// never opt in pay nothing (slog checks Enabled before touching the record).
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (d discardHandler) WithAttrs([]slog.Attr) slog.Handler      { return d }
+func (d discardHandler) WithGroup(string) slog.Handler           { return d }
+
+var curLogger atomic.Pointer[slog.Logger]
+
+func init() {
+	curLogger.Store(slog.New(discardHandler{}))
+}
+
+// SetLogger installs the process-wide structured logger. Pass nil to restore
+// the discarding default.
+func SetLogger(l *slog.Logger) {
+	if l == nil {
+		l = slog.New(discardHandler{})
+	}
+	curLogger.Store(l)
+}
+
+// Logger returns the process-wide structured logger (never nil; discards
+// until SetLogger is called).
+func Logger() *slog.Logger { return curLogger.Load() }
+
+// NewLogger builds a logger writing to w. format is "json" or "text"
+// (anything else falls back to text); level is the minimum record level.
+func NewLogger(w io.Writer, format string, level slog.Level) *slog.Logger {
+	opts := &slog.HandlerOptions{Level: level}
+	if strings.EqualFold(format, "json") {
+		return slog.New(slog.NewJSONHandler(w, opts))
+	}
+	return slog.New(slog.NewTextHandler(w, opts))
+}
+
+// ParseLevel maps a flag value ("debug", "info", "warn", "error") to its
+// slog level.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info", "":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("obs: unknown log level %q (want debug, info, warn or error)", s)
+}

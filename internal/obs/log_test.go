@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestLoggerDefaultDiscards(t *testing.T) {
+	SetLogger(nil)
+	l := Logger()
+	if l == nil {
+		t.Fatal("Logger() returned nil")
+	}
+	// Must be safe (and silent) with no sink installed.
+	l.Info("grade", "request_id", "x")
+	if l.Enabled(nil, slog.LevelError) {
+		t.Error("discard logger claims to be enabled")
+	}
+}
+
+func TestNewLoggerJSON(t *testing.T) {
+	var sb strings.Builder
+	l := NewLogger(&sb, "json", slog.LevelInfo)
+	SetLogger(l)
+	defer SetLogger(nil)
+	Logger().Info("grade", "request_id", "abc123", "assignment", "a1", "score", 4.5)
+	line := strings.TrimSpace(sb.String())
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(line), &rec); err != nil {
+		t.Fatalf("log line is not JSON: %v\n%s", err, line)
+	}
+	if rec["msg"] != "grade" || rec["request_id"] != "abc123" || rec["assignment"] != "a1" {
+		t.Errorf("log line missing fields: %s", line)
+	}
+}
+
+func TestNewLoggerTextAndLevel(t *testing.T) {
+	var sb strings.Builder
+	l := NewLogger(&sb, "text", slog.LevelWarn)
+	l.Info("grade") // below the level: dropped
+	l.Warn("shed", "request_id", "r1")
+	out := sb.String()
+	if strings.Contains(out, "msg=grade") {
+		t.Errorf("info line leaked past warn level: %s", out)
+	}
+	if !strings.Contains(out, "msg=shed") || !strings.Contains(out, "request_id=r1") {
+		t.Errorf("warn line malformed: %s", out)
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]slog.Level{
+		"debug": slog.LevelDebug, "info": slog.LevelInfo, "": slog.LevelInfo,
+		"warn": slog.LevelWarn, "warning": slog.LevelWarn, "ERROR": slog.LevelError,
+	} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("ParseLevel accepted an unknown level")
+	}
+}
+
+func TestRequestIDRoundTrip(t *testing.T) {
+	id := NewRequestID()
+	if len(id) != 16 || !ValidRequestID(id) {
+		t.Fatalf("NewRequestID() = %q, want 16 valid hex chars", id)
+	}
+	if id2 := NewRequestID(); id2 == id {
+		t.Errorf("two request IDs collided: %q", id)
+	}
+	ctx := WithRequestID(context.Background(), id)
+	if got := RequestIDFrom(ctx); got != id {
+		t.Errorf("RequestIDFrom = %q, want %q", got, id)
+	}
+	if got := RequestIDFrom(context.Background()); got != "" {
+		t.Errorf("empty context yields %q", got)
+	}
+}
+
+func TestValidRequestID(t *testing.T) {
+	for _, ok := range []string{"abc", "A-b_c.9", strings.Repeat("x", 64)} {
+		if !ValidRequestID(ok) {
+			t.Errorf("ValidRequestID(%q) = false", ok)
+		}
+	}
+	for _, bad := range []string{"", "has space", "new\nline", "semi;colon", strings.Repeat("x", 65), "héllo"} {
+		if ValidRequestID(bad) {
+			t.Errorf("ValidRequestID(%q) = true", bad)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"net/http/httptest"
 	"strings"
@@ -237,14 +238,16 @@ func TestTraceSpanCap(t *testing.T) {
 	})
 }
 
-func TestRecorderRing(t *testing.T) {
+func TestStoreCapacityBound(t *testing.T) {
 	withCollection(t, func() {
 		ResetTraces()
-		for i := 0; i < recorderSize+5; i++ {
+		prev := SetTraceCapacity(16)
+		defer SetTraceCapacity(prev)
+		for i := 0; i < 16+5; i++ {
 			StartTrace("ring").End()
 		}
-		if got := len(Traces()); got != recorderSize {
-			t.Errorf("recorder holds %d traces, want %d", got, recorderSize)
+		if got := len(Traces()); got != 16 {
+			t.Errorf("store holds %d traces, want capacity 16", got)
 		}
 	})
 }
@@ -285,6 +288,7 @@ func TestDisabledHooksAllocateNothing(t *testing.T) {
 	c := r.NewCounter("noop_total", "help")
 	g := r.NewGauge("noop", "help")
 	h := r.NewHistogram("noop_seconds", "help", nil)
+	ctx := context.Background()
 	if n := testing.AllocsPerRun(1000, func() {
 		c.Add(1)
 		g.Inc()
@@ -292,8 +296,14 @@ func TestDisabledHooksAllocateNothing(t *testing.T) {
 		sp := StartTrace("noop")
 		child := sp.Child("x")
 		child.SetAttrInt("k", 1)
+		child.SetTraceID("rid")
+		child.SetOutcome("ok")
 		child.End()
 		sp.End()
+		if RequestIDFrom(ctx) != "" {
+			t.Fatal("unexpected request ID")
+		}
+		SLO.Observe(time.Millisecond, OutcomeOK)
 	}); n != 0 {
 		t.Fatalf("disabled hooks allocate %v bytes/op, want 0", n)
 	}

@@ -1,0 +1,25 @@
+package obs
+
+import "runtime"
+
+// Go runtime visibility: goroutine count, heap size and GC behavior are the
+// first three numbers to check when the service misbehaves (goroutine leak,
+// memory growth, GC pressure). They refresh lazily on exposition — a
+// collector, not a background poller — so an idle process pays nothing.
+var (
+	RuntimeGoroutines   = NewGauge("semfeed_runtime_goroutines", "Live goroutines at scrape time.")
+	RuntimeHeapBytes    = NewGauge("semfeed_runtime_heap_bytes", "Heap bytes in use at scrape time (MemStats.HeapAlloc).")
+	RuntimeGCRuns       = NewGauge("semfeed_runtime_gc_runs_total", "Completed GC cycles since process start.")
+	RuntimeGCPauseTotal = NewGauge("semfeed_runtime_gc_pause_total_ns", "Cumulative GC stop-the-world pause, nanoseconds.")
+)
+
+func collectRuntime() {
+	RuntimeGoroutines.Set(int64(runtime.NumGoroutine()))
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	RuntimeHeapBytes.Set(int64(ms.HeapAlloc))
+	RuntimeGCRuns.Set(int64(ms.NumGC))
+	RuntimeGCPauseTotal.Set(int64(ms.PauseTotalNs))
+}
+
+func init() { RegisterCollector(collectRuntime) }

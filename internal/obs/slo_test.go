@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock drives an SLOWindow deterministically.
+type fakeClock struct {
+	mu  sync.Mutex
+	sec int64
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return time.Unix(c.sec, 0)
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.sec += int64(d / time.Second)
+	c.mu.Unlock()
+}
+
+func newTestWindow() (*SLOWindow, *fakeClock) {
+	clk := &fakeClock{sec: 1_000_000}
+	w := NewSLOWindow()
+	w.now = clk.now
+	return w, clk
+}
+
+func TestSLOWindowCounts(t *testing.T) {
+	withCollection(t, func() {
+		w, clk := newTestWindow()
+		for i := 0; i < 8; i++ {
+			w.Observe(2*time.Millisecond, OutcomeOK)
+		}
+		w.Observe(5*time.Millisecond, OutcomeError)
+		w.Observe(0, OutcomeShed)
+		clk.advance(10 * time.Second)
+		for i := 0; i < 10; i++ {
+			w.Observe(50*time.Millisecond, OutcomeOK)
+		}
+
+		st := w.Stats(time.Minute)
+		if st.Requests != 20 || st.Errors != 1 || st.Sheds != 1 {
+			t.Fatalf("1m stats = %+v, want 20 requests / 1 error / 1 shed", st)
+		}
+		if st.ErrorRate != 0.05 || st.ShedRate != 0.05 {
+			t.Errorf("rates = %g/%g, want 0.05/0.05", st.ErrorRate, st.ShedRate)
+		}
+		if st.P50MS <= 0 || st.P99MS <= st.P50MS {
+			t.Errorf("percentiles look wrong: p50=%g p99=%g", st.P50MS, st.P99MS)
+		}
+		// The 50ms burst must dominate p99.
+		if st.P99MS < 10 {
+			t.Errorf("p99 = %gms, want >= 10ms with a 50ms burst present", st.P99MS)
+		}
+	})
+}
+
+func TestSLOWindowExpiry(t *testing.T) {
+	withCollection(t, func() {
+		w, clk := newTestWindow()
+		w.Observe(time.Millisecond, OutcomeError)
+		clk.advance(90 * time.Second)
+		w.Observe(time.Millisecond, OutcomeOK)
+
+		if st := w.Stats(time.Minute); st.Requests != 1 || st.Errors != 0 {
+			t.Errorf("1m stats after expiry = %+v, want only the recent request", st)
+		}
+		if st := w.Stats(5 * time.Minute); st.Requests != 2 || st.Errors != 1 {
+			t.Errorf("5m stats = %+v, want both requests", st)
+		}
+	})
+}
+
+func TestSLOWindowShedExcludedFromLatency(t *testing.T) {
+	withCollection(t, func() {
+		w, _ := newTestWindow()
+		// Only sheds: percentiles must stay zero (no latency samples).
+		for i := 0; i < 5; i++ {
+			w.Observe(time.Microsecond, OutcomeShed)
+		}
+		st := w.Stats(time.Minute)
+		if st.Requests != 5 || st.Sheds != 5 {
+			t.Fatalf("stats = %+v", st)
+		}
+		if st.P50MS != 0 || st.P99MS != 0 {
+			t.Errorf("shed-only window has latency percentiles: %+v", st)
+		}
+	})
+}
+
+func TestSLOWindowDisabledGate(t *testing.T) {
+	Disable()
+	w, _ := newTestWindow()
+	w.Observe(time.Millisecond, OutcomeOK)
+	if st := w.Stats(time.Minute); st.Requests != 0 {
+		t.Errorf("disabled Observe recorded: %+v", st)
+	}
+}
+
+func TestSLOWindowReset(t *testing.T) {
+	withCollection(t, func() {
+		w, _ := newTestWindow()
+		w.Observe(time.Millisecond, OutcomeOK)
+		w.Reset()
+		if st := w.Stats(5 * time.Minute); st.Requests != 0 {
+			t.Errorf("reset left requests: %+v", st)
+		}
+	})
+}
+
+func TestSLOGaugesPublished(t *testing.T) {
+	withCollection(t, func() {
+		SLO.Reset()
+		defer SLO.Reset()
+		for i := 0; i < 10; i++ {
+			SLO.Observe(3*time.Millisecond, OutcomeOK)
+		}
+		SLO.Observe(0, OutcomeShed)
+		Collect()
+		if got := sloReqs1m.Value(); got != 11 {
+			t.Errorf("semfeed_slo_requests_1m = %d, want 11", got)
+		}
+		if got := sloP99us1m.Value(); got <= 0 {
+			t.Errorf("semfeed_slo_p99_us_1m = %d, want > 0", got)
+		}
+		if got := sloShdPpm1m.Value(); got == 0 {
+			t.Errorf("semfeed_slo_shed_ppm_1m = 0, want > 0 after a shed")
+		}
+	})
+}

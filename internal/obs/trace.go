@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -14,8 +15,12 @@ import (
 // counted in TraceSpansDroppedTotal and on the trace itself.
 const maxSpansPerTrace = 2048
 
-// recorderSize is the number of completed traces the ring recorder keeps.
-const recorderSize = 16
+// defaultTraceCapacity is how many completed traces the store retains.
+const defaultTraceCapacity = 256
+
+// defaultSlowThreshold marks a trace "slow" for tail retention; the grading
+// p50 is single-digit milliseconds, so 100ms is deep in the tail.
+const defaultSlowThreshold = 100 * time.Millisecond
 
 // Attr is one key/value annotation on a span.
 type Attr struct {
@@ -36,15 +41,28 @@ type SpanData struct {
 // TraceData is one recorded trace: the completed spans of a single root
 // operation (e.g. one Grader.Grade call), linked by parent IDs.
 type TraceData struct {
-	Name    string     `json:"name"`
-	Spans   []SpanData `json:"spans"`
-	Dropped int        `json:"dropped,omitempty"`
+	// ID is the trace's retrieval key (the request ID on the serving path;
+	// a generated sequence number otherwise).
+	ID   string `json:"id"`
+	Name string `json:"name"`
+	// Outcome classifies the root operation: "" / "ok", or an anomaly
+	// ("error", "timeout", "canceled", "shed") that forces tail retention.
+	Outcome string `json:"outcome,omitempty"`
+	// Retained records why the store kept the trace: "tail" (anomalous or
+	// slow — always kept) or "sampled" (a normal trace that passed sampling).
+	Retained string        `json:"retained,omitempty"`
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"duration_ns"`
+	Spans    []SpanData    `json:"spans"`
+	Dropped  int           `json:"dropped,omitempty"`
 }
 
 // trace accumulates spans while the root span is open.
 type trace struct {
 	mu      sync.Mutex
 	name    string
+	id      string
+	outcome string
 	nextID  int
 	spans   []SpanData
 	dropped int
@@ -62,8 +80,8 @@ type Span struct {
 }
 
 // StartTrace opens a new trace and returns its root span, or nil when
-// tracing is disabled. Ending the root span records the trace in the ring
-// recorder.
+// tracing is disabled. Ending the root span seals the trace and offers it to
+// the trace store.
 func StartTrace(name string) *Span {
 	if !tracing.Load() {
 		return nil
@@ -100,8 +118,32 @@ func (s *Span) SetAttrInt(key string, v int64) {
 	s.attrs = append(s.attrs, Attr{Key: key, Value: strconv.FormatInt(v, 10)})
 }
 
-// End completes the span. Ending the root span seals the trace and records
-// it. Nil-safe.
+// SetTraceID names the whole trace for retrieval (TraceByID, /v1/trace/{id}).
+// The serving path passes the request ID so trace, log line and report all
+// correlate. Nil-safe; may be called on any span of the trace.
+func (s *Span) SetTraceID(id string) {
+	if s == nil {
+		return
+	}
+	s.t.mu.Lock()
+	s.t.id = id
+	s.t.mu.Unlock()
+}
+
+// SetOutcome classifies the trace ("ok", "error", "timeout", "canceled",
+// "shed"). Any value other than "" or "ok" makes the trace tail-retained.
+// Nil-safe.
+func (s *Span) SetOutcome(outcome string) {
+	if s == nil {
+		return
+	}
+	s.t.mu.Lock()
+	s.t.outcome = outcome
+	s.t.mu.Unlock()
+}
+
+// End completes the span. Ending the root span seals the trace and offers it
+// to the store. Nil-safe.
 func (s *Span) End() {
 	if s == nil {
 		return
@@ -119,12 +161,20 @@ func (s *Span) End() {
 	root := s.parent == -1
 	var td *TraceData
 	if root {
-		td = &TraceData{Name: s.t.name, Spans: append([]SpanData(nil), s.t.spans...), Dropped: s.t.dropped}
+		td = &TraceData{
+			ID:      s.t.id,
+			Name:    s.t.name,
+			Outcome: s.t.outcome,
+			Start:   s.start,
+			Spans:   append([]SpanData(nil), s.t.spans...),
+			Dropped: s.t.dropped,
+		}
+		td.Duration = d
 	}
 	s.t.mu.Unlock()
 	if root {
 		TraceSpansDroppedTotal.Add(int64(td.Dropped))
-		recordTrace(td)
+		store.record(td)
 	}
 }
 
@@ -147,6 +197,13 @@ func (t *TraceData) Tree() string {
 		})
 	}
 	var sb strings.Builder
+	if t.ID != "" {
+		fmt.Fprintf(&sb, "trace %s", t.ID)
+		if t.Outcome != "" {
+			sb.WriteString(" outcome=" + t.Outcome)
+		}
+		sb.WriteByte('\n')
+	}
 	var walk func(idx, depth int)
 	walk = func(idx, depth int) {
 		s := t.Spans[idx]
@@ -174,49 +231,173 @@ func (t *TraceData) Tree() string {
 }
 
 // ---------------------------------------------------------------------------
-// Ring recorder
+// Trace store
+//
+// The store replaces the earlier blind ring recorder, which overwrote
+// completed traces with no accounting and no retrieval beyond "the latest".
+// Retention is tail-based, the policy production tracing systems converge
+// on: anomalous traces (error/timeout/canceled/shed outcome) and slow traces
+// (duration >= slow threshold) are always kept; normal traces are sampled
+// 1-in-N. Capacity is bounded; eviction prefers the oldest sampled trace and
+// touches tail traces only when nothing else is left. Every trace that is
+// sampled out or evicted counts in TracesDroppedTotal (distinct from
+// TraceSpansDroppedTotal, which counts spans inside one oversized trace).
 
-var (
-	recMu   sync.Mutex
-	recRing [recorderSize]*TraceData
-	recPos  int
-)
-
-func recordTrace(td *TraceData) {
-	recMu.Lock()
-	recRing[recPos] = td
-	recPos = (recPos + 1) % recorderSize
-	recMu.Unlock()
+type traceStore struct {
+	mu            sync.Mutex
+	capacity      int
+	sampleEvery   int
+	slowThreshold time.Duration
+	traces        []*TraceData          // insertion order, oldest first
+	index         map[string]*TraceData // ID -> trace, for /v1/trace/{id}
+	last          *TraceData            // most recently completed, even if not retained
+	normSeen      uint64                // sampling counter for normal traces
+	seq           atomic.Uint64         // fallback IDs for traces without one
 }
 
-// LastTrace returns the most recently completed trace, or nil.
-func LastTrace() *TraceData {
-	recMu.Lock()
-	defer recMu.Unlock()
-	i := (recPos - 1 + recorderSize) % recorderSize
-	return recRing[i]
+var store = newTraceStore()
+
+func newTraceStore() *traceStore {
+	return &traceStore{
+		capacity:      defaultTraceCapacity,
+		sampleEvery:   1,
+		slowThreshold: defaultSlowThreshold,
+		index:         map[string]*TraceData{},
+	}
 }
 
-// Traces returns the recorded traces, most recent first.
-func Traces() []*TraceData {
-	recMu.Lock()
-	defer recMu.Unlock()
-	var out []*TraceData
-	for k := 1; k <= recorderSize; k++ {
-		td := recRing[(recPos-k+recorderSize)%recorderSize]
-		if td != nil {
-			out = append(out, td)
+// tail reports whether td must always be retained.
+func (st *traceStore) tail(td *TraceData) bool {
+	if td.Outcome != "" && td.Outcome != "ok" {
+		return true
+	}
+	return td.Duration >= st.slowThreshold
+}
+
+func (st *traceStore) record(td *TraceData) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if td.ID == "" {
+		td.ID = "t" + strconv.FormatUint(st.seq.Add(1), 10)
+	}
+	st.last = td
+	if st.tail(td) {
+		td.Retained = "tail"
+	} else {
+		st.normSeen++
+		if st.sampleEvery > 1 && st.normSeen%uint64(st.sampleEvery) != 0 {
+			TracesDroppedTotal.Inc()
+			return
 		}
+		td.Retained = "sampled"
+	}
+	st.traces = append(st.traces, td)
+	st.index[td.ID] = td
+	for len(st.traces) > st.capacity {
+		st.evictLocked()
+	}
+}
+
+// evictLocked removes one trace: the oldest sampled one, or — when the store
+// is all tail traces — the oldest tail trace.
+func (st *traceStore) evictLocked() {
+	victim := -1
+	for i, td := range st.traces {
+		if td.Retained == "sampled" {
+			victim = i
+			break
+		}
+	}
+	if victim == -1 {
+		victim = 0
+	}
+	td := st.traces[victim]
+	st.traces = append(st.traces[:victim], st.traces[victim+1:]...)
+	if st.index[td.ID] == td {
+		delete(st.index, td.ID)
+	}
+	TracesDroppedTotal.Inc()
+}
+
+// SetSlowTraceThreshold sets the duration at or above which a trace is
+// tail-retained regardless of outcome. Returns the previous threshold.
+func SetSlowTraceThreshold(d time.Duration) time.Duration {
+	store.mu.Lock()
+	defer store.mu.Unlock()
+	prev := store.slowThreshold
+	store.slowThreshold = d
+	return prev
+}
+
+// SetTraceSampling keeps 1 in n normal (fast, successful) traces; n <= 1
+// keeps all of them. Tail traces are never sampled out. Returns the previous
+// setting.
+func SetTraceSampling(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	store.mu.Lock()
+	defer store.mu.Unlock()
+	prev := store.sampleEvery
+	store.sampleEvery = n
+	return prev
+}
+
+// SetTraceCapacity bounds the number of retained traces (minimum 1).
+func SetTraceCapacity(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	store.mu.Lock()
+	defer store.mu.Unlock()
+	prev := store.capacity
+	store.capacity = n
+	for len(store.traces) > store.capacity {
+		store.evictLocked()
+	}
+	return prev
+}
+
+// LastTrace returns the most recently completed trace, or nil. The result is
+// independent of retention: a sampled-out trace is still visible here until
+// the next one completes (the CLI's -trace dump depends on that).
+func LastTrace() *TraceData {
+	store.mu.Lock()
+	defer store.mu.Unlock()
+	return store.last
+}
+
+// TraceByID returns the retained trace with the given ID, or nil.
+func TraceByID(id string) *TraceData {
+	store.mu.Lock()
+	defer store.mu.Unlock()
+	return store.index[id]
+}
+
+// Traces returns the retained traces, most recent first.
+func Traces() []*TraceData {
+	store.mu.Lock()
+	defer store.mu.Unlock()
+	out := make([]*TraceData, len(store.traces))
+	for i, td := range store.traces {
+		out[len(store.traces)-1-i] = td
 	}
 	return out
 }
 
-// ResetTraces clears the ring recorder (for tests and smoke runs).
+// StoredTraces returns the number of retained traces.
+func StoredTraces() int {
+	store.mu.Lock()
+	defer store.mu.Unlock()
+	return len(store.traces)
+}
+
+// ResetTraces clears the trace store (for tests and smoke runs).
 func ResetTraces() {
-	recMu.Lock()
-	defer recMu.Unlock()
-	for i := range recRing {
-		recRing[i] = nil
-	}
-	recPos = 0
+	store.mu.Lock()
+	defer store.mu.Unlock()
+	store.traces = nil
+	store.index = map[string]*TraceData{}
+	store.last = nil
+	store.normSeen = 0
 }

@@ -1,0 +1,205 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// withStoreDefaults pins the store knobs for a test and restores them.
+func withStoreDefaults(t *testing.T, capacity, sample int, slow time.Duration) {
+	t.Helper()
+	prevCap := SetTraceCapacity(capacity)
+	prevSample := SetTraceSampling(sample)
+	prevSlow := SetSlowTraceThreshold(slow)
+	t.Cleanup(func() {
+		SetTraceCapacity(prevCap)
+		SetTraceSampling(prevSample)
+		SetSlowTraceThreshold(prevSlow)
+		ResetTraces()
+	})
+	ResetTraces()
+}
+
+func TestTraceByID(t *testing.T) {
+	withCollection(t, func() {
+		withStoreDefaults(t, 64, 1, time.Hour)
+		root := StartTrace("grade/a1")
+		root.SetTraceID("req-42")
+		root.Child("build_epdg").End()
+		root.End()
+
+		td := TraceByID("req-42")
+		if td == nil {
+			t.Fatal("TraceByID returned nil for a retained trace")
+		}
+		if td.ID != "req-42" || len(td.Spans) != 2 {
+			t.Errorf("trace = id %q, %d spans", td.ID, len(td.Spans))
+		}
+		if TraceByID("missing") != nil {
+			t.Error("TraceByID returned a trace for an unknown ID")
+		}
+	})
+}
+
+func TestTailRetentionByOutcome(t *testing.T) {
+	withCollection(t, func() {
+		withStoreDefaults(t, 64, 1000, time.Hour) // sample almost nothing
+		before := TracesDroppedTotal.Value()
+
+		norm := StartTrace("grade/fast")
+		norm.SetTraceID("normal-1")
+		norm.End()
+		bad := StartTrace("grade/bad")
+		bad.SetTraceID("error-1")
+		bad.SetOutcome("error")
+		bad.End()
+
+		if td := TraceByID("error-1"); td == nil || td.Retained != "tail" {
+			t.Errorf("error trace not tail-retained: %+v", td)
+		}
+		if TraceByID("normal-1") != nil {
+			t.Error("normal trace survived 1-in-1000 sampling")
+		}
+		if got := TracesDroppedTotal.Value() - before; got != 1 {
+			t.Errorf("traces dropped = %d, want 1 (the sampled-out normal trace)", got)
+		}
+		// LastTrace still sees the most recent completion regardless of retention.
+		if lt := LastTrace(); lt == nil || lt.ID != "error-1" {
+			t.Errorf("LastTrace = %+v", lt)
+		}
+	})
+}
+
+func TestTailRetentionByDuration(t *testing.T) {
+	withCollection(t, func() {
+		withStoreDefaults(t, 64, 1000, 0) // every trace counts as slow
+		root := StartTrace("grade/slow")
+		root.SetTraceID("slow-1")
+		root.End()
+		if td := TraceByID("slow-1"); td == nil || td.Retained != "tail" {
+			t.Errorf("slow trace not tail-retained: %+v", td)
+		}
+	})
+}
+
+func TestEvictionPrefersSampled(t *testing.T) {
+	withCollection(t, func() {
+		withStoreDefaults(t, 4, 1, time.Hour)
+		// Two tail traces, then enough sampled ones to overflow.
+		for i := 0; i < 2; i++ {
+			sp := StartTrace("grade/err")
+			sp.SetTraceID(fmt.Sprintf("tail-%d", i))
+			sp.SetOutcome("error")
+			sp.End()
+		}
+		for i := 0; i < 5; i++ {
+			sp := StartTrace("grade/ok")
+			sp.SetTraceID(fmt.Sprintf("norm-%d", i))
+			sp.End()
+		}
+		if got := StoredTraces(); got != 4 {
+			t.Fatalf("store holds %d traces, want capacity 4", got)
+		}
+		// Both tail traces must survive; the oldest sampled ones were evicted.
+		for i := 0; i < 2; i++ {
+			if TraceByID(fmt.Sprintf("tail-%d", i)) == nil {
+				t.Errorf("tail-%d was evicted while sampled traces remained", i)
+			}
+		}
+		if TraceByID("norm-0") != nil {
+			t.Error("oldest sampled trace survived eviction")
+		}
+		if TraceByID("norm-4") == nil {
+			t.Error("newest sampled trace missing")
+		}
+	})
+}
+
+func TestTracesOrderAndFallbackIDs(t *testing.T) {
+	withCollection(t, func() {
+		withStoreDefaults(t, 8, 1, time.Hour)
+		StartTrace("a").End()
+		StartTrace("b").End()
+		ts := Traces()
+		if len(ts) != 2 {
+			t.Fatalf("stored %d traces", len(ts))
+		}
+		if ts[0].Name != "b" || ts[1].Name != "a" {
+			t.Errorf("Traces() not most-recent-first: %s, %s", ts[0].Name, ts[1].Name)
+		}
+		for _, td := range ts {
+			if td.ID == "" {
+				t.Error("trace without an ID: fallback not assigned")
+			}
+			if TraceByID(td.ID) != td {
+				t.Errorf("fallback ID %q not indexed", td.ID)
+			}
+		}
+	})
+}
+
+// TestTraceStoreConcurrency exercises concurrent producers and readers under
+// the race detector: StartTrace/End racing Traces/TraceByID/LastTrace and
+// capacity changes must be safe.
+func TestTraceStoreConcurrency(t *testing.T) {
+	withCollection(t, func() {
+		withStoreDefaults(t, 16, 2, time.Hour)
+		var wg sync.WaitGroup
+		stop := make(chan struct{})
+		for p := 0; p < 4; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				for i := 0; i < 200; i++ {
+					sp := StartTrace("grade/conc")
+					sp.SetTraceID(fmt.Sprintf("c%d-%d", p, i))
+					if i%7 == 0 {
+						sp.SetOutcome("error")
+					}
+					sp.Child("step").End()
+					sp.End()
+				}
+			}(p)
+		}
+		for r := 0; r < 3; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					for _, td := range Traces() {
+						_ = td.Tree()
+						if TraceByID(td.ID) == nil {
+							// Fine: evicted between snapshot and lookup.
+							continue
+						}
+					}
+					_ = LastTrace()
+					_ = StoredTraces()
+				}
+			}(r)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				SetTraceCapacity(8 + i%16)
+			}
+		}()
+		// Wait for producers + the capacity changer (readers poll until stop).
+		done := make(chan struct{})
+		go func() { wg.Wait(); close(done) }()
+		time.Sleep(10 * time.Millisecond)
+		close(stop)
+		<-done
+		if StoredTraces() == 0 {
+			t.Error("no traces retained after concurrent load")
+		}
+	})
+}

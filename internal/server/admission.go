@@ -63,3 +63,9 @@ func (a *admission) release() {
 	<-a.slots
 	obs.ServerInflight.Dec()
 }
+
+// inflight returns the number of held worker slots.
+func (a *admission) inflight() int { return len(a.slots) }
+
+// waiting returns the number of requests queued for a slot.
+func (a *admission) waiting() int64 { return a.queued.Load() }

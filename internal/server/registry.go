@@ -210,6 +210,7 @@ func (r *Registry) publish(next map[string]*Entry) {
 	obs.ServerKBReloadsTotal.Inc()
 	obs.ServerKBAssignments.Set(int64(len(next)))
 	r.logf("kb: serving %d assignments", len(next))
+	obs.Logger().Info("kb_reload", "assignments", len(next))
 }
 
 func sameSnapshot(a, b map[string]*Entry) bool {

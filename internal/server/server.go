@@ -10,9 +10,13 @@ package server
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"runtime"
@@ -50,6 +54,14 @@ type Config struct {
 	MaxBodyBytes int64
 	// Logf receives service diagnostics; nil discards them.
 	Logf func(format string, args ...any)
+	// Logger receives structured event logs (one summary line per grade,
+	// batch, shed and drain event). Nil falls back to the process-wide
+	// obs.Logger(), which discards until obs.SetLogger is called.
+	Logger *slog.Logger
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ on the service
+	// mux. Off by default: profiles expose memory contents, so the daemon
+	// gates this behind an explicit flag.
+	EnablePprof bool
 }
 
 func (c *Config) defaults() {
@@ -87,6 +99,7 @@ type Server struct {
 	adm      *admission
 	cache    *resultCache
 	mux      *http.ServeMux
+	handler  http.Handler // mux wrapped in the request-ID/SLO middleware
 	draining atomic.Bool
 	httpSrv  *http.Server
 	addr     atomic.Pointer[string]
@@ -115,16 +128,82 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/v1/grade", s.handleGrade)
 	s.mux.HandleFunc("/v1/batch", s.handleBatch)
 	s.mux.HandleFunc("/v1/assignments", s.handleAssignments)
+	s.mux.HandleFunc("GET /v1/trace/{id}", s.handleTrace)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.Handle("/metrics", obs.Handler())
 	s.mux.Handle("/metrics.json", obs.JSONHandler())
+	s.mux.Handle("/statusz", obs.StatuszHandler())
 	s.mux.Handle("/debug/traces", obs.TraceHandler())
+	if cfg.EnablePprof {
+		obs.AttachPprof(s.mux)
+	}
+	s.handler = s.withObservability(s.mux)
 	return s
 }
 
+// log returns the structured event logger: the configured one, else the
+// process-wide obs logger (discarding by default).
+func (s *Server) log() *slog.Logger {
+	if s.cfg.Logger != nil {
+		return s.cfg.Logger
+	}
+	return obs.Logger()
+}
+
+// sourceHash is the short submission digest used in log lines: enough to join
+// a grade event against a cache key or a resubmission, without logging source.
+func sourceHash(src string) string {
+	sum := sha256.Sum256([]byte(src))
+	return hex.EncodeToString(sum[:8])
+}
+
+// statusRecorder captures the response status for SLO accounting.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// withObservability is the request-ID and SLO middleware. Every request gets
+// a request ID — adopted from a well-formed X-Request-ID header or freshly
+// minted — echoed back in X-Request-ID and threaded through the context so
+// the grader stamps it on the trace and Report.Stats. Grading endpoints also
+// feed the rolling SLO windows: 429 counts as shed, 5xx as error.
+func (s *Server) withObservability(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		rid := req.Header.Get("X-Request-ID")
+		if !obs.ValidRequestID(rid) {
+			rid = obs.NewRequestID()
+		}
+		w.Header().Set("X-Request-ID", rid)
+		req = req.WithContext(obs.WithRequestID(req.Context(), rid))
+		if p := req.URL.Path; p != "/v1/grade" && p != "/v1/batch" {
+			next.ServeHTTP(w, req)
+			return
+		}
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		t0 := time.Now()
+		next.ServeHTTP(rec, req)
+		var o obs.Outcome
+		switch {
+		case rec.status == http.StatusTooManyRequests:
+			o = obs.OutcomeShed
+		case rec.status >= 500:
+			o = obs.OutcomeError
+		default:
+			o = obs.OutcomeOK
+		}
+		obs.SLO.Observe(time.Since(t0), o)
+	})
+}
+
 // Handler returns the service's HTTP handler (for tests and embedding).
-func (s *Server) Handler() http.Handler { return s.mux }
+func (s *Server) Handler() http.Handler { return s.handler }
 
 // Start listens on addr (":0" picks a free port; see Addr) and serves in a
 // background goroutine. The returned channel delivers the listener's
@@ -136,7 +215,7 @@ func (s *Server) Start(addr string) (<-chan error, error) {
 	}
 	actual := ln.Addr().String()
 	s.addr.Store(&actual)
-	s.httpSrv = &http.Server{Handler: s.mux}
+	s.httpSrv = &http.Server{Handler: s.handler}
 	errc := make(chan error, 1)
 	go func() {
 		err := s.httpSrv.Serve(ln)
@@ -165,7 +244,15 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	if s.httpSrv == nil {
 		return nil
 	}
-	return s.httpSrv.Shutdown(ctx)
+	t0 := time.Now()
+	s.log().Info("drain_start",
+		"inflight", s.adm.inflight(),
+		"queued", s.adm.waiting())
+	err := s.httpSrv.Shutdown(ctx)
+	s.log().Info("drain_complete",
+		"duration_ms", float64(time.Since(t0).Microseconds())/1000,
+		"clean", err == nil)
+	return err
 }
 
 // Draining reports whether Shutdown has begun.
@@ -250,6 +337,25 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	}
 }
 
+// handleTrace serves one retained trace by ID (GET /v1/trace/{id}): the full
+// span structure as JSON, or the indented tree with ?format=text. The ID is
+// the request ID echoed in X-Request-ID, so one curl goes from a response
+// header to the grade's span breakdown.
+func (s *Server) handleTrace(w http.ResponseWriter, req *http.Request) {
+	id := req.PathValue("id")
+	td := obs.TraceByID(id)
+	if td == nil {
+		s.fail(w, http.StatusNotFound, fmt.Sprintf("no retained trace %q (sampled out, evicted, or tracing disabled)", id))
+		return
+	}
+	if req.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = io.WriteString(w, td.Tree())
+		return
+	}
+	writeJSON(w, http.StatusOK, td)
+}
+
 func (s *Server) handleAssignments(w http.ResponseWriter, req *http.Request) {
 	if req.Method != http.MethodGet {
 		s.fail(w, http.StatusMethodNotAllowed, "GET only")
@@ -278,6 +384,9 @@ func (s *Server) handleGrade(w http.ResponseWriter, req *http.Request) {
 	obs.ServerRequestsTotal.Inc()
 	defer func() { obs.ServerRequestSeconds.ObserveDuration(time.Since(t0)) }()
 
+	rid := obs.RequestIDFrom(req.Context())
+	hash := sourceHash(greq.Source)
+
 	// Cache hits bypass admission entirely: serving bytes from memory needs
 	// no grading slot, which is what keeps resubmission storms cheap.
 	key := cacheKey(entry.ID, entry.Version, greq.Source)
@@ -286,11 +395,18 @@ func (s *Server) handleGrade(w http.ResponseWriter, req *http.Request) {
 		writeJSON(w, http.StatusOK, GradeResponse{
 			Assignment: entry.ID, ID: greq.ID, KBVersion: entry.Version, Cached: true, Report: body,
 		})
+		s.log().Info("grade",
+			"request_id", rid,
+			"assignment", entry.ID,
+			"source_hash", hash,
+			"cached", true,
+			"status", http.StatusOK,
+			"elapsed_ms", float64(time.Since(t0).Microseconds())/1000)
 		return
 	}
 	obs.ServerCacheMissTotal.Inc()
 
-	if !s.admit(w, req) {
+	if !s.admit(w, req, entry.ID) {
 		return
 	}
 	defer s.adm.release()
@@ -300,6 +416,13 @@ func (s *Server) handleGrade(w http.ResponseWriter, req *http.Request) {
 	report, err := s.grader.GradeContext(ctx, greq.Source, entry.Spec)
 	if err != nil {
 		s.gradeError(w, err)
+		s.log().Warn("grade",
+			"request_id", rid,
+			"assignment", entry.ID,
+			"source_hash", hash,
+			"cached", false,
+			"error", err.Error(),
+			"elapsed_ms", float64(time.Since(t0).Microseconds())/1000)
 		return
 	}
 	body, err := json.Marshal(report)
@@ -312,6 +435,15 @@ func (s *Server) handleGrade(w http.ResponseWriter, req *http.Request) {
 	writeJSON(w, http.StatusOK, GradeResponse{
 		Assignment: entry.ID, ID: greq.ID, KBVersion: entry.Version, Cached: false, Report: body,
 	})
+	s.log().Info("grade",
+		"request_id", rid,
+		"assignment", entry.ID,
+		"source_hash", hash,
+		"cached", false,
+		"status", http.StatusOK,
+		"score", report.Score,
+		"max_score", report.MaxScore,
+		"elapsed_ms", float64(report.Elapsed.Microseconds())/1000)
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, req *http.Request) {
@@ -354,7 +486,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, req *http.Request) {
 	}
 
 	if len(subs) > 0 {
-		if !s.admit(w, req) {
+		if !s.admit(w, req, entry.ID) {
 			return
 		}
 		defer s.adm.release()
@@ -390,6 +522,15 @@ func (s *Server) handleBatch(w http.ResponseWriter, req *http.Request) {
 	}
 	resp.WallMS = float64(time.Since(t0).Microseconds()) / 1000
 	writeJSON(w, http.StatusOK, resp)
+	s.log().Info("batch",
+		"request_id", obs.RequestIDFrom(req.Context()),
+		"assignment", entry.ID,
+		"submissions", len(breq.Submissions),
+		"graded", resp.Graded,
+		"failed", resp.Failed,
+		"cancelled", resp.Cancelled,
+		"cache_hits", resp.CacheHits,
+		"elapsed_ms", resp.WallMS)
 }
 
 // ---------------------------------------------------------------------------
@@ -421,7 +562,10 @@ func (s *Server) decodeRequest(w http.ResponseWriter, req *http.Request, into an
 }
 
 // admit acquires a worker slot, writing the 429/504 responses on failure.
-func (s *Server) admit(w http.ResponseWriter, req *http.Request) bool {
+// A shed request still leaves a correlated footprint: a one-span trace with
+// outcome "shed" (tail-retained, so /v1/trace/{id} finds it) and a "shed"
+// log line carrying the same request ID.
+func (s *Server) admit(w http.ResponseWriter, req *http.Request, assignment string) bool {
 	err := s.adm.acquire(req.Context())
 	switch {
 	case err == nil:
@@ -431,6 +575,16 @@ func (s *Server) admit(w http.ResponseWriter, req *http.Request) bool {
 		return true
 	case errors.Is(err, errQueueFull):
 		obs.ServerRejectedTotal.Inc()
+		rid := obs.RequestIDFrom(req.Context())
+		sp := obs.StartTrace("shed/" + assignment)
+		sp.SetTraceID(rid)
+		sp.SetOutcome("shed")
+		sp.End()
+		s.log().Warn("shed",
+			"request_id", rid,
+			"assignment", assignment,
+			"queued", s.adm.waiting(),
+			"retry_after_s", int(s.cfg.RetryAfter.Seconds()+0.5))
 		w.Header().Set("Retry-After", fmt.Sprintf("%d", int(s.cfg.RetryAfter.Seconds()+0.5)))
 		s.fail(w, http.StatusTooManyRequests, "admission queue full, retry later")
 		return false

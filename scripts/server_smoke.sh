@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
 # End-to-end smoke test for the grading service: export a fixture KB with
-# kbdump, start semfeedd against it (file-backed only, no builtins), grade
-# one submission over HTTP, scrape /metrics for the request counter, then
-# SIGTERM and assert a clean drain. CI runs this on every push.
+# kbdump, start semfeedd against it (file-backed only, no builtins) with JSON
+# logging, tracing and pprof on, grade one submission over HTTP, then check
+# the full observability surface — X-Request-ID echo, the structured grade
+# log line, /v1/trace/{id} retrieval, /statusz SLO windows, /metrics and
+# /debug/pprof/ — before SIGTERM and a clean-drain assertion. CI runs this on
+# every push.
 set -euo pipefail
 
 PORT="${PORT:-18652}"
@@ -24,7 +27,10 @@ mkdir "${WORK}/kb"
 "${WORK}/kblint" "${WORK}/kb/assignment1.json" || fail "fixture KB does not lint"
 
 echo "== starting semfeedd on ${ADDR}"
-"${WORK}/semfeedd" -addr "${ADDR}" -kb-dir "${WORK}/kb" -no-builtin -poll 1s >"${LOG}" 2>&1 &
+# -trace-slow 0 makes every trace tail-retained, so /v1/trace/{id} is
+# deterministic in this smoke run.
+"${WORK}/semfeedd" -addr "${ADDR}" -kb-dir "${WORK}/kb" -no-builtin -poll 1s \
+  -log-format json -pprof -trace-slow 0 >"${LOG}" 2>&1 &
 SRV_PID=$!
 
 for i in $(seq 1 50); do
@@ -40,21 +46,51 @@ cat > "${WORK}/req.json" <<'EOF'
 {"assignment": "assignment1", "id": "smoke-1",
  "source": "void assignment1(int[] a) { int sum = 0; int prod = 1; for (int i = 0; i < a.length; i++) { if (i % 2 == 1) { sum = sum + a[i]; } if (i % 2 == 0) { prod = prod * a[i]; } } System.out.println(sum); System.out.println(prod); }"}
 EOF
-RESP="$(curl -sf -X POST -H 'Content-Type: application/json' \
+RESP="$(curl -sf -D "${WORK}/headers" -X POST -H 'Content-Type: application/json' \
   --data @"${WORK}/req.json" "http://${ADDR}/v1/grade")" || fail "grade request failed"
 echo "${RESP}" | grep -q '"report"' || fail "no report in response: ${RESP}"
 echo "${RESP}" | grep -q '"id":"smoke-1"' || fail "submission ID not echoed: ${RESP}"
+
+echo "== request-ID correlation"
+RID="$(grep -i '^x-request-id:' "${WORK}/headers" | tr -d '\r' | awk '{print $2}')"
+[ -n "${RID}" ] || fail "no X-Request-ID response header"
+echo "${RESP}" | grep -q "\"request_id\":\"${RID}\"" \
+  || fail "Report.Stats does not carry request ID ${RID}: ${RESP}"
+grep -q "\"msg\":\"grade\"" "${LOG}" || fail "no structured grade log line"
+grep -q "\"request_id\":\"${RID}\"" "${LOG}" \
+  || fail "grade log line does not carry request ID ${RID}"
+
+echo "== retrieving trace ${RID}"
+TRACE="$(curl -sf "http://${ADDR}/v1/trace/${RID}")" || fail "trace retrieval failed"
+echo "${TRACE}" | grep -q "\"id\":\"${RID}\"" || fail "trace ID mismatch: ${TRACE}"
+echo "${TRACE}" | grep -q '"name":"grade/assignment1"' || fail "trace has no grade root span: ${TRACE}"
+curl -sf "http://${ADDR}/v1/trace/${RID}?format=text" | grep -q "grade/assignment1" \
+  || fail "text trace rendering failed"
+
+echo "== checking /statusz"
+STATUSZ="$(curl -sf "http://${ADDR}/statusz")" || fail "statusz failed"
+echo "${STATUSZ}" | grep -q '"slo"' || fail "statusz has no SLO block: ${STATUSZ}"
+P99="$(echo "${STATUSZ}" | grep -o '"p99_ms": *[0-9.]*' | head -1 | grep -o '[0-9.]*$')"
+[ -n "${P99}" ] || fail "no p99_ms in statusz: ${STATUSZ}"
+awk "BEGIN{exit !(${P99} > 0)}" || fail "sliding-window p99 is zero after a grade: ${STATUSZ}"
 
 echo "== scraping /metrics"
 METRICS="$(curl -sf "http://${ADDR}/metrics")" || fail "metrics scrape failed"
 echo "${METRICS}" | grep -q '^semfeed_server_requests_total 1$' \
   || fail "semfeed_server_requests_total != 1:
 $(echo "${METRICS}" | grep semfeed_server || true)"
+echo "${METRICS}" | grep -q '^semfeed_slo_requests_1m 1$' \
+  || fail "semfeed_slo_requests_1m != 1:
+$(echo "${METRICS}" | grep semfeed_slo || true)"
+
+echo "== checking /debug/pprof"
+curl -sf "http://${ADDR}/debug/pprof/" >/dev/null || fail "pprof index not reachable with -pprof"
 
 echo "== draining (SIGTERM)"
 kill -TERM "${SRV_PID}"
 if ! wait "${SRV_PID}"; then fail "semfeedd exited nonzero on SIGTERM"; fi
 SRV_PID=""
 grep -q "drained cleanly" "${LOG}" || fail "no clean-drain log line"
+grep -q "\"msg\":\"drain_complete\"" "${LOG}" || fail "no drain_complete log line"
 
 echo "server-smoke: OK"

@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# SLO-window smoke test: start semfeedd with the built-in KB, push a small
+# burst of grades, and assert /statusz reports the burst in its sliding
+# windows — non-zero request count and p99 in the 1m window, and the
+# semfeed_slo_* gauges on /metrics agreeing with it.
+set -euo pipefail
+
+PORT="${PORT:-18653}"
+ADDR="127.0.0.1:${PORT}"
+WORK="$(mktemp -d)"
+LOG="${WORK}/semfeedd.log"
+BURST="${BURST:-5}"
+trap 'kill "${SRV_PID:-}" 2>/dev/null || true; rm -rf "${WORK}"' EXIT
+
+fail() { echo "statusz-smoke FAIL: $1"; [ -f "${LOG}" ] && cat "${LOG}"; exit 1; }
+
+echo "== building"
+go build -o "${WORK}/semfeedd" ./cmd/semfeedd
+
+echo "== starting semfeedd on ${ADDR}"
+"${WORK}/semfeedd" -addr "${ADDR}" -log-format json >"${LOG}" 2>&1 &
+SRV_PID=$!
+for i in $(seq 1 50); do
+  if curl -sf "http://${ADDR}/readyz" >/dev/null 2>&1; then break; fi
+  kill -0 "${SRV_PID}" 2>/dev/null || fail "semfeedd exited during startup"
+  sleep 0.2
+  [ "$i" = 50 ] && fail "server never became ready"
+done
+
+echo "== pushing ${BURST} grades"
+for i in $(seq 1 "${BURST}"); do
+  # Distinct sources so no request is served from the result cache.
+  printf '{"assignment":"assignment1","source":"void assignment1(int[] a) { int sum = %d; int prod = 1; for (int i = 0; i < a.length; i++) { if (i %% 2 == 1) { sum = sum + a[i]; } if (i %% 2 == 0) { prod = prod * a[i]; } } System.out.println(sum); System.out.println(prod); }"}' "$i" \
+    > "${WORK}/req.json"
+  curl -sf -X POST -H 'Content-Type: application/json' \
+    --data @"${WORK}/req.json" "http://${ADDR}/v1/grade" >/dev/null \
+    || fail "grade request $i failed"
+done
+
+echo "== checking /statusz windows"
+STATUSZ="$(curl -sf "http://${ADDR}/statusz")" || fail "statusz failed"
+REQS="$(echo "${STATUSZ}" | grep -o '"requests": *[0-9]*' | head -1 | grep -o '[0-9]*$')"
+[ "${REQS:-0}" -ge "${BURST}" ] || fail "1m window saw ${REQS:-0} requests, want >= ${BURST}"
+P99="$(echo "${STATUSZ}" | grep -o '"p99_ms": *[0-9.]*' | head -1 | grep -o '[0-9.]*$')"
+awk "BEGIN{exit !(${P99:-0} > 0)}" || fail "1m window p99 is zero: ${STATUSZ}"
+
+echo "== checking semfeed_slo_* gauges"
+METRICS="$(curl -sf "http://${ADDR}/metrics")" || fail "metrics scrape failed"
+GAUGE="$(echo "${METRICS}" | grep '^semfeed_slo_requests_1m ' | awk '{print $2}')"
+[ "${GAUGE:-0}" -ge "${BURST}" ] || fail "semfeed_slo_requests_1m = ${GAUGE:-0}, want >= ${BURST}"
+echo "${METRICS}" | grep -q '^semfeed_slo_p99_us_1m [1-9]' \
+  || fail "semfeed_slo_p99_us_1m is zero:
+$(echo "${METRICS}" | grep semfeed_slo || true)"
+
+kill -TERM "${SRV_PID}"
+wait "${SRV_PID}" || fail "semfeedd exited nonzero"
+SRV_PID=""
+
+echo "statusz-smoke: OK"
