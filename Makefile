@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke bench-server table table-json metrics-smoke server-smoke statusz-smoke javalint-smoke fuzz fmt vet examples clean
+.PHONY: all build test race bench bench-smoke bench-server table table-json metrics-smoke metrics-lint server-smoke statusz-smoke javalint-smoke fuzz fmt vet examples clean
 
 all: build vet test
 
@@ -43,10 +43,16 @@ table-json:
 # are both non-empty.
 metrics-smoke:
 	@out=$$($(GO) run ./cmd/feedback -assignment assignment1 -reference -trace -metrics-dump 2>&1); \
-	echo "$$out" | grep -q "semfeed_grades_total 1" || { echo "metrics-smoke FAIL: no Prometheus exposition"; echo "$$out"; exit 1; }; \
+	echo "$$out" | grep -q 'semfeed_grades_total{assignment="assignment1",status="ok"} 1' || { echo "metrics-smoke FAIL: no labeled grade counter"; echo "$$out"; exit 1; }; \
+	echo "$$out" | grep -q 'semfeed_phase_ns{assignment="assignment1",phase="parse"}' || { echo "metrics-smoke FAIL: no per-phase cost attribution"; echo "$$out"; exit 1; }; \
 	echo "$$out" | grep -q "grade/assignment1" || { echo "metrics-smoke FAIL: no span tree"; echo "$$out"; exit 1; }; \
 	echo "$$out" | grep -q "match:" || { echo "metrics-smoke FAIL: no per-pattern match spans"; echo "$$out"; exit 1; }; \
 	echo "metrics-smoke: OK"
+
+# Metrics-reference lint: the generated table embedded in the README must
+# match the live registry in both directions. See scripts/metrics_lint.sh.
+metrics-lint:
+	bash scripts/metrics_lint.sh
 
 # Grading-service smoke: fixture KB via kbdump, semfeedd over HTTP with JSON
 # logs + tracing + pprof, request-ID/trace/statusz correlation checks, SIGTERM
@@ -56,7 +62,8 @@ server-smoke:
 
 # SLO-window smoke: burst of grades, then assert /statusz and the
 # semfeed_slo_* gauges report non-zero sliding-window traffic and latency.
-statusz-smoke:
+# Runs the metrics-reference lint first, so doc drift fails fast.
+statusz-smoke: metrics-lint
 	bash scripts/statusz_smoke.sh
 
 # Static-analyzer smoke: the clean fixture must lint silently with exit 0,

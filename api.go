@@ -107,6 +107,21 @@ type (
 	Trace = obs.TraceData
 	// TraceSpan is one completed span of a Trace.
 	TraceSpan = obs.SpanData
+	// TraceContext is a W3C Trace Context (traceparent) identity: trace ID,
+	// parent span ID and the sampled flag.
+	TraceContext = obs.TraceContext
+	// SpanExporter receives every completed trace for out-of-process export.
+	SpanExporter = obs.SpanExporter
+	// JSONLTraceExporter appends completed traces to a JSON-lines file with
+	// size-based rotation, falling back to an in-memory ring on write errors.
+	JSONLTraceExporter = obs.JSONLExporter
+	// RingTraceExporter retains the last N completed traces in memory.
+	RingTraceExporter = obs.RingExporter
+	// MetricDesc describes one registered metric family (name, type, label
+	// keys, help) — the schema behind the generated metrics reference.
+	MetricDesc = obs.MetricDesc
+	// BuildVersion is the binary's build/VCS identity from debug.ReadBuildInfo.
+	BuildVersion = obs.BuildInfo
 )
 
 // EnableMetrics turns on pipeline metric collection.
@@ -154,6 +169,45 @@ func SetStructuredLogger(l *slog.Logger) { obs.SetLogger(l) }
 func WithRequestID(ctx context.Context, id string) context.Context {
 	return obs.WithRequestID(ctx, id)
 }
+
+// SetTraceExporter installs the process-wide span exporter invoked with every
+// completed trace (after retention classification, so Retained and the final
+// trace ID are populated). Pass nil to disable export. It returns the
+// previously installed exporter so callers can restore it.
+func SetTraceExporter(e SpanExporter) SpanExporter { return obs.SetSpanExporter(e) }
+
+// NewJSONLTraceExporter opens (or creates) a JSON-lines trace export file.
+// maxBytes bounds the file size before rotation to path+".1"; 0 selects the
+// 64 MiB default.
+func NewJSONLTraceExporter(path string, maxBytes int64) (*JSONLTraceExporter, error) {
+	return obs.NewJSONLExporter(path, maxBytes)
+}
+
+// ParseTraceparent parses a W3C traceparent header value. ok is false when
+// the header is absent or malformed; malformed headers are ignored, never an
+// error, per the spec.
+func ParseTraceparent(h string) (TraceContext, bool) { return obs.ParseTraceparent(h) }
+
+// WithTraceContext returns a context carrying an upstream trace identity;
+// grades run under it record the traceparent on their trace so cross-service
+// tooling can join the spans.
+func WithTraceContext(ctx context.Context, tc TraceContext) context.Context {
+	return obs.WithTraceContext(ctx, tc)
+}
+
+// OutboundTraceparent renders the traceparent header value a client should
+// send on outgoing requests made under ctx, minting a fresh identity when the
+// context carries none.
+func OutboundTraceparent(ctx context.Context) string { return obs.OutboundTraceparent(ctx) }
+
+// DescribeMetrics lists every registered metric family (name, type, label
+// keys, help), in exposition order — the source of the generated metrics
+// reference in README.md.
+func DescribeMetrics() []MetricDesc { return obs.Describe() }
+
+// ReadBuildVersion reports the binary's build identity (VCS revision, Go
+// version, module path) as embedded by the Go toolchain.
+func ReadBuildVersion() BuildVersion { return obs.GetBuildInfo() }
 
 // Comment statuses with their Λ weights (Equation 3 of the paper).
 const (

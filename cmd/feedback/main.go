@@ -50,8 +50,13 @@ func main() {
 		metricsDump   = flag.Bool("metrics-dump", false, "print the Prometheus metrics exposition to stderr on exit")
 		metricsAddr   = flag.String("metrics-addr", "", "serve /metrics, /metrics.json and /trace on this address while running")
 		logFormat     = flag.String("log-format", "", `emit structured event logs to stderr: "text" or "json" (empty disables)`)
+		version       = flag.Bool("version", false, "print build version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(obs.VersionString("feedback"))
+		return
+	}
 
 	if *logFormat != "" {
 		obs.SetLogger(obs.NewLogger(os.Stderr, *logFormat, slog.LevelInfo))
@@ -167,7 +172,19 @@ func main() {
 	fmt.Printf("  (feedback computed in %v)\n", report.Elapsed)
 
 	if *functest {
+		// Functional testing is its own attributable phase: a span (when
+		// tracing) carrying case/step work counters, and the functest slice
+		// of semfeed_phase_ns — the column that dominates BENCH_tableone on
+		// interpreter-heavy assignments.
+		ftSp := obs.StartTrace("functest/" + a.ID)
+		t0 := time.Now()
 		verdict, err := a.Tests.RunSource(src)
+		ftNS := time.Since(t0)
+		ftSp.SetAttr("phase", "functest")
+		ftSp.SetAttrInt("cases", int64(verdict.Cases))
+		ftSp.SetAttrInt("interp_steps", int64(verdict.Steps))
+		ftSp.End()
+		obs.PhaseNS.Add(ftNS.Nanoseconds(), a.ID, "functest")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "functional tests: %v\n", err)
 			os.Exit(1)

@@ -29,6 +29,7 @@ import (
 
 	"semfeed/internal/analysis"
 	"semfeed/internal/java/parser"
+	"semfeed/internal/obs"
 	"semfeed/internal/pdg"
 )
 
@@ -52,6 +53,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		disable = fs.String("disable", "", "comma-separated analyzer names to skip")
 		jsonOut = fs.Bool("json", false, "emit findings as a JSON array")
 		list    = fs.Bool("list", false, "list the available analyzers and exit")
+		version = fs.Bool("version", false, "print build version and exit")
 	)
 	fs.Usage = func() {
 		fmt.Fprintln(stderr, "usage: javalint [-enable names] [-disable names] [-json] file.java...")
@@ -61,6 +63,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	if *version {
+		fmt.Fprintln(stdout, obs.VersionString("javalint"))
+		return 0
+	}
 	if *list {
 		for _, name := range analysis.Default().Names() {
 			a := analysis.Default().Get(name)

@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"semfeed/internal/assignments"
+	"semfeed/internal/obs"
 	"semfeed/internal/server"
 )
 
@@ -88,8 +89,13 @@ func main() {
 		subs       = flag.Int("subs", 64, "distinct synthesized submissions")
 		rounds     = flag.Int("rounds", 3, "hot-phase resubmission rounds")
 		out        = flag.String("out", "", "write the JSON summary to this file as well as stdout")
+		version    = flag.Bool("version", false, "print build version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(obs.VersionString("loadgen"))
+		return
+	}
 
 	a := assignments.Get(*assignment)
 	if a == nil {
@@ -186,8 +192,21 @@ func runPhase(client *http.Client, url, assignment string, sources []string, cli
 		go func() {
 			defer wg.Done()
 			for body := range jobs {
+				// Mint the request ID client-side: the server adopts a valid
+				// X-Request-ID, so a failed request is directly greppable in
+				// the server's structured log and /v1/trace/{id}.
+				rid := obs.NewRequestID()
+				req, reqErr := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+				var resp *http.Response
+				var err error
 				t0 := time.Now()
-				resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+				if reqErr != nil {
+					err = reqErr
+				} else {
+					req.Header.Set("Content-Type", "application/json")
+					req.Header.Set("X-Request-ID", rid)
+					resp, err = client.Do(req)
+				}
 				elapsed := time.Since(t0)
 				class := "network"
 				cached := false
@@ -207,6 +226,13 @@ func runPhase(client *http.Client, url, assignment string, sources []string, cli
 					default:
 						class = "2xx"
 						cached = gr.Cached
+					}
+				}
+				if class != "2xx" && class != "429" {
+					if err != nil {
+						fmt.Fprintf(os.Stderr, "loadgen: request failed request_id=%s error=%v\n", rid, err)
+					} else {
+						fmt.Fprintf(os.Stderr, "loadgen: request failed request_id=%s status=%d\n", rid, resp.StatusCode)
 					}
 				}
 				mu.Lock()

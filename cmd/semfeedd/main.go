@@ -68,8 +68,15 @@ func main() {
 		traceSlow    = flag.Duration("trace-slow", 100*time.Millisecond, "traces at least this slow are always retained")
 		traceSample  = flag.Int("trace-sample", 1, "keep 1 in N normal (fast, successful) traces; anomalous ones are always kept")
 		traceCap     = flag.Int("trace-cap", 256, "retained trace capacity")
+		traceExport  = flag.String("trace-export", "", "JSONL file persisting every completed trace across restarts (empty disables)")
+		traceExpMax  = flag.Int64("trace-export-max", 0, "rotate the -trace-export file beyond this many bytes (0 = 64 MiB)")
+		version      = flag.Bool("version", false, "print build version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(obs.VersionString("semfeedd"))
+		return
+	}
 
 	level, err := obs.ParseLevel(*logLevel)
 	if err != nil {
@@ -85,6 +92,15 @@ func main() {
 		obs.SetSlowTraceThreshold(*traceSlow)
 		obs.SetTraceSampling(*traceSample)
 		obs.SetTraceCapacity(*traceCap)
+	}
+	if *traceExport != "" {
+		exp, err := obs.NewJSONLExporter(*traceExport, *traceExpMax)
+		if err != nil {
+			logger.Error("open -trace-export failed", "path", *traceExport, "error", err)
+			os.Exit(1)
+		}
+		obs.SetSpanExporter(exp)
+		defer exp.Close()
 	}
 
 	var driver *analysis.Driver
@@ -141,8 +157,10 @@ func main() {
 	logger.Info("serving",
 		"assignments", reg.Len(),
 		"addr", srv.Addr(),
+		"revision", obs.GetBuildInfo().Revision,
 		"pprof", *pprofOn,
-		"tracing", *traceOn)
+		"tracing", *traceOn,
+		"trace_export", *traceExport)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)

@@ -20,6 +20,7 @@ import (
 	"semfeed/internal/core"
 	"semfeed/internal/java/ast"
 	"semfeed/internal/java/parser"
+	"semfeed/internal/obs"
 	"semfeed/internal/synth"
 )
 
@@ -123,7 +124,10 @@ func MeasureRowOpts(a *assignments.Assignment, opts Options) Row {
 	}
 
 	// Column T: the functional-testing ground truth, sequential as the
-	// interpreter would run inside a grading sandbox.
+	// interpreter would run inside a grading sandbox. The total feeds the
+	// functest slice of semfeed_phase_ns, so a metrics-serving bench run
+	// attributes interpreter cost the same way the grader attributes its
+	// phases.
 	verdicts := make([]bool, len(units))
 	var funcTotal time.Duration
 	for i, unit := range units {
@@ -131,6 +135,7 @@ func MeasureRowOpts(a *assignments.Assignment, opts Options) Row {
 		verdicts[i] = a.Tests.Run(unit).Pass
 		funcTotal += time.Since(t0)
 	}
+	obs.PhaseNS.Add(funcTotal.Nanoseconds(), a.ID, "functest")
 
 	// Columns M and D: batch-grade every parsed unit. M averages the
 	// per-report grading time (measured inside GradeUnit, so it stays a

@@ -7,6 +7,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -337,21 +338,108 @@ func (g *Grader) Grade(src string, spec *AssignmentSpec) (*Report, error) {
 	return g.GradeContext(context.Background(), src, spec)
 }
 
+// gradeState carries one grade's trace root, report and stats through the
+// phases, so Grade (source path, with a parse phase) and GradeUnit (parsed
+// path) share the same begin/finish lifecycle and a single root span.
+type gradeState struct {
+	spec   *AssignmentSpec
+	start  time.Time
+	stats  *Stats
+	report *Report
+	root   *obs.Span
+	// errored marks a grade that failed before producing a report (parse
+	// error): outcome and status "error" instead of "unmatched".
+	errored bool
+}
+
+// beginGrade opens the trace root and the inflight accounting for one grade.
+func (g *Grader) beginGrade(ctx context.Context, spec *AssignmentSpec) *gradeState {
+	obs.GradesInflight.Inc()
+	gs := &gradeState{
+		spec:   spec,
+		start:  time.Now(),
+		stats:  &Stats{},
+		report: &Report{Assignment: spec.Name, Bindings: map[string]string{}},
+		root:   obs.StartTrace("grade/" + spec.Name),
+	}
+	gs.report.Stats = gs.stats
+	if rid := obs.RequestIDFrom(ctx); rid != "" {
+		gs.stats.RequestID = rid
+		gs.root.SetTraceID(rid)
+	}
+	if tc, ok := obs.TraceContextFrom(ctx); ok && tc.Valid() {
+		// The request arrived under a W3C trace context: record it so the
+		// exported trace joins its cross-process parent.
+		gs.root.SetRemoteParent(tc.Traceparent())
+	}
+	return gs
+}
+
+// endPhase closes one phase span and attributes its cost: the span gets the
+// phase tag, and semfeed_phase_ns{assignment,phase} accumulates the
+// nanoseconds (the exposition-side view of BENCH_tableone's *_ns columns).
+func (gs *gradeState) endPhase(sp *obs.Span, phase string, d time.Duration) {
+	sp.SetAttr("phase", phase)
+	sp.End()
+	obs.PhaseNS.Add(d.Nanoseconds(), gs.spec.Name, phase)
+}
+
+// finish seals the grade: totals, terminal metrics, outcome classification
+// and the root span.
+func (gs *gradeState) finish(ctx context.Context) {
+	gs.report.Elapsed = time.Since(gs.start)
+	gs.stats.TotalTime = gs.report.Elapsed
+	obs.GradesInflight.Dec()
+	obs.GradeSeconds.ObserveDuration(gs.report.Elapsed)
+	obs.GradeScore.Observe(gs.report.Score)
+	obs.GradeMethodCombos.Add(int64(gs.stats.MethodCombos))
+	if gs.report.Matched {
+		obs.GradeMatchedTotal.Inc()
+	} else {
+		obs.GradeUnmatchedTotal.Inc()
+	}
+	status := "ok"
+	switch {
+	case ctx.Err() == context.DeadlineExceeded:
+		status = "timeout"
+		gs.root.SetOutcome("timeout")
+	case ctx.Err() == context.Canceled:
+		status = "canceled"
+		gs.root.SetOutcome("canceled")
+	case gs.errored:
+		status = "error"
+		gs.root.SetOutcome("error")
+	case !gs.report.Matched:
+		status = "unmatched"
+	}
+	obs.GradesTotal.Add(1, gs.spec.Name, status)
+	gs.root.SetAttr("score", fmt.Sprintf("%.1f/%.1f", gs.report.Score, gs.report.MaxScore))
+	gs.root.SetAttrInt("method_combos", int64(gs.stats.MethodCombos))
+	gs.root.SetAttrInt("match_steps", gs.stats.MatchSteps)
+	gs.root.End()
+}
+
 // GradeContext is Grade under a context: a cancelled or expired ctx stops
 // the grade early — the deadline propagates into Algorithm 1's search loop —
 // and ctx.Err() is returned alongside the (partial) report. The serving path
-// uses this to bound per-request latency.
+// uses this to bound per-request latency. The parse runs inside the grade's
+// trace as its own phase span, so source-path traces attribute the full
+// request.
 func (g *Grader) GradeContext(ctx context.Context, src string, spec *AssignmentSpec) (*Report, error) {
+	gs := g.beginGrade(ctx, spec)
+	defer gs.finish(ctx)
+	sp := gs.root.Child("parse")
 	t0 := time.Now()
 	unit, err := parser.Parse(src)
-	parseTime := time.Since(t0)
+	gs.stats.ParseTime = time.Since(t0)
+	sp.SetAttrInt("bytes", int64(len(src)))
+	gs.endPhase(sp, "parse", gs.stats.ParseTime)
 	if err != nil {
+		gs.errored = true
 		return nil, err
 	}
-	report := g.GradeUnitContext(ctx, unit, spec)
-	report.Stats.ParseTime = parseTime
-	report.Stats.TotalTime += parseTime
-	return report, ctx.Err()
+	g.gradeUnit(ctx, unit, spec, gs)
+	return gs.report, ctx.Err()
 }
 
 // GradeUnit grades a parsed compilation unit against spec (Algorithm 2).
@@ -364,39 +452,16 @@ func (g *Grader) GradeUnit(unit *ast.CompilationUnit, spec *AssignmentSpec) *Rep
 // so even a single pathological binding is cut promptly; the report produced
 // so far is returned (check ctx.Err() to distinguish a complete grade).
 func (g *Grader) GradeUnitContext(ctx context.Context, unit *ast.CompilationUnit, spec *AssignmentSpec) *Report {
-	start := time.Now()
-	obs.GradesTotal.Inc()
-	obs.GradesInflight.Inc()
-	stats := &Stats{}
-	report := &Report{Assignment: spec.Name, Bindings: map[string]string{}, Stats: stats}
-	root := obs.StartTrace("grade/" + spec.Name)
-	if rid := obs.RequestIDFrom(ctx); rid != "" {
-		stats.RequestID = rid
-		root.SetTraceID(rid)
-	}
-	defer func() {
-		report.Elapsed = time.Since(start)
-		stats.TotalTime = report.Elapsed
-		obs.GradesInflight.Dec()
-		obs.GradeSeconds.ObserveDuration(report.Elapsed)
-		obs.GradeScore.Observe(report.Score)
-		obs.GradeMethodCombos.Add(int64(stats.MethodCombos))
-		if report.Matched {
-			obs.GradeMatchedTotal.Inc()
-		} else {
-			obs.GradeUnmatchedTotal.Inc()
-		}
-		switch ctx.Err() {
-		case context.DeadlineExceeded:
-			root.SetOutcome("timeout")
-		case context.Canceled:
-			root.SetOutcome("canceled")
-		}
-		root.SetAttr("score", fmt.Sprintf("%.1f/%.1f", report.Score, report.MaxScore))
-		root.SetAttrInt("method_combos", int64(stats.MethodCombos))
-		root.SetAttrInt("match_steps", stats.MatchSteps)
-		root.End()
-	}()
+	gs := g.beginGrade(ctx, spec)
+	defer gs.finish(ctx)
+	g.gradeUnit(ctx, unit, spec, gs)
+	return gs.report
+}
+
+// gradeUnit runs Algorithm 2 over a parsed unit inside an open grade: the
+// phases after parse, each under its own child span of gs.root.
+func (g *Grader) gradeUnit(ctx context.Context, unit *ast.CompilationUnit, spec *AssignmentSpec, gs *gradeState) {
+	stats, report := gs.stats, gs.report
 	for _, m := range spec.Methods {
 		report.MaxScore += float64(len(m.Patterns) + len(m.Groups) + len(m.Constraints))
 	}
@@ -404,7 +469,7 @@ func (g *Grader) GradeUnitContext(ctx context.Context, unit *ast.CompilationUnit
 	// Step 1: extract the EPDG of every submission method, optionally
 	// inlining helper calls first.
 	if g.opts.InlineHelpers {
-		sp := root.Child("inline_helpers")
+		sp := gs.root.Child("inline_helpers")
 		t0 := time.Now()
 		keep := map[string]bool{}
 		for _, m := range spec.Methods {
@@ -412,9 +477,9 @@ func (g *Grader) GradeUnitContext(ctx context.Context, unit *ast.CompilationUnit
 		}
 		unit = inline.Expand(unit, keep)
 		stats.InlineTime = time.Since(t0)
-		sp.End()
+		gs.endPhase(sp, "inline", stats.InlineTime)
 	}
-	buildSp := root.Child("build_epdg")
+	buildSp := gs.root.Child("build_epdg")
 	t0 := time.Now()
 	graphs := pdg.BuildAllWith(unit, g.opts.BuildOptions)
 	stats.BuildTime = time.Since(t0)
@@ -426,22 +491,22 @@ func (g *Grader) GradeUnitContext(ctx context.Context, unit *ast.CompilationUnit
 	buildSp.SetAttrInt("methods", int64(stats.Methods))
 	buildSp.SetAttrInt("nodes", int64(stats.EPDGNodes))
 	buildSp.SetAttrInt("edges", int64(stats.EPDGEdges))
-	buildSp.End()
+	gs.endPhase(buildSp, "build", stats.BuildTime)
 	if len(graphs) == 0 {
-		return report
+		return
 	}
 
 	// Step 1b: pattern-independent static analysis over the fresh EPDGs. The
 	// driver is per-assignment when the spec carries one, else the grader
 	// default; nil means disabled and costs nothing.
 	if driver := g.analysisDriver(spec); driver != nil {
-		sp := root.Child("analysis")
+		sp := gs.root.Child("analysis")
 		t0 := time.Now()
 		report.Diagnostics = driver.Run(graphs)
 		stats.AnalysisTime = time.Since(t0)
 		stats.AnalysisFindings = analysis.Counts(report.Diagnostics)
 		sp.SetAttrInt("diagnostics", int64(len(report.Diagnostics)))
-		sp.End()
+		gs.endPhase(sp, "analysis", stats.AnalysisTime)
 	}
 
 	methodNames := make([]string, 0, len(graphs))
@@ -453,19 +518,18 @@ func (g *Grader) GradeUnitContext(ctx context.Context, unit *ast.CompilationUnit
 	// Step 2: try every combination of expected and existing methods, keep
 	// the one maximizing Λ. The match cache spans the whole sweep: a
 	// (pattern, graph) pair is searched once even when E×A bindings revisit
-	// it under different expected-method names.
+	// it under different expected-method names. The whole sweep is one match
+	// phase span; the per-binding spans hang under it.
 	cache := newMatchCache()
-	defer func() {
-		stats.MatchCacheHits = cache.hits
-		stats.MatchCacheMisses = cache.misses
-	}()
+	sweepSp := gs.root.Child("match_sweep")
+	sweepStart := time.Now()
 	best := -1.0
 	for _, binding := range g.bindings(spec, methodNames) {
 		if ctx.Err() != nil {
 			break
 		}
 		stats.MethodCombos++
-		bindSp := root.Child("binding")
+		bindSp := sweepSp.Child("binding")
 		if bindSp != nil {
 			bindSp.SetAttr("methods", renderBinding(binding))
 		}
@@ -482,7 +546,23 @@ func (g *Grader) GradeUnitContext(ctx context.Context, unit *ast.CompilationUnit
 			report.Matched = true
 		}
 	}
-	return report
+	stats.MatchCacheHits = cache.hits
+	stats.MatchCacheMisses = cache.misses
+	sweepSp.SetAttrInt("combos", int64(stats.MethodCombos))
+	sweepSp.SetAttrInt("match_calls", stats.MatchCalls)
+	sweepSp.SetAttrInt("match_steps", stats.MatchSteps)
+	sweepSp.SetAttrInt("backtracks", stats.MatchBacktracks)
+	sweepSp.SetAttrInt("cache_hits", stats.MatchCacheHits)
+	sweepSp.SetAttrInt("cache_misses", stats.MatchCacheMisses)
+	gs.endPhase(sweepSp, "match", stats.MatchTime)
+	// Constraint checking is interleaved with matching inside the sweep; its
+	// aggregate cost gets a summary span so the phase tree attributes it
+	// separately from Algorithm 1 search time.
+	gs.root.RecordChild("constraint_check", sweepStart, stats.ConstraintTime,
+		obs.Attr{Key: "phase", Value: "constraint"},
+		obs.Attr{Key: "checks", Value: strconv.FormatInt(stats.ConstraintChecks, 10)},
+		obs.Attr{Key: "combos", Value: strconv.FormatInt(stats.ConstraintCombos, 10)})
+	obs.PhaseNS.Add(stats.ConstraintTime.Nanoseconds(), spec.Name, "constraint")
 }
 
 // renderBinding renders an expected→actual method binding for span attrs.

@@ -1,0 +1,129 @@
+package core_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"semfeed/internal/analysis"
+	"semfeed/internal/assignments"
+	"semfeed/internal/core"
+	"semfeed/internal/obs"
+)
+
+// TestGradePhaseSpans is the phase-attribution contract of the tentpole: one
+// traced grade must decompose into phase-tagged child spans (at least five on
+// the full path) and move the matching semfeed_phase_ns slices, so a trace
+// tree and the dimensional metrics tell the same cost story.
+func TestGradePhaseSpans(t *testing.T) {
+	obs.Enable()
+	obs.EnableTracing()
+	defer obs.Disable()
+	defer obs.DisableTracing()
+
+	a := assignments.Get("assignment1")
+	grader := core.NewGrader(core.Options{Analyzers: analysis.DefaultDriver()})
+	if _, err := grader.Grade(a.Reference(), a.Spec); err != nil {
+		t.Fatal(err)
+	}
+
+	td := obs.LastTrace()
+	if td == nil {
+		t.Fatal("no trace recorded")
+	}
+	// Collect the phase tags of the root's direct children.
+	phases := map[string]int{}
+	var phaseSpans int
+	for _, sp := range td.Spans {
+		for _, at := range sp.Attrs {
+			if at.Key == "phase" {
+				phases[at.Value]++
+				phaseSpans++
+			}
+		}
+	}
+	if phaseSpans < 5 {
+		t.Errorf("trace has %d phase-tagged spans, want >= 5:\n%s", phaseSpans, td.Tree())
+	}
+	for _, phase := range []string{"parse", "build", "analysis", "match", "constraint"} {
+		if phases[phase] == 0 {
+			t.Errorf("no span tagged phase=%s in:\n%s", phase, td.Tree())
+		}
+	}
+	// Constraint time can legitimately round to zero on an assignment with
+	// few constraints, so assert the slices that always do real work.
+	for _, phase := range []string{"parse", "build", "analysis", "match"} {
+		if got := obs.PhaseNS.Value("assignment1", phase); got <= 0 {
+			t.Errorf(`semfeed_phase_ns{assignment="assignment1",phase=%q} = %d, want > 0`, phase, got)
+		}
+	}
+
+	// The labeled grade counter attributes the outcome per assignment.
+	if got := obs.GradesTotal.Value("assignment1", "ok"); got == 0 {
+		t.Error(`semfeed_grades_total{assignment="assignment1",status="ok"} did not move`)
+	}
+}
+
+// TestGradePhaseWorkCounters spot-checks that phase spans carry the work
+// counters that make a trace self-explaining: EPDG size on the build span,
+// combination counts on the match sweep.
+func TestGradePhaseWorkCounters(t *testing.T) {
+	obs.EnableTracing()
+	defer obs.DisableTracing()
+	a := assignments.Get("assignment1")
+	if _, err := core.NewGrader(core.Options{}).Grade(a.Reference(), a.Spec); err != nil {
+		t.Fatal(err)
+	}
+	tree := obs.LastTrace().Tree()
+	for _, want := range []string{
+		"parse",
+		"build_epdg", "nodes=",
+		"match_sweep", "combos=",
+		"constraint_check", "checks=",
+	} {
+		if !strings.Contains(tree, want) {
+			t.Errorf("span tree missing %q:\n%s", want, tree)
+		}
+	}
+}
+
+// TestGradeAdoptsInboundTraceparent grades under a context carrying a remote
+// trace identity and asserts the recorded trace remembers it — the join key
+// a distributed tracing backend needs to stitch the cross-process tree.
+func TestGradeAdoptsInboundTraceparent(t *testing.T) {
+	obs.EnableTracing()
+	defer obs.DisableTracing()
+	tc := obs.TraceContext{
+		TraceID: "4bf92f3577b34da6a3ce929d0e0e4736",
+		SpanID:  "00f067aa0ba902b7",
+		Sampled: true,
+	}
+	ctx := obs.WithTraceContext(context.Background(), tc)
+	a := assignments.Get("assignment1")
+	if _, err := core.NewGrader(core.Options{}).GradeContext(ctx, a.Reference(), a.Spec); err != nil {
+		t.Fatal(err)
+	}
+	td := obs.LastTrace()
+	if td == nil {
+		t.Fatal("no trace recorded")
+	}
+	if td.TraceParent != tc.Traceparent() {
+		t.Errorf("trace parent = %q, want %q", td.TraceParent, tc.Traceparent())
+	}
+}
+
+// TestGradeStatusAttribution checks the failure statuses: a parse error
+// grades as status=error, so semfeed_grades_total separates broken
+// submissions from graded ones per assignment.
+func TestGradeStatusAttribution(t *testing.T) {
+	obs.Enable()
+	defer obs.Disable()
+	a := assignments.Get("assignment1")
+	before := obs.GradesTotal.Value("assignment1", "error")
+	if _, err := core.NewGrader(core.Options{}).Grade("class Broken {", a.Spec); err == nil {
+		t.Fatal("parse error expected")
+	}
+	if got := obs.GradesTotal.Value("assignment1", "error") - before; got != 1 {
+		t.Errorf(`semfeed_grades_total{assignment="assignment1",status="error"} moved by %d, want 1`, got)
+	}
+}

@@ -58,6 +58,11 @@ type Verdict struct {
 	// InfiniteLoop is set when any case hit the step budget — the failure
 	// mode dynamic graders cannot distinguish from slowness.
 	InfiniteLoop bool
+	// Cases counts the test cases executed, Steps the interpreter steps they
+	// consumed across all cases: the work counters behind the functest
+	// phase's cost attribution (semfeed_phase_ns{phase="functest"}).
+	Cases int
+	Steps int
 }
 
 // Run executes the suite against a parsed submission.
@@ -66,6 +71,10 @@ func (s *Suite) Run(unit *ast.CompilationUnit) Verdict {
 	for _, c := range s.Cases {
 		cfg := interp.Config{Stdin: c.Stdin, Files: c.Files, MaxSteps: s.MaxSteps}
 		res, err := interp.Run(unit, s.Entry, cloneArgs(c.Args), cfg)
+		v.Cases++
+		if res != nil {
+			v.Steps += res.Steps
+		}
 		if err != nil {
 			v.Pass = false
 			v.Failures = append(v.Failures, Failure{Case: c.Name, Err: err})

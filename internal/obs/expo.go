@@ -63,13 +63,17 @@ func (s Snapshot) Counter(name string) int64 { return s.Counters[name] }
 // TakeSnapshot copies the default registry.
 func TakeSnapshot() Snapshot { return Default.Snapshot() }
 
-// Snapshot copies the registry's current values.
+// Snapshot copies the registry's current values. Labeled families report
+// their aggregate across all label sets under the bare family name, so
+// callers summing totals (tests, dumpObs) need not care whether a metric
+// grew labels.
 func (r *Registry) Snapshot() Snapshot {
 	cs, gs, hs := r.snapshotLists()
+	lcs, _, lhs := r.snapshotLabeled()
 	snap := Snapshot{
-		Counters:   make(map[string]int64, len(cs)),
+		Counters:   make(map[string]int64, len(cs)+len(lcs)),
 		Gauges:     make(map[string]int64, len(gs)),
-		Histograms: make(map[string]HistogramSnapshot, len(hs)),
+		Histograms: make(map[string]HistogramSnapshot, len(hs)+len(lhs)),
 	}
 	for _, c := range cs {
 		snap.Counters[c.name] = c.Value()
@@ -84,6 +88,19 @@ func (r *Registry) Snapshot() Snapshot {
 			P50:   h.Quantile(0.50),
 			P95:   h.Quantile(0.95),
 			P99:   h.Quantile(0.99),
+		}
+	}
+	for _, c := range lcs {
+		snap.Counters[c.vec.name] = c.Total()
+	}
+	for _, h := range lhs {
+		count, sum, buckets := h.aggregate()
+		snap.Histograms[h.vec.name] = HistogramSnapshot{
+			Count: count,
+			Sum:   sum,
+			P50:   bucketQuantile(h.bounds, buckets, 0.50),
+			P95:   bucketQuantile(h.bounds, buckets, 0.95),
+			P99:   bucketQuantile(h.bounds, buckets, 0.99),
 		}
 	}
 	return snap
@@ -127,7 +144,34 @@ func (r *Registry) WriteProm(w io.Writer) error {
 			return err
 		}
 	}
+	lcs, lgs, lhs := r.snapshotLabeled()
+	for _, c := range lcs {
+		if err := c.writeProm(w); err != nil {
+			return err
+		}
+	}
+	for _, g := range lgs {
+		if err := g.writeProm(w); err != nil {
+			return err
+		}
+	}
+	for _, h := range lhs {
+		if err := h.writeProm(w); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// Exemplars lists every live bucket→trace exemplar across the registry's
+// labeled histograms (surfaced on /statusz).
+func (r *Registry) Exemplars() []ExemplarRef {
+	_, _, lhs := r.snapshotLabeled()
+	var out []ExemplarRef
+	for _, h := range lhs {
+		out = append(out, h.exemplarRefs()...)
+	}
+	return out
 }
 
 // Handler serves the default registry as Prometheus text format.
@@ -158,10 +202,14 @@ var processStart = time.Now()
 // and every gauge, one JSON document.
 type Statusz struct {
 	UptimeSeconds float64             `json:"uptime_seconds"`
+	Build         BuildInfo           `json:"build"`
 	SLO           map[string]SLOStats `json:"slo"`
 	Runtime       StatuszRuntime      `json:"runtime"`
 	Traces        StatuszTraces       `json:"traces"`
-	Gauges        map[string]int64    `json:"gauges"`
+	// Exemplars link labeled-histogram buckets to retrievable traces: the
+	// most recent trace ID that landed in each bucket (see /v1/trace/{id}).
+	Exemplars []ExemplarRef    `json:"exemplars,omitempty"`
+	Gauges    map[string]int64 `json:"gauges"`
 }
 
 // StatuszRuntime is the runtime block of /statusz.
@@ -185,6 +233,7 @@ func TakeStatusz() Statusz {
 	snap := TakeSnapshot()
 	return Statusz{
 		UptimeSeconds: time.Since(processStart).Seconds(),
+		Build:         GetBuildInfo(),
 		SLO: map[string]SLOStats{
 			"1m": SLO.Stats(time.Minute),
 			"5m": SLO.Stats(5 * time.Minute),
@@ -200,7 +249,8 @@ func TakeStatusz() Statusz {
 			DroppedTotal: TracesDroppedTotal.Value(),
 			SpanDropped:  TraceSpansDroppedTotal.Value(),
 		},
-		Gauges: snap.Gauges,
+		Exemplars: Default.Exemplars(),
+		Gauges:    snap.Gauges,
 	}
 }
 

@@ -210,10 +210,13 @@ func (h *Histogram) Quantile(q float64) float64 {
 // Registry holds a set of named metrics. Registration takes a lock;
 // metric updates are lock-free.
 type Registry struct {
-	mu         sync.Mutex
-	counters   []*Counter
-	gauges     []*Gauge
-	histograms []*Histogram
+	mu                sync.Mutex
+	counters          []*Counter
+	gauges            []*Gauge
+	histograms        []*Histogram
+	labeledCounters   []*LabeledCounter
+	labeledGauges     []*LabeledGauge
+	labeledHistograms []*LabeledHistogram
 }
 
 // Default is the process-wide registry the pipeline metrics live in.
@@ -276,12 +279,68 @@ func (r *Registry) snapshotLists() ([]*Counter, []*Gauge, []*Histogram) {
 	return cs, gs, hs
 }
 
-// Len returns the number of registered metrics.
+// snapshotLabeled returns stable copies of the labeled-metric slices for
+// exposition, sorted by family name.
+func (r *Registry) snapshotLabeled() ([]*LabeledCounter, []*LabeledGauge, []*LabeledHistogram) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	lcs := append([]*LabeledCounter(nil), r.labeledCounters...)
+	lgs := append([]*LabeledGauge(nil), r.labeledGauges...)
+	lhs := append([]*LabeledHistogram(nil), r.labeledHistograms...)
+	sort.Slice(lcs, func(i, j int) bool { return lcs[i].vec.name < lcs[j].vec.name })
+	sort.Slice(lgs, func(i, j int) bool { return lgs[i].vec.name < lgs[j].vec.name })
+	sort.Slice(lhs, func(i, j int) bool { return lhs[i].vec.name < lhs[j].vec.name })
+	return lcs, lgs, lhs
+}
+
+// Len returns the number of registered metrics (labeled families count as
+// one each).
 func (r *Registry) Len() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return len(r.counters) + len(r.gauges) + len(r.histograms)
+	return len(r.counters) + len(r.gauges) + len(r.histograms) +
+		len(r.labeledCounters) + len(r.labeledGauges) + len(r.labeledHistograms)
 }
+
+// MetricDesc describes one registered metric family for the generated
+// metrics reference (cmd/metricsref) and the exposition lint.
+type MetricDesc struct {
+	Name   string   `json:"name"`
+	Type   string   `json:"type"` // counter | gauge | histogram
+	Labels []string `json:"labels,omitempty"`
+	Help   string   `json:"help"`
+}
+
+// Describe lists every registered metric family, sorted by name. Histogram
+// families imply the derived _bucket/_sum/_count series under the same name.
+func (r *Registry) Describe() []MetricDesc {
+	cs, gs, hs := r.snapshotLists()
+	lcs, lgs, lhs := r.snapshotLabeled()
+	out := make([]MetricDesc, 0, len(cs)+len(gs)+len(hs)+len(lcs)+len(lgs)+len(lhs))
+	for _, c := range cs {
+		out = append(out, MetricDesc{Name: c.name, Type: "counter", Help: c.help})
+	}
+	for _, g := range gs {
+		out = append(out, MetricDesc{Name: g.name, Type: "gauge", Help: g.help})
+	}
+	for _, h := range hs {
+		out = append(out, MetricDesc{Name: h.name, Type: "histogram", Help: h.help})
+	}
+	for _, c := range lcs {
+		out = append(out, MetricDesc{Name: c.vec.name, Type: "counter", Labels: c.vec.keys, Help: c.vec.help})
+	}
+	for _, g := range lgs {
+		out = append(out, MetricDesc{Name: g.vec.name, Type: "gauge", Labels: g.vec.keys, Help: g.vec.help})
+	}
+	for _, h := range lhs {
+		out = append(out, MetricDesc{Name: h.vec.name, Type: "histogram", Labels: h.vec.keys, Help: h.vec.help})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Describe lists every metric family in the default registry.
+func Describe() []MetricDesc { return Default.Describe() }
 
 // Reset zeroes every metric in the registry (for tests and smoke runs).
 func (r *Registry) Reset() {
@@ -299,6 +358,16 @@ func (r *Registry) Reset() {
 		}
 		h.count.Store(0)
 		h.sumBits.Store(0)
+	}
+	for _, c := range r.labeledCounters {
+		c.vec.reset()
+		c.total.Store(0)
+	}
+	for _, g := range r.labeledGauges {
+		g.vec.reset()
+	}
+	for _, h := range r.labeledHistograms {
+		h.vec.reset()
 	}
 }
 

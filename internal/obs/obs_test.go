@@ -255,13 +255,16 @@ func TestStoreCapacityBound(t *testing.T) {
 func TestHandlers(t *testing.T) {
 	withCollection(t, func() {
 		ResetTraces()
-		GradesTotal.Inc()
+		GradesTotal.Inc("assignment1", "ok")
 		StartTrace("handler-test").End()
 
 		rec := httptest.NewRecorder()
 		Mux().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
 		if !strings.Contains(rec.Body.String(), "semfeed_grades_total") {
 			t.Errorf("/metrics missing counters:\n%.400s", rec.Body.String())
+		}
+		if !strings.Contains(rec.Body.String(), `semfeed_grades_total{assignment="assignment1",status="ok"}`) {
+			t.Errorf("/metrics missing the labeled grades sample:\n%.400s", rec.Body.String())
 		}
 
 		rec = httptest.NewRecorder()

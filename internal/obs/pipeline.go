@@ -47,8 +47,13 @@ var (
 	AnalysisDiagnosticsTotal = NewCounter("semfeed_analysis_diagnostics_total", "Diagnostics produced by analyzers.")
 	AnalysisSeconds          = NewHistogram("semfeed_analysis_seconds", "Analysis driver latency per submission.", nil)
 
-	// Grading engine (Algorithm 2).
-	GradesTotal            = NewCounter("semfeed_grades_total", "Submissions graded.")
+	// Grading engine (Algorithm 2). GradesTotal is dimensional: the
+	// per-assignment, per-outcome split is what capacity planning needs
+	// (status: ok | unmatched | timeout | canceled). PhaseNS is the
+	// cost-attribution counter behind BENCH_tableone's *_ns columns: total
+	// nanoseconds spent per pipeline phase per assignment.
+	GradesTotal            = NewLabeledCounter("semfeed_grades_total", "Submissions graded, by assignment and outcome status.", "assignment", "status")
+	PhaseNS                = NewLabeledCounter("semfeed_phase_ns", "Nanoseconds spent per grading phase, by assignment.", "assignment", "phase")
 	GradeMatchedTotal      = NewCounter("semfeed_grade_matched_total", "Reports where a method binding was found.")
 	GradeUnmatchedTotal    = NewCounter("semfeed_grade_unmatched_total", "Reports with no usable method binding.")
 	GradeMethodCombos      = NewCounter("semfeed_grade_method_combos_total", "Expected-to-actual method bindings scored.")
@@ -74,7 +79,7 @@ var (
 	ServerTimeoutsTotal   = NewCounter("semfeed_server_timeouts_total", "Grading requests cut by the per-request deadline.")
 	ServerInflight        = NewGauge("semfeed_server_inflight", "Grading requests currently holding a worker slot.")
 	ServerQueued          = NewGauge("semfeed_server_queued", "Requests currently waiting in the admission queue.")
-	ServerRequestSeconds  = NewHistogram("semfeed_server_request_seconds", "End-to-end latency per grading request.", nil)
+	ServerRequestSeconds  = NewLabeledHistogram("semfeed_server_request_seconds", "End-to-end latency per grading request, by assignment and status class.", nil, "assignment", "status")
 	ServerCacheHitsTotal  = NewCounter("semfeed_server_cache_hits_total", "Grading requests served from the result cache.")
 	ServerCacheMissTotal  = NewCounter("semfeed_server_cache_misses_total", "Grading requests that ran the full pipeline.")
 	ServerCacheEvictTotal = NewCounter("semfeed_server_cache_evictions_total", "Result-cache entries evicted by the LRU policy.")

@@ -114,6 +114,68 @@ func TestSLOWindowReset(t *testing.T) {
 	})
 }
 
+// TestSLOWindowRingWrap drives the clock past the ring capacity (301
+// one-second buckets) so the current second reuses a bucket that still holds
+// counts from a prior epoch. The stale contents must be discarded on reuse,
+// and folding a window must never resurrect them.
+func TestSLOWindowRingWrap(t *testing.T) {
+	withCollection(t, func() {
+		w, clk := newTestWindow()
+		// Fill an old epoch: an error burst across several seconds.
+		for i := 0; i < 5; i++ {
+			w.Observe(100*time.Millisecond, OutcomeError)
+			clk.advance(time.Second)
+		}
+		// Wrap: advance a full ring (and then some), landing the current
+		// second on the same physical buckets the burst wrote.
+		clk.advance((sloRingSeconds + 10) * time.Second)
+		w.Observe(2*time.Millisecond, OutcomeOK)
+
+		st := w.Stats(5 * time.Minute)
+		if st.Requests != 1 || st.Errors != 0 {
+			t.Errorf("post-wrap 5m stats = %+v, want only the fresh request", st)
+		}
+		// The stale bucket's 100ms latency must not leak into percentiles.
+		if st.P99MS > 50 {
+			t.Errorf("p99 = %gms, old epoch's 100ms burst leaked through the wrap", st.P99MS)
+		}
+
+		// Reuse same-second bucket twice across epochs: counts reset, not add.
+		clk.advance(sloRingSeconds * time.Second)
+		w.Observe(time.Millisecond, OutcomeOK)
+		w.Observe(time.Millisecond, OutcomeOK)
+		if st := w.Stats(time.Minute); st.Requests != 2 {
+			t.Errorf("recycled bucket stats = %+v, want exactly the 2 fresh requests", st)
+		}
+	})
+}
+
+// TestSLOWindowShedsExcludedFromMixedPercentiles mixes sheds with real
+// requests: the shed count must show up in rates while its (microsecond)
+// rejection latency stays out of the distribution.
+func TestSLOWindowShedsExcludedFromMixedPercentiles(t *testing.T) {
+	withCollection(t, func() {
+		w, _ := newTestWindow()
+		for i := 0; i < 10; i++ {
+			w.Observe(20*time.Millisecond, OutcomeOK)
+		}
+		// 90 instant sheds: if folded in, they would drag p50 to ~0.
+		for i := 0; i < 90; i++ {
+			w.Observe(5*time.Microsecond, OutcomeShed)
+		}
+		st := w.Stats(time.Minute)
+		if st.Requests != 100 || st.Sheds != 90 {
+			t.Fatalf("stats = %+v", st)
+		}
+		if st.ShedRate != 0.9 {
+			t.Errorf("shed rate = %g, want 0.9", st.ShedRate)
+		}
+		if st.P50MS < 5 {
+			t.Errorf("p50 = %gms: shed latencies polluted the distribution", st.P50MS)
+		}
+	})
+}
+
 func TestSLOGaugesPublished(t *testing.T) {
 	withCollection(t, func() {
 		SLO.Reset()

@@ -50,22 +50,26 @@ type TraceData struct {
 	Outcome string `json:"outcome,omitempty"`
 	// Retained records why the store kept the trace: "tail" (anomalous or
 	// slow — always kept) or "sampled" (a normal trace that passed sampling).
-	Retained string        `json:"retained,omitempty"`
-	Start    time.Time     `json:"start"`
-	Duration time.Duration `json:"duration_ns"`
-	Spans    []SpanData    `json:"spans"`
-	Dropped  int           `json:"dropped,omitempty"`
+	Retained string `json:"retained,omitempty"`
+	// TraceParent is the W3C traceparent the request arrived with, when the
+	// caller propagated one — the join key across process boundaries.
+	TraceParent string        `json:"traceparent,omitempty"`
+	Start       time.Time     `json:"start"`
+	Duration    time.Duration `json:"duration_ns"`
+	Spans       []SpanData    `json:"spans"`
+	Dropped     int           `json:"dropped,omitempty"`
 }
 
 // trace accumulates spans while the root span is open.
 type trace struct {
-	mu      sync.Mutex
-	name    string
-	id      string
-	outcome string
-	nextID  int
-	spans   []SpanData
-	dropped int
+	mu          sync.Mutex
+	name        string
+	id          string
+	outcome     string
+	traceParent string
+	nextID      int
+	spans       []SpanData
+	dropped     int
 }
 
 // Span is an in-flight span. A nil *Span is a valid no-op (the disabled
@@ -142,6 +146,39 @@ func (s *Span) SetOutcome(outcome string) {
 	s.t.mu.Unlock()
 }
 
+// SetRemoteParent records the W3C traceparent this trace was started under
+// (the inbound header on the serving path), so an exported trace can be
+// joined with its cross-process parent. Nil-safe.
+func (s *Span) SetRemoteParent(traceparent string) {
+	if s == nil {
+		return
+	}
+	s.t.mu.Lock()
+	s.t.traceParent = traceparent
+	s.t.mu.Unlock()
+}
+
+// RecordChild adds an already-measured child span under s: a summary span
+// for work that was aggregated outside the tracer (e.g. the total constraint
+// time accumulated across a binding sweep). Nil-safe.
+func (s *Span) RecordChild(name string, start time.Time, d time.Duration, attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	s.t.mu.Lock()
+	defer s.t.mu.Unlock()
+	if len(s.t.spans) >= maxSpansPerTrace {
+		s.t.dropped++
+		return
+	}
+	id := s.t.nextID
+	s.t.nextID++
+	s.t.spans = append(s.t.spans, SpanData{
+		ID: id, Parent: s.id, Name: name,
+		Start: start, Duration: d, Attrs: attrs,
+	})
+}
+
 // End completes the span. Ending the root span seals the trace and offers it
 // to the store. Nil-safe.
 func (s *Span) End() {
@@ -162,12 +199,13 @@ func (s *Span) End() {
 	var td *TraceData
 	if root {
 		td = &TraceData{
-			ID:      s.t.id,
-			Name:    s.t.name,
-			Outcome: s.t.outcome,
-			Start:   s.start,
-			Spans:   append([]SpanData(nil), s.t.spans...),
-			Dropped: s.t.dropped,
+			ID:          s.t.id,
+			Name:        s.t.name,
+			Outcome:     s.t.outcome,
+			TraceParent: s.t.traceParent,
+			Start:       s.start,
+			Spans:       append([]SpanData(nil), s.t.spans...),
+			Dropped:     s.t.dropped,
 		}
 		td.Duration = d
 	}
@@ -175,6 +213,9 @@ func (s *Span) End() {
 	if root {
 		TraceSpansDroppedTotal.Add(int64(td.Dropped))
 		store.record(td)
+		// Export after record so the fallback ID and retention class are
+		// stamped; every completed trace is exported, retained or not.
+		exportTrace(td)
 	}
 }
 
@@ -201,6 +242,9 @@ func (t *TraceData) Tree() string {
 		fmt.Fprintf(&sb, "trace %s", t.ID)
 		if t.Outcome != "" {
 			sb.WriteString(" outcome=" + t.Outcome)
+		}
+		if t.TraceParent != "" {
+			sb.WriteString(" traceparent=" + t.TraceParent)
 		}
 		sb.WriteByte('\n')
 	}

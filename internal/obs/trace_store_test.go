@@ -140,6 +140,75 @@ func TestTracesOrderAndFallbackIDs(t *testing.T) {
 	})
 }
 
+// TestTraceStoreMixedRetentionPressure floods a small store with concurrent
+// traces of every retention class and asserts the invariants that matter
+// under pressure: always-keep classes (error/timeout/canceled/shed) survive
+// up to capacity, eviction spends sampled traces first, and
+// semfeed_traces_dropped_total equals the number of traces that are actually
+// gone. Run with -race, this is also the exporter/store interleaving check.
+func TestTraceStoreMixedRetentionPressure(t *testing.T) {
+	withCollection(t, func() {
+		const capacity = 32
+		withStoreDefaults(t, capacity, 2, time.Hour)
+		ring := NewRingExporter(4096)
+		prevExp := SetSpanExporter(ring)
+		defer SetSpanExporter(prevExp)
+		droppedBefore := TracesDroppedTotal.Value()
+
+		outcomes := []string{"", "error", "timeout", "canceled", "shed"}
+		const producers, perProducer = 4, 100
+		var wg sync.WaitGroup
+		var tailCount sync.Map // id -> struct{} for always-keep traces
+		for p := 0; p < producers; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				for i := 0; i < perProducer; i++ {
+					sp := StartTrace("grade/pressure")
+					id := fmt.Sprintf("p%d-%d", p, i)
+					sp.SetTraceID(id)
+					if out := outcomes[i%len(outcomes)]; out != "" {
+						sp.SetOutcome(out)
+						tailCount.Store(id, struct{}{})
+					}
+					sp.Child("step").End()
+					sp.End()
+				}
+			}(p)
+		}
+		wg.Wait()
+
+		total := producers * perProducer
+		stored := Traces()
+		if len(stored) > capacity {
+			t.Fatalf("store holds %d traces, capacity %d", len(stored), capacity)
+		}
+		// Every exported trace was seen exactly once, regardless of retention.
+		if got := len(ring.Traces()); got != total {
+			t.Errorf("exporter saw %d traces, want %d", got, total)
+		}
+		// The drops counter is truthful: stored + dropped == produced.
+		dropped := TracesDroppedTotal.Value() - droppedBefore
+		if int(dropped)+len(stored) != total {
+			t.Errorf("dropped %d + stored %d != produced %d", dropped, len(stored), total)
+		}
+		// Under 4:1 tail-to-sampled pressure the survivors must be dominated
+		// by always-keep classes: eviction prefers sampled traces.
+		var tailStored int
+		for _, td := range stored {
+			if _, ok := tailCount.Load(td.ID); ok {
+				if td.Retained != "tail" {
+					t.Errorf("trace %s has outcome-class retention %q, want tail", td.ID, td.Retained)
+				}
+				tailStored++
+			}
+		}
+		if tailStored < len(stored)*3/4 {
+			t.Errorf("only %d/%d survivors are always-keep traces; eviction is not preferring sampled ones", tailStored, len(stored))
+		}
+	})
+}
+
 // TestTraceStoreConcurrency exercises concurrent producers and readers under
 // the race detector: StartTrace/End racing Traces/TraceByID/LastTrace and
 // capacity changes must be safe.

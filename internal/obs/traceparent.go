@@ -1,0 +1,144 @@
+package obs
+
+// W3C Trace Context (https://www.w3.org/TR/trace-context/) support, the
+// prerequisite for ROADMAP's coordinator/worker split: a coordinator mints a
+// traceparent, each worker adopts it as its trace's parent, and the traces
+// join across process boundaries on the shared 128-bit trace ID.
+//
+// Only the `traceparent` header is implemented (version 00); `tracestate`
+// is pass-through territory we do not need yet. The header format is
+//
+//	00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01
+//	^^ ^^^^^^^^^^^^^^^^ 32 hex trace-id  ^^ 16 hex span-id ^^ flags
+//
+// with all-zero trace or span IDs invalid per spec.
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"strings"
+)
+
+// TraceContext is a parsed traceparent: the remote trace identity a request
+// arrived with (or one minted locally for outbound propagation).
+type TraceContext struct {
+	TraceID string `json:"trace_id"` // 32 lowercase hex chars
+	SpanID  string `json:"span_id"`  // 16 lowercase hex chars
+	Sampled bool   `json:"sampled"`
+}
+
+// Valid reports whether the context carries well-formed, non-zero IDs.
+func (tc TraceContext) Valid() bool {
+	return validHexID(tc.TraceID, 32) && validHexID(tc.SpanID, 16)
+}
+
+// Traceparent renders the context in W3C header form.
+func (tc TraceContext) Traceparent() string {
+	flags := "00"
+	if tc.Sampled {
+		flags = "01"
+	}
+	return "00-" + tc.TraceID + "-" + tc.SpanID + "-" + flags
+}
+
+// ParseTraceparent parses a traceparent header. ok is false for malformed
+// headers, all-zero IDs, and the reserved version ff; per spec, versions
+// above 00 are accepted if the 00-compatible prefix parses.
+func ParseTraceparent(h string) (tc TraceContext, ok bool) {
+	h = strings.TrimSpace(h)
+	parts := strings.Split(h, "-")
+	if len(parts) < 4 {
+		return TraceContext{}, false
+	}
+	version, traceID, spanID, flags := parts[0], parts[1], parts[2], parts[3]
+	if len(version) != 2 || !isHex(version) || strings.EqualFold(version, "ff") {
+		return TraceContext{}, false
+	}
+	if version == "00" && len(parts) != 4 {
+		return TraceContext{}, false
+	}
+	traceID = strings.ToLower(traceID)
+	spanID = strings.ToLower(spanID)
+	if !validHexID(traceID, 32) || !validHexID(spanID, 16) {
+		return TraceContext{}, false
+	}
+	fb, err := hex.DecodeString(strings.ToLower(flags))
+	if err != nil || len(fb) != 1 {
+		return TraceContext{}, false
+	}
+	return TraceContext{TraceID: traceID, SpanID: spanID, Sampled: fb[0]&0x01 != 0}, true
+}
+
+// validHexID reports whether s is exactly n lowercase-hex chars and not all
+// zeros.
+func validHexID(s string, n int) bool {
+	if len(s) != n || !isHex(s) {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] != '0' {
+			return true
+		}
+	}
+	return false
+}
+
+// isHex reports whether s is entirely hex digits (either case).
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= '0' && c <= '9', c >= 'a' && c <= 'f', c >= 'A' && c <= 'F':
+		default:
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+// NewTraceContext mints a fresh sampled trace context with random IDs.
+func NewTraceContext() TraceContext {
+	var b [24]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failure means the process is in bad shape; fall back
+		// to a fixed non-zero identity rather than panicking in middleware.
+		return TraceContext{TraceID: strings.Repeat("0", 31) + "1", SpanID: strings.Repeat("0", 15) + "1", Sampled: true}
+	}
+	return TraceContext{
+		TraceID: hex.EncodeToString(b[:16]),
+		SpanID:  hex.EncodeToString(b[16:]),
+		Sampled: true,
+	}
+}
+
+// traceCtxKey carries a TraceContext through a context.Context.
+type traceCtxKey struct{}
+
+// WithTraceContext attaches a remote trace context to ctx (the server
+// middleware does this when a request carries a valid traceparent).
+func WithTraceContext(ctx context.Context, tc TraceContext) context.Context {
+	return context.WithValue(ctx, traceCtxKey{}, tc)
+}
+
+// TraceContextFrom returns the trace context attached to ctx, if any.
+func TraceContextFrom(ctx context.Context) (TraceContext, bool) {
+	tc, ok := ctx.Value(traceCtxKey{}).(TraceContext)
+	return tc, ok
+}
+
+// OutboundTraceparent renders the traceparent an outbound call from ctx
+// should carry: the inbound trace identity with a fresh span ID, or a newly
+// minted context when ctx has none. This is what a future coordinator uses
+// to fan a batch out to workers under one trace.
+func OutboundTraceparent(ctx context.Context) string {
+	tc, ok := TraceContextFrom(ctx)
+	if !ok || !tc.Valid() {
+		return NewTraceContext().Traceparent()
+	}
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err == nil {
+		tc.SpanID = hex.EncodeToString(b[:])
+	}
+	return tc.Traceparent()
+}

@@ -316,6 +316,156 @@ func TestShedObservability(t *testing.T) {
 	}
 }
 
+// TestTraceparentAdoption: a request carrying a valid W3C traceparent gets
+// its grade trace parented under the remote identity; a malformed header is
+// ignored rather than rejected.
+func TestTraceparentAdoption(t *testing.T) {
+	withObs(t)
+	prevSlow := obs.SetSlowTraceThreshold(0)
+	defer obs.SetSlowTraceThreshold(prevSlow)
+	srv := New(Config{Registry: testRegistry(t)})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	const parent = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	body, _ := json.Marshal(GradeRequest{
+		Assignment: "assignment1", Source: assignments.Get("assignment1").Reference(),
+	})
+	req, _ := http.NewRequest("POST", ts.URL+"/v1/grade", bytes.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("traceparent", parent)
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("grade status %d", resp.StatusCode)
+	}
+	rid := resp.Header.Get("X-Request-ID")
+	td := obs.TraceByID(rid)
+	if td == nil {
+		t.Fatalf("no trace retained for %s", rid)
+	}
+	if td.TraceParent != parent {
+		t.Errorf("trace parent = %q, want the inbound %q", td.TraceParent, parent)
+	}
+
+	// Malformed traceparent: request still succeeds, no parent adopted. A
+	// distinct source keeps the request off the result cache so it grades
+	// (and traces) for real.
+	body, _ = json.Marshal(GradeRequest{
+		Assignment: "assignment1", Source: assignments.Get("assignment1").Reference() + " ",
+	})
+	req, _ = http.NewRequest("POST", ts.URL+"/v1/grade", bytes.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("traceparent", "00-garbage-header-01")
+	resp, err = ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("grade with bad traceparent: status %d", resp.StatusCode)
+	}
+	if td := obs.TraceByID(resp.Header.Get("X-Request-ID")); td == nil || td.TraceParent != "" {
+		t.Errorf("malformed traceparent adopted: %+v", td)
+	}
+}
+
+// TestLabeledExpositionAndExemplars is the dimensional-metrics contract on
+// the serving path: after one graded request, /metrics carries the per-phase
+// and per-request labeled families, the request-latency bucket that request
+// landed in names its request ID as an exemplar, and that exemplar ID
+// resolves to a retrievable trace — the dashboard-to-trace link.
+func TestLabeledExpositionAndExemplars(t *testing.T) {
+	withObs(t)
+	prevSlow := obs.SetSlowTraceThreshold(0)
+	defer obs.SetSlowTraceThreshold(prevSlow)
+	srv := New(Config{Registry: testRegistry(t)})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, body := postJSON(t, ts.Client(), ts.URL+"/v1/grade", GradeRequest{
+		Assignment: "assignment1", Source: assignments.Get("assignment1").Reference(),
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("grade status %d: %s", resp.StatusCode, body)
+	}
+	rid := resp.Header.Get("X-Request-ID")
+
+	mresp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := new(bytes.Buffer)
+	if _, err := raw.ReadFrom(mresp.Body); err != nil {
+		t.Fatal(err)
+	}
+	mresp.Body.Close()
+	expo := raw.String()
+	for _, want := range []string{
+		`semfeed_grades_total{assignment="assignment1",status="ok"}`,
+		`semfeed_phase_ns{assignment="assignment1",phase="parse"}`,
+		`semfeed_phase_ns{assignment="assignment1",phase="build"}`,
+		`semfeed_phase_ns{assignment="assignment1",phase="match"}`,
+		`semfeed_server_request_seconds_bucket{assignment="assignment1",status="2xx",le="+Inf"}`,
+		`# exemplar semfeed_server_request_seconds_bucket{assignment="assignment1",status="2xx",le=`,
+		"semfeed_build_info{revision=",
+	} {
+		if !strings.Contains(expo, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+
+	// One of the request-latency exemplars carries this request's ID (the
+	// vec is process-global, so other tests' requests may own other buckets),
+	// and that ID resolves to a trace.
+	exemplarIDs := map[string]bool{}
+	for _, line := range strings.Split(expo, "\n") {
+		if strings.HasPrefix(line, "# exemplar semfeed_server_request_seconds_bucket") {
+			if i := strings.Index(line, `trace_id="`); i >= 0 {
+				rest := line[i+len(`trace_id="`):]
+				exemplarIDs[rest[:strings.Index(rest, `"`)]] = true
+			}
+		}
+	}
+	if !exemplarIDs[rid] {
+		t.Errorf("no request-latency exemplar carries the request ID %q: %v", rid, exemplarIDs)
+	}
+	tresp, err := ts.Client().Get(ts.URL + "/v1/trace/" + rid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tresp.Body.Close()
+	if tresp.StatusCode != http.StatusOK {
+		t.Errorf("exemplar trace %q does not resolve: status %d", rid, tresp.StatusCode)
+	}
+
+	// /statusz surfaces the same exemplars and the build identity.
+	sresp, err := ts.Client().Get(ts.URL + "/statusz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	var st obs.Statusz
+	if err := json.NewDecoder(sresp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Build.Revision == "" || st.Build.GoVersion == "" {
+		t.Errorf("statusz build info empty: %+v", st.Build)
+	}
+	var found bool
+	for _, ex := range st.Exemplars {
+		if ex.Metric == "semfeed_server_request_seconds" && ex.TraceID == rid {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("statusz exemplars missing the request's bucket link: %+v", st.Exemplars)
+	}
+}
+
 type syncWriter struct {
 	mu  *sync.Mutex
 	buf *bytes.Buffer

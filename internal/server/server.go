@@ -169,11 +169,48 @@ func (r *statusRecorder) WriteHeader(code int) {
 	r.ResponseWriter.WriteHeader(code)
 }
 
-// withObservability is the request-ID and SLO middleware. Every request gets
-// a request ID — adopted from a well-formed X-Request-ID header or freshly
-// minted — echoed back in X-Request-ID and threaded through the context so
-// the grader stamps it on the trace and Report.Stats. Grading endpoints also
-// feed the rolling SLO windows: 429 counts as shed, 5xx as error.
+// reqInfo is the middleware↔handler backchannel for label values: the
+// middleware creates it before routing, the handler fills in the assignment
+// once the body is decoded, and the middleware reads it after ServeHTTP to
+// label the latency observation. A pointer in the context, so the handler's
+// write is visible without re-wrapping the request.
+type reqInfo struct {
+	assignment string
+}
+
+type reqInfoKey struct{}
+
+// setAssignment records the resolved assignment for request labeling.
+func setAssignment(ctx context.Context, assignment string) {
+	if info, ok := ctx.Value(reqInfoKey{}).(*reqInfo); ok {
+		info.assignment = assignment
+	}
+}
+
+// statusClass maps an HTTP status to the bounded label set of
+// semfeed_server_request_seconds: 429 (shed) is its own class because it is
+// an operator signal, not a client error.
+func statusClass(status int) string {
+	switch {
+	case status == http.StatusTooManyRequests:
+		return "429"
+	case status >= 500:
+		return "5xx"
+	case status >= 400:
+		return "4xx"
+	default:
+		return "2xx"
+	}
+}
+
+// withObservability is the request-ID, trace-context and SLO middleware.
+// Every request gets a request ID — adopted from a well-formed X-Request-ID
+// header or freshly minted — echoed back in X-Request-ID and threaded
+// through the context so the grader stamps it on the trace and Report.Stats.
+// A valid W3C traceparent header is parsed into the context so the grade's
+// trace records its cross-process parent. Grading endpoints also feed the
+// rolling SLO windows (429 counts as shed, 5xx as error) and the labeled
+// latency histogram, whose bucket exemplars carry the request ID.
 func (s *Server) withObservability(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		rid := req.Header.Get("X-Request-ID")
@@ -181,14 +218,20 @@ func (s *Server) withObservability(next http.Handler) http.Handler {
 			rid = obs.NewRequestID()
 		}
 		w.Header().Set("X-Request-ID", rid)
-		req = req.WithContext(obs.WithRequestID(req.Context(), rid))
+		ctx := obs.WithRequestID(req.Context(), rid)
+		if tc, ok := obs.ParseTraceparent(req.Header.Get("traceparent")); ok {
+			ctx = obs.WithTraceContext(ctx, tc)
+		}
 		if p := req.URL.Path; p != "/v1/grade" && p != "/v1/batch" {
-			next.ServeHTTP(w, req)
+			next.ServeHTTP(w, req.WithContext(ctx))
 			return
 		}
+		info := &reqInfo{assignment: "unknown"}
+		ctx = context.WithValue(ctx, reqInfoKey{}, info)
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		t0 := time.Now()
-		next.ServeHTTP(rec, req)
+		next.ServeHTTP(rec, req.WithContext(ctx))
+		elapsed := time.Since(t0)
 		var o obs.Outcome
 		switch {
 		case rec.status == http.StatusTooManyRequests:
@@ -198,7 +241,9 @@ func (s *Server) withObservability(next http.Handler) http.Handler {
 		default:
 			o = obs.OutcomeOK
 		}
-		obs.SLO.Observe(time.Since(t0), o)
+		obs.SLO.Observe(elapsed, o)
+		obs.ServerRequestSeconds.ObserveExemplar(elapsed.Seconds(), rid,
+			info.assignment, statusClass(rec.status))
 	})
 }
 
@@ -382,7 +427,6 @@ func (s *Server) handleGrade(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	obs.ServerRequestsTotal.Inc()
-	defer func() { obs.ServerRequestSeconds.ObserveDuration(time.Since(t0)) }()
 
 	rid := obs.RequestIDFrom(req.Context())
 	hash := sourceHash(greq.Source)
@@ -458,7 +502,6 @@ func (s *Server) handleBatch(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	obs.ServerRequestsTotal.Inc()
-	defer func() { obs.ServerRequestSeconds.ObserveDuration(time.Since(t0)) }()
 
 	resp := BatchResponse{Assignment: entry.ID, KBVersion: entry.Version}
 	resp.Results = make([]BatchItem, len(breq.Submissions))
@@ -558,6 +601,7 @@ func (s *Server) decodeRequest(w http.ResponseWriter, req *http.Request, into an
 		s.fail(w, http.StatusNotFound, fmt.Sprintf("unknown assignment %q (GET /v1/assignments lists them)", assignment))
 		return nil, false
 	}
+	setAssignment(req.Context(), entry.ID)
 	return entry, true
 }
 

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Metrics-reference lint: the README's generated metrics table must match the
+# live registry exactly, in both directions — every exported family documented,
+# every documented family still exported (with the same type, labels and
+# help). The canonical table comes from cmd/metricsref, which reads the same
+# registry the /metrics exposition is rendered from, so a mismatch here means
+# the docs drifted from the code. CI fails with the exact delta.
+set -euo pipefail
+
+README="${1:-README.md}"
+WORK="$(mktemp -d)"
+trap 'rm -rf "${WORK}"' EXIT
+
+fail() { echo "metrics-lint FAIL: $1"; exit 1; }
+
+# Canonical table straight from the registry.
+go run ./cmd/metricsref > "${WORK}/exported.md" || fail "metricsref did not run"
+
+# The README's embedded copy, between the metrics markers.
+awk '/<!-- metrics:begin/{inside=1; next} /<!-- metrics:end/{inside=0} inside' \
+  "${README}" | sed '/^[[:space:]]*$/d' > "${WORK}/documented.md"
+[ -s "${WORK}/documented.md" ] || fail "no metrics table between the markers in ${README}"
+
+# Family names only, so each direction of drift gets its own message.
+names() { grep -o '^| `[a-z0-9_]*`' "$1" | tr -d '`| ' | sort; }
+names "${WORK}/exported.md" > "${WORK}/exported.txt"
+names "${WORK}/documented.md" > "${WORK}/documented.txt"
+
+UNDOCUMENTED="$(comm -23 "${WORK}/exported.txt" "${WORK}/documented.txt")"
+[ -z "${UNDOCUMENTED}" ] || fail "exported but undocumented families (run 'go run ./cmd/metricsref -update ${README}'):
+${UNDOCUMENTED}"
+VANISHED="$(comm -13 "${WORK}/exported.txt" "${WORK}/documented.txt")"
+[ -z "${VANISHED}" ] || fail "documented but no longer exported families (run 'go run ./cmd/metricsref -update ${README}'):
+${VANISHED}"
+
+# Same families can still drift in type, labels or help text: full diff.
+diff -u "${WORK}/documented.md" "${WORK}/exported.md" \
+  || fail "table content drifted (run 'go run ./cmd/metricsref -update ${README}')"
+
+echo "metrics-lint: OK ($(wc -l < "${WORK}/exported.txt" | tr -d '[:space:]') families documented)"
