@@ -28,6 +28,7 @@ bench:
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkMatcher|BenchmarkMatcherColdGraphs' -benchtime=1x ./internal/match/
 	$(GO) test -run '^$$' -bench 'BenchmarkGradeAll' -benchtime=1x ./internal/core/
+	$(GO) test -run '^$$' -bench 'BenchmarkInterpCompiled|BenchmarkInterpTreeWalk' -benchtime=1x .
 
 # Regenerate Table I (sampled; raise -n for tighter D estimates).
 table:

@@ -194,6 +194,17 @@ type Stats struct {
 	// AnalysisFindings counts static-analysis diagnostics per analyzer name.
 	AnalysisFindings map[string]int `json:"analysis_findings,omitempty"`
 
+	// Functional-testing phase, stamped by RunFuncTests when the caller runs
+	// the suite (the CLI's -functest flag, the bench harness). Compile time
+	// and cache traffic cover the closure-compilation of submissions into
+	// executable programs; zero when the suite did not run.
+	FuncTestTime      time.Duration `json:"functest_ns,omitempty"`
+	FuncTestCases     int           `json:"functest_cases,omitempty"`
+	InterpSteps       int64         `json:"interp_steps,omitempty"`
+	InterpCompileTime time.Duration `json:"interp_compile_ns,omitempty"`
+	InterpCacheHits   int64         `json:"interp_cache_hits,omitempty"`
+	InterpCacheMisses int64         `json:"interp_cache_misses,omitempty"`
+
 	// RequestID is the correlation key of the serving path: the same ID the
 	// HTTP layer echoed in X-Request-ID and stamped on the grade's trace, so
 	// a stored report joins against its log line and /v1/trace/{id} entry.

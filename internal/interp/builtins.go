@@ -9,6 +9,13 @@ import (
 	"semfeed/internal/java/ast"
 )
 
+// The Java built-in surface (Math/Integer/Double/String/Character/Arrays
+// statics, Scanner and String instance methods, field constants, object
+// construction) is implemented as pure value-level functions taking the
+// method name, the evaluated arguments and the call's source line. The
+// tree-walk machine and the compiled engine both dispatch into these
+// helpers, so their semantics and error strings agree by construction.
+
 // evalCall dispatches method invocations: System.out printing, Math,
 // Integer/Long/Double/Character/String statics, Scanner and String instance
 // methods, and user-defined methods.
@@ -22,17 +29,41 @@ func (m *machine) evalCall(x *ast.Call, f *frame) (Value, error) {
 	if recv, ok := x.Recv.(*ast.Ident); ok {
 		switch recv.Name {
 		case "Math":
-			return m.evalMath(x, f)
+			args, err := m.evalArgs(x.Args, f)
+			if err != nil {
+				return nil, err
+			}
+			return mathCall(x.Name, args, x.P.Line)
 		case "Integer", "Long":
-			return m.evalIntegerStatic(x, f)
+			args, err := m.evalArgs(x.Args, f)
+			if err != nil {
+				return nil, err
+			}
+			return integerStaticCall(x.Name, args, x.P.Line)
 		case "Double":
-			return m.evalDoubleStatic(x, f)
+			args, err := m.evalArgs(x.Args, f)
+			if err != nil {
+				return nil, err
+			}
+			return doubleStaticCall(x.Name, args, x.P.Line)
 		case "String":
-			return m.evalStringStatic(x, f)
+			args, err := m.evalArgs(x.Args, f)
+			if err != nil {
+				return nil, err
+			}
+			return stringStaticCall(x.Name, args, x.P.Line)
 		case "Character":
-			return m.evalCharacterStatic(x, f)
+			args, err := m.evalArgs(x.Args, f)
+			if err != nil {
+				return nil, err
+			}
+			return characterStaticCall(x.Name, args, x.P.Line)
 		case "Arrays":
-			return m.evalArraysStatic(x, f)
+			args, err := m.evalArgs(x.Args, f)
+			if err != nil {
+				return nil, err
+			}
+			return arraysStaticCall(x.Name, args, x.P.Line)
 		case "System":
 			if x.Name == "exit" {
 				return nil, errAt(x.P.Line, "System.exit called")
@@ -57,9 +88,13 @@ func (m *machine) evalCall(x *ast.Call, f *frame) (Value, error) {
 	}
 	switch r := recv.(type) {
 	case *Scanner:
-		return m.evalScannerMethod(r, x, f)
+		return scannerCall(r, x.Name, x.P.Line)
 	case string:
-		return m.evalStringMethod(r, x, f)
+		args, err := m.evalArgs(x.Args, f)
+		if err != nil {
+			return nil, err
+		}
+		return stringCall(r, x.Name, args, x.P.Line)
 	case *Array:
 		return nil, errAt(x.P.Line, "arrays have no method %s", x.Name)
 	case nil:
@@ -107,18 +142,28 @@ func (m *machine) evalPrint(x *ast.Call, f *frame) (Value, error) {
 		if err != nil {
 			return nil, err
 		}
-		format, ok := args[0].(string)
-		if !ok {
-			return nil, errAt(x.P.Line, "printf format is %s", valueType(args[0]))
-		}
-		s, err := javaPrintf(format, args[1:])
+		s, err := printfText(args, x.P.Line)
 		if err != nil {
-			return nil, errAt(x.P.Line, "%v", err)
+			return nil, err
 		}
 		m.out.WriteString(s)
 		return nil, nil
 	}
 	return nil, errAt(x.P.Line, "System.out has no method %s", x.Name)
+}
+
+// printfText renders a printf/format call from its evaluated arguments
+// (args[0] is the format string), shared by both engines.
+func printfText(args []Value, line int) (string, error) {
+	format, ok := args[0].(string)
+	if !ok {
+		return "", errAt(line, "printf format is %s", valueType(args[0]))
+	}
+	s, err := javaPrintf(format, args[1:])
+	if err != nil {
+		return "", errAt(line, "%v", err)
+	}
+	return s, nil
 }
 
 // javaPrintf translates the common Java format verbs to Go's and formats.
@@ -202,14 +247,10 @@ func javaPrintf(format string, args []Value) (string, error) {
 	return sb.String(), nil
 }
 
-func (m *machine) evalMath(x *ast.Call, f *frame) (Value, error) {
-	args, err := m.evalArgs(x.Args, f)
-	if err != nil {
-		return nil, err
-	}
+func mathCall(name string, args []Value, line int) (Value, error) {
 	need := func(n int) error {
 		if len(args) != n {
-			return errAt(x.P.Line, "Math.%s expects %d arguments", x.Name, n)
+			return errAt(line, "Math.%s expects %d arguments", name, n)
 		}
 		return nil
 	}
@@ -219,11 +260,11 @@ func (m *machine) evalMath(x *ast.Call, f *frame) (Value, error) {
 		}
 		v, ok := AsFloat(args[0])
 		if !ok {
-			return 0, errAt(x.P.Line, "Math.%s on %s", x.Name, valueType(args[0]))
+			return 0, errAt(line, "Math.%s on %s", name, valueType(args[0]))
 		}
 		return v, nil
 	}
-	switch x.Name {
+	switch name {
 	case "abs":
 		if err := need(1); err != nil {
 			return nil, err
@@ -244,14 +285,14 @@ func (m *machine) evalMath(x *ast.Call, f *frame) (Value, error) {
 		li, lok := args[0].(int64)
 		ri, rok := args[1].(int64)
 		if lok && rok {
-			if (x.Name == "max") == (li > ri) {
+			if (name == "max") == (li > ri) {
 				return li, nil
 			}
 			return ri, nil
 		}
 		lf, _ := AsFloat(args[0])
 		rf, _ := AsFloat(args[1])
-		if x.Name == "max" {
+		if name == "max" {
 			return math.Max(lf, rf), nil
 		}
 		return math.Min(lf, rf), nil
@@ -314,54 +355,46 @@ func (m *machine) evalMath(x *ast.Call, f *frame) (Value, error) {
 		// Deterministic for reproducible grading.
 		return 0.5, nil
 	}
-	return nil, errAt(x.P.Line, "unsupported Math.%s", x.Name)
+	return nil, errAt(line, "unsupported Math.%s", name)
 }
 
-func (m *machine) evalIntegerStatic(x *ast.Call, f *frame) (Value, error) {
-	args, err := m.evalArgs(x.Args, f)
-	if err != nil {
-		return nil, err
-	}
-	switch x.Name {
+func integerStaticCall(name string, args []Value, line int) (Value, error) {
+	switch name {
 	case "parseInt", "parseLong", "valueOf":
 		if len(args) != 1 {
-			return nil, errAt(x.P.Line, "%s expects 1 argument", x.Name)
+			return nil, errAt(line, "%s expects 1 argument", name)
 		}
 		switch v := args[0].(type) {
 		case string:
 			n, err := strconv.ParseInt(strings.TrimSpace(v), 10, 64)
 			if err != nil {
-				return nil, errAt(x.P.Line, "NumberFormatException: %q", v)
+				return nil, errAt(line, "NumberFormatException: %q", v)
 			}
 			return n, nil
 		case int64:
 			return v, nil
 		}
-		return nil, errAt(x.P.Line, "%s on %s", x.Name, valueType(args[0]))
+		return nil, errAt(line, "%s on %s", name, valueType(args[0]))
 	case "toString":
 		if len(args) != 1 {
-			return nil, errAt(x.P.Line, "toString expects 1 argument")
+			return nil, errAt(line, "toString expects 1 argument")
 		}
 		return Format(args[0]), nil
 	}
-	return nil, errAt(x.P.Line, "unsupported Integer.%s", x.Name)
+	return nil, errAt(line, "unsupported Integer.%s", name)
 }
 
-func (m *machine) evalDoubleStatic(x *ast.Call, f *frame) (Value, error) {
-	args, err := m.evalArgs(x.Args, f)
-	if err != nil {
-		return nil, err
-	}
-	switch x.Name {
+func doubleStaticCall(name string, args []Value, line int) (Value, error) {
+	switch name {
 	case "parseDouble", "valueOf":
 		if len(args) != 1 {
-			return nil, errAt(x.P.Line, "%s expects 1 argument", x.Name)
+			return nil, errAt(line, "%s expects 1 argument", name)
 		}
 		switch v := args[0].(type) {
 		case string:
 			d, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
 			if err != nil {
-				return nil, errAt(x.P.Line, "NumberFormatException: %q", v)
+				return nil, errAt(line, "NumberFormatException: %q", v)
 			}
 			return d, nil
 		default:
@@ -374,49 +407,40 @@ func (m *machine) evalDoubleStatic(x *ast.Call, f *frame) (Value, error) {
 			return Format(args[0]), nil
 		}
 	}
-	return nil, errAt(x.P.Line, "unsupported Double.%s", x.Name)
+	return nil, errAt(line, "unsupported Double.%s", name)
 }
 
-func (m *machine) evalStringStatic(x *ast.Call, f *frame) (Value, error) {
-	args, err := m.evalArgs(x.Args, f)
-	if err != nil {
-		return nil, err
-	}
-	switch x.Name {
+func stringStaticCall(name string, args []Value, line int) (Value, error) {
+	switch name {
 	case "valueOf":
 		if len(args) == 1 {
 			return Format(args[0]), nil
 		}
 	case "format":
 		if len(args) >= 1 {
-			format, ok := args[0].(string)
-			if !ok {
-				return nil, errAt(x.P.Line, "String.format needs a format string")
+			if _, ok := args[0].(string); !ok {
+				return nil, errAt(line, "String.format needs a format string")
 			}
-			s, err := javaPrintf(format, args[1:])
+			s, err := javaPrintf(args[0].(string), args[1:])
 			if err != nil {
-				return nil, errAt(x.P.Line, "%v", err)
+				return nil, errAt(line, "%v", err)
 			}
 			return s, nil
 		}
 	}
-	return nil, errAt(x.P.Line, "unsupported String.%s", x.Name)
+	return nil, errAt(line, "unsupported String.%s", name)
 }
 
-func (m *machine) evalCharacterStatic(x *ast.Call, f *frame) (Value, error) {
-	args, err := m.evalArgs(x.Args, f)
-	if err != nil {
-		return nil, err
-	}
+func characterStaticCall(name string, args []Value, line int) (Value, error) {
 	if len(args) != 1 {
-		return nil, errAt(x.P.Line, "Character.%s expects 1 argument", x.Name)
+		return nil, errAt(line, "Character.%s expects 1 argument", name)
 	}
 	c, ok := AsInt(args[0])
 	if !ok {
-		return nil, errAt(x.P.Line, "Character.%s on %s", x.Name, valueType(args[0]))
+		return nil, errAt(line, "Character.%s on %s", name, valueType(args[0]))
 	}
 	r := rune(c)
-	switch x.Name {
+	switch name {
 	case "isDigit":
 		return r >= '0' && r <= '9', nil
 	case "isLetter":
@@ -433,15 +457,11 @@ func (m *machine) evalCharacterStatic(x *ast.Call, f *frame) (Value, error) {
 		}
 		return int64(-1), nil
 	}
-	return nil, errAt(x.P.Line, "unsupported Character.%s", x.Name)
+	return nil, errAt(line, "unsupported Character.%s", name)
 }
 
-func (m *machine) evalArraysStatic(x *ast.Call, f *frame) (Value, error) {
-	args, err := m.evalArgs(x.Args, f)
-	if err != nil {
-		return nil, err
-	}
-	switch x.Name {
+func arraysStaticCall(name string, args []Value, line int) (Value, error) {
+	switch name {
 	case "toString":
 		if len(args) == 1 {
 			arr, ok := args[0].(*Array)
@@ -458,13 +478,13 @@ func (m *machine) evalArraysStatic(x *ast.Call, f *frame) (Value, error) {
 		if len(args) == 1 {
 			arr, ok := args[0].(*Array)
 			if !ok || arr == nil {
-				return nil, errAt(x.P.Line, "Arrays.sort on %s", valueType(args[0]))
+				return nil, errAt(line, "Arrays.sort on %s", valueType(args[0]))
 			}
 			sortArray(arr)
 			return nil, nil
 		}
 	}
-	return nil, errAt(x.P.Line, "unsupported Arrays.%s", x.Name)
+	return nil, errAt(line, "unsupported Arrays.%s", name)
 }
 
 func sortArray(arr *Array) {
@@ -481,14 +501,16 @@ func sortArray(arr *Array) {
 	}
 }
 
-func (m *machine) evalScannerMethod(s *Scanner, x *ast.Call, f *frame) (Value, error) {
-	if s.closed && x.Name != "close" {
-		return nil, errAt(x.P.Line, "IllegalStateException: Scanner closed")
+// scannerCall dispatches a Scanner instance method. Scanner methods never
+// evaluate call arguments (none of the supported ones take any).
+func scannerCall(s *Scanner, name string, line int) (Value, error) {
+	if s.closed && name != "close" {
+		return nil, errAt(line, "IllegalStateException: Scanner closed")
 	}
 	fail := func() error {
-		return errAt(x.P.Line, "NoSuchElementException: Scanner.%s", x.Name)
+		return errAt(line, "NoSuchElementException: Scanner.%s", name)
 	}
-	switch x.Name {
+	switch name {
 	case "next":
 		tok, ok := s.Next()
 		if !ok {
@@ -525,21 +547,17 @@ func (m *machine) evalScannerMethod(s *Scanner, x *ast.Call, f *frame) (Value, e
 		s.Close()
 		return nil, nil
 	}
-	return nil, errAt(x.P.Line, "unsupported Scanner.%s", x.Name)
+	return nil, errAt(line, "unsupported Scanner.%s", name)
 }
 
-func (m *machine) evalStringMethod(s string, x *ast.Call, f *frame) (Value, error) {
-	args, err := m.evalArgs(x.Args, f)
-	if err != nil {
-		return nil, err
-	}
+func stringCall(s string, name string, args []Value, line int) (Value, error) {
 	need := func(n int) error {
 		if len(args) != n {
-			return errAt(x.P.Line, "String.%s expects %d arguments", x.Name, n)
+			return errAt(line, "String.%s expects %d arguments", name, n)
 		}
 		return nil
 	}
-	switch x.Name {
+	switch name {
 	case "length":
 		if err := need(0); err != nil {
 			return nil, err
@@ -553,7 +571,7 @@ func (m *machine) evalStringMethod(s string, x *ast.Call, f *frame) (Value, erro
 		}
 		i, ok := AsInt(args[0])
 		if !ok || i < 0 || int(i) >= len(s) {
-			return nil, errAt(x.P.Line, "StringIndexOutOfBoundsException: %v", args[0])
+			return nil, errAt(line, "StringIndexOutOfBoundsException: %v", args[0])
 		}
 		return Char(s[i]), nil
 	case "equals":
@@ -597,14 +615,14 @@ func (m *machine) evalStringMethod(s string, x *ast.Call, f *frame) (Value, erro
 		case 1:
 			i, _ := AsInt(args[0])
 			if i < 0 || int(i) > len(s) {
-				return nil, errAt(x.P.Line, "StringIndexOutOfBoundsException: %d", i)
+				return nil, errAt(line, "StringIndexOutOfBoundsException: %d", i)
 			}
 			return s[i:], nil
 		case 2:
 			i, _ := AsInt(args[0])
 			j, _ := AsInt(args[1])
 			if i < 0 || j < i || int(j) > len(s) {
-				return nil, errAt(x.P.Line, "StringIndexOutOfBoundsException: %d..%d", i, j)
+				return nil, errAt(line, "StringIndexOutOfBoundsException: %d..%d", i, j)
 			}
 			return s[i:j], nil
 		}
@@ -663,7 +681,7 @@ func (m *machine) evalStringMethod(s string, x *ast.Call, f *frame) (Value, erro
 		to := Format(args[1])
 		return strings.ReplaceAll(s, from, to), nil
 	}
-	return nil, errAt(x.P.Line, "unsupported String.%s", x.Name)
+	return nil, errAt(line, "unsupported String.%s", name)
 }
 
 // evalField handles array .length, Integer/Double constants, Math constants
@@ -671,63 +689,104 @@ func (m *machine) evalStringMethod(s string, x *ast.Call, f *frame) (Value, erro
 func (m *machine) evalField(x *ast.FieldAccess, f *frame) (Value, error) {
 	if root, ok := x.X.(*ast.Ident); ok {
 		if _, isVar := f.lookup(root.Name); !isVar {
-			switch root.Name {
-			case "Integer":
-				switch x.Name {
-				case "MAX_VALUE":
-					return int64(math.MaxInt32), nil
-				case "MIN_VALUE":
-					return int64(math.MinInt32), nil
-				}
-			case "Long":
-				switch x.Name {
-				case "MAX_VALUE":
-					return int64(math.MaxInt64), nil
-				case "MIN_VALUE":
-					return int64(math.MinInt64), nil
-				}
-			case "Double":
-				switch x.Name {
-				case "MAX_VALUE":
-					return math.MaxFloat64, nil
-				case "MIN_VALUE":
-					return math.SmallestNonzeroFloat64, nil
-				}
-			case "Math":
-				switch x.Name {
-				case "PI":
-					return math.Pi, nil
-				case "E":
-					return math.E, nil
-				}
-			case "System":
-				if x.Name == "in" {
-					return &FileRef{Name: stdinMarker}, nil
-				}
-			}
-			return nil, errAt(x.P.Line, "cannot resolve %s.%s", root.Name, x.Name)
+			return staticFieldValue(root.Name, x.Name, x.P.Line)
 		}
 	}
 	v, err := m.eval(x.X, f)
 	if err != nil {
 		return nil, err
 	}
+	return fieldOn(v, x.Name, x.P.Line)
+}
+
+// staticFieldValue resolves Class.FIELD constants: Integer/Long/Double
+// MIN/MAX, Math.PI/E and System.in (a fresh marker FileRef per access, so
+// reference identity matches the tree-walk evaluator).
+func staticFieldValue(class, field string, line int) (Value, error) {
+	switch class {
+	case "Integer":
+		switch field {
+		case "MAX_VALUE":
+			return int64(math.MaxInt32), nil
+		case "MIN_VALUE":
+			return int64(math.MinInt32), nil
+		}
+	case "Long":
+		switch field {
+		case "MAX_VALUE":
+			return int64(math.MaxInt64), nil
+		case "MIN_VALUE":
+			return int64(math.MinInt64), nil
+		}
+	case "Double":
+		switch field {
+		case "MAX_VALUE":
+			return math.MaxFloat64, nil
+		case "MIN_VALUE":
+			return math.SmallestNonzeroFloat64, nil
+		}
+	case "Math":
+		switch field {
+		case "PI":
+			return math.Pi, nil
+		case "E":
+			return math.E, nil
+		}
+	case "System":
+		if field == "in" {
+			return &FileRef{Name: stdinMarker}, nil
+		}
+	}
+	return nil, errAt(line, "cannot resolve %s.%s", class, field)
+}
+
+// fieldOn resolves a field access on a runtime value (array .length, null
+// dereference), shared by both engines.
+func fieldOn(v Value, name string, line int) (Value, error) {
 	switch r := v.(type) {
 	case *Array:
-		if x.Name == "length" {
+		if name == "length" {
 			if r == nil {
-				return nil, errAt(x.P.Line, "NullPointerException: .length on null array")
+				return nil, errAt(line, "NullPointerException: .length on null array")
 			}
 			return int64(len(r.Elems)), nil
 		}
 	case nil:
-		return nil, errAt(x.P.Line, "NullPointerException: .%s on null", x.Name)
+		return nil, errAt(line, "NullPointerException: .%s on null", name)
 	}
-	return nil, errAt(x.P.Line, "cannot resolve field %s on %s", x.Name, valueType(v))
+	return nil, errAt(line, "cannot resolve field %s on %s", name, valueType(v))
 }
 
 // stdinMarker is the virtual file name that new Scanner(System.in) reads.
 const stdinMarker = "\x00stdin"
+
+// scannerFromValue constructs a Scanner over its single constructor
+// argument: System.in marker, virtual file or literal string.
+func scannerFromValue(v Value, line int, stdin string, files map[string]string) (Value, error) {
+	switch src := v.(type) {
+	case *FileRef:
+		if src.Name == stdinMarker {
+			return NewScanner(stdin), nil
+		}
+		content, ok := files[src.Name]
+		if !ok {
+			return nil, errAt(line, "FileNotFoundException: %s", src.Name)
+		}
+		return NewScanner(content), nil
+	case string:
+		return NewScanner(src), nil
+	}
+	return nil, errAt(line, "new Scanner on %s", valueType(v))
+}
+
+// fileFromValue constructs the FileRef for new File(name).
+func fileFromValue(v Value, line int) (Value, error) {
+	name, ok := v.(string)
+	if !ok {
+		return nil, errAt(line, "new File on %s", valueType(v))
+	}
+	return &FileRef{Name: name}, nil
+}
 
 func (m *machine) evalNewObject(x *ast.NewObject, f *frame) (Value, error) {
 	switch x.Class {
@@ -739,20 +798,7 @@ func (m *machine) evalNewObject(x *ast.NewObject, f *frame) (Value, error) {
 		if err != nil {
 			return nil, err
 		}
-		switch src := v.(type) {
-		case *FileRef:
-			if src.Name == stdinMarker {
-				return NewScanner(m.cfg.Stdin), nil
-			}
-			content, ok := m.cfg.Files[src.Name]
-			if !ok {
-				return nil, errAt(x.P.Line, "FileNotFoundException: %s", src.Name)
-			}
-			return NewScanner(content), nil
-		case string:
-			return NewScanner(src), nil
-		}
-		return nil, errAt(x.P.Line, "new Scanner on %s", valueType(v))
+		return scannerFromValue(v, x.P.Line, m.cfg.Stdin, m.cfg.Files)
 	case "File", "java.io.File":
 		if len(x.Args) != 1 {
 			return nil, errAt(x.P.Line, "new File expects 1 argument")
@@ -761,11 +807,7 @@ func (m *machine) evalNewObject(x *ast.NewObject, f *frame) (Value, error) {
 		if err != nil {
 			return nil, err
 		}
-		name, ok := v.(string)
-		if !ok {
-			return nil, errAt(x.P.Line, "new File on %s", valueType(v))
-		}
-		return &FileRef{Name: name}, nil
+		return fileFromValue(v, x.P.Line)
 	case "String":
 		if len(x.Args) == 0 {
 			return "", nil

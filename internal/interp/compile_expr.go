@@ -1,0 +1,894 @@
+package interp
+
+import (
+	"semfeed/internal/java/ast"
+	"semfeed/internal/java/token"
+)
+
+// This file lowers expressions to exprFn closures and assignment targets to
+// storeFn closures. Every closure charges one step for its own AST node
+// before doing work — the position machine.eval charges from — and dispatches
+// into the same pure helpers (binaryOp, mathCall, stringCall, ...) the
+// tree-walker uses, so values and error strings agree by construction.
+
+// boolFn evaluates an expression that must yield a boolean (conditions and
+// short-circuit operands).
+type boolFn func(*vm, *cframe) (bool, error)
+
+// errExpr is a compile-time-known failure: it still charges the node's step
+// before erroring, like the tree-walker reaching the same node.
+func errExpr(line int, format string, args ...any) exprFn {
+	err := errAt(line, format, args...)
+	return func(v *vm, fr *cframe) (Value, error) {
+		if serr := v.step(line); serr != nil {
+			return nil, serr
+		}
+		return nil, err
+	}
+}
+
+func (c *compiler) exprList(exprs []ast.Expr) []exprFn {
+	fns := make([]exprFn, len(exprs))
+	for i, e := range exprs {
+		fns[i] = c.expr(e)
+	}
+	return fns
+}
+
+func evalAll(v *vm, fr *cframe, fns []exprFn) ([]Value, error) {
+	args := make([]Value, len(fns))
+	for i, fn := range fns {
+		val, err := fn(v, fr)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = val
+	}
+	return args, nil
+}
+
+// boolExpr wraps an expression with the boolean check evalBool performs,
+// erroring at the expression's own line.
+func (c *compiler) boolExpr(e ast.Expr) boolFn {
+	fn := c.expr(e)
+	line := e.Pos().Line
+	return func(v *vm, fr *cframe) (bool, error) {
+		val, err := fn(v, fr)
+		if err != nil {
+			return false, err
+		}
+		b, ok := val.(bool)
+		if !ok {
+			return false, errAt(line, "condition is %s, not boolean", valueType(val))
+		}
+		return b, nil
+	}
+}
+
+// fuseOp is a fused operand: an identifier resolved to exactly one local
+// slot, or a constant literal. The hot interpreter loops are built almost
+// entirely from these (i <= n, s += i, i++), so the binary/compound/inc-dec
+// closures evaluate them inline instead of calling a child closure per
+// operand. Step charges, undef checks and error text match the generic path
+// exactly — fusion changes dispatch, not semantics.
+type fuseOp struct {
+	slot int   // -1: constant literal
+	val  Value // literal value when slot < 0
+	name string
+	line int
+}
+
+func (c *compiler) fuseOperand(e ast.Expr) (fuseOp, bool) {
+	switch x := e.(type) {
+	case *ast.Ident:
+		ref := c.resolve(x.Name)
+		if len(ref.slots) == 1 && ref.global < 0 {
+			return fuseOp{slot: ref.slots[0], name: x.Name, line: x.P.Line}, true
+		}
+	case *ast.Literal:
+		if val, err := evalLiteral(x); err == nil {
+			return fuseOp{slot: -1, val: val, line: x.P.Line}, true
+		}
+	}
+	return fuseOp{}, false
+}
+
+func (o *fuseOp) eval(v *vm, fr *cframe) (Value, error) {
+	if err := v.step(o.line); err != nil {
+		return nil, err
+	}
+	if o.slot < 0 {
+		return o.val, nil
+	}
+	if val := fr.slots[o.slot]; val != undef {
+		return val, nil
+	}
+	return nil, errAt(o.line, "cannot resolve variable %s", o.name)
+}
+
+func (c *compiler) expr(e ast.Expr) exprFn {
+	line := e.Pos().Line
+	switch x := e.(type) {
+	case *ast.Literal:
+		val, err := evalLiteral(x)
+		if err != nil {
+			lerr := err
+			return func(v *vm, fr *cframe) (Value, error) {
+				if serr := v.step(line); serr != nil {
+					return nil, serr
+				}
+				return nil, lerr
+			}
+		}
+		return func(v *vm, fr *cframe) (Value, error) {
+			if err := v.step(line); err != nil {
+				return nil, err
+			}
+			return val, nil
+		}
+
+	case *ast.Ident:
+		ref := c.resolve(x.Name)
+		name := x.Name
+		if len(ref.slots) == 1 && ref.global < 0 {
+			slot := ref.slots[0]
+			return func(v *vm, fr *cframe) (Value, error) {
+				if err := v.step(line); err != nil {
+					return nil, err
+				}
+				if val := fr.slots[slot]; val != undef {
+					return val, nil
+				}
+				return nil, errAt(line, "cannot resolve variable %s", name)
+			}
+		}
+		return func(v *vm, fr *cframe) (Value, error) {
+			if err := v.step(line); err != nil {
+				return nil, err
+			}
+			if val, ok := ref.read(v, fr); ok {
+				return val, nil
+			}
+			return nil, errAt(line, "cannot resolve variable %s", name)
+		}
+
+	case *ast.Paren:
+		inner := c.expr(x.X)
+		return func(v *vm, fr *cframe) (Value, error) {
+			if err := v.step(line); err != nil {
+				return nil, err
+			}
+			return inner(v, fr)
+		}
+
+	case *ast.Binary:
+		switch x.Op {
+		case token.LAND:
+			lf := c.boolExpr(x.L)
+			rf := c.boolExpr(x.R)
+			return func(v *vm, fr *cframe) (Value, error) {
+				if err := v.step(line); err != nil {
+					return nil, err
+				}
+				l, err := lf(v, fr)
+				if err != nil || !l {
+					return false, err
+				}
+				r, err := rf(v, fr)
+				return r, err
+			}
+		case token.LOR:
+			lf := c.boolExpr(x.L)
+			rf := c.boolExpr(x.R)
+			return func(v *vm, fr *cframe) (Value, error) {
+				if err := v.step(line); err != nil {
+					return nil, err
+				}
+				l, err := lf(v, fr)
+				if err != nil || l {
+					return l, err
+				}
+				r, err := rf(v, fr)
+				return r, err
+			}
+		}
+		op := x.Op
+		if lo, lok := c.fuseOperand(x.L); lok {
+			if ro, rok := c.fuseOperand(x.R); rok {
+				return func(v *vm, fr *cframe) (Value, error) {
+					if err := v.step(line); err != nil {
+						return nil, err
+					}
+					l, err := lo.eval(v, fr)
+					if err != nil {
+						return nil, err
+					}
+					r, err := ro.eval(v, fr)
+					if err != nil {
+						return nil, err
+					}
+					return binaryOp(op, l, r, line)
+				}
+			}
+		}
+		lf := c.expr(x.L)
+		rf := c.expr(x.R)
+		return func(v *vm, fr *cframe) (Value, error) {
+			if err := v.step(line); err != nil {
+				return nil, err
+			}
+			l, err := lf(v, fr)
+			if err != nil {
+				return nil, err
+			}
+			r, err := rf(v, fr)
+			if err != nil {
+				return nil, err
+			}
+			return binaryOp(op, l, r, line)
+		}
+
+	case *ast.Unary:
+		if x.Op == token.INC || x.Op == token.DEC {
+			delta := int64(1)
+			if x.Op == token.DEC {
+				delta = -1
+			}
+			op := x.Op
+			postfix := x.Postfix
+			if o, ok := c.fuseOperand(x.X); ok && o.slot >= 0 {
+				mname := c.fn.name
+				return func(v *vm, fr *cframe) (Value, error) {
+					if err := v.step(line); err != nil {
+						return nil, err
+					}
+					old, err := o.eval(v, fr)
+					if err != nil {
+						return nil, err
+					}
+					nv, err := incDecValue(op, old, delta, line)
+					if err != nil {
+						return nil, err
+					}
+					fr.slots[o.slot] = nv
+					if v.tracer != nil {
+						v.tracer.OnAssign(mname, o.line, o.name, nv)
+					}
+					if postfix {
+						return old, nil
+					}
+					return nv, nil
+				}
+			}
+			rd := c.expr(x.X)
+			st := c.lvalue(x.X)
+			return func(v *vm, fr *cframe) (Value, error) {
+				if err := v.step(line); err != nil {
+					return nil, err
+				}
+				old, err := rd(v, fr)
+				if err != nil {
+					return nil, err
+				}
+				nv, err := incDecValue(op, old, delta, line)
+				if err != nil {
+					return nil, err
+				}
+				if err := st(v, fr, nv); err != nil {
+					return nil, err
+				}
+				if postfix {
+					return old, nil
+				}
+				return nv, nil
+			}
+		}
+		xf := c.expr(x.X)
+		op := x.Op
+		return func(v *vm, fr *cframe) (Value, error) {
+			if err := v.step(line); err != nil {
+				return nil, err
+			}
+			val, err := xf(v, fr)
+			if err != nil {
+				return nil, err
+			}
+			return unaryOp(op, val, line)
+		}
+
+	case *ast.Assign:
+		var vf exprFn
+		if lit, ok := x.Value.(*ast.ArrayLit); ok {
+			vf = c.arrayLit(lit, "int", false)
+		} else {
+			vf = c.expr(x.Value)
+		}
+		st := c.lvalue(x.Target)
+		if x.Op == token.ASSIGN {
+			return func(v *vm, fr *cframe) (Value, error) {
+				if err := v.step(line); err != nil {
+					return nil, err
+				}
+				val, err := vf(v, fr)
+				if err != nil {
+					return nil, err
+				}
+				if err := st(v, fr, val); err != nil {
+					return nil, err
+				}
+				return val, nil
+			}
+		}
+		tf := c.expr(x.Target)
+		binOp, ok := compoundOp(x.Op)
+		if !ok {
+			// The tree-walker evaluates both sides before rejecting the
+			// operator; preserve that (side effects and step parity).
+			op := x.Op
+			return func(v *vm, fr *cframe) (Value, error) {
+				if err := v.step(line); err != nil {
+					return nil, err
+				}
+				if _, err := vf(v, fr); err != nil {
+					return nil, err
+				}
+				if _, err := tf(v, fr); err != nil {
+					return nil, err
+				}
+				return nil, errAt(line, "unsupported compound assignment %s", op)
+			}
+		}
+		if to, tok := c.fuseOperand(x.Target); tok && to.slot >= 0 {
+			if vo, vok := c.fuseOperand(x.Value); vok {
+				mname := c.fn.name
+				return func(v *vm, fr *cframe) (Value, error) {
+					if err := v.step(line); err != nil {
+						return nil, err
+					}
+					val, err := vo.eval(v, fr)
+					if err != nil {
+						return nil, err
+					}
+					old, err := to.eval(v, fr)
+					if err != nil {
+						return nil, err
+					}
+					val, err = binaryOp(binOp, old, val, line)
+					if err != nil {
+						return nil, err
+					}
+					val = narrowCompound(old, val)
+					fr.slots[to.slot] = val
+					if v.tracer != nil {
+						v.tracer.OnAssign(mname, to.line, to.name, val)
+					}
+					return val, nil
+				}
+			}
+		}
+		return func(v *vm, fr *cframe) (Value, error) {
+			if err := v.step(line); err != nil {
+				return nil, err
+			}
+			val, err := vf(v, fr)
+			if err != nil {
+				return nil, err
+			}
+			old, err := tf(v, fr)
+			if err != nil {
+				return nil, err
+			}
+			val, err = binaryOp(binOp, old, val, line)
+			if err != nil {
+				return nil, err
+			}
+			val = narrowCompound(old, val)
+			if err := st(v, fr, val); err != nil {
+				return nil, err
+			}
+			return val, nil
+		}
+
+	case *ast.Ternary:
+		cf := c.boolExpr(x.Cond)
+		tf := c.expr(x.Then)
+		ef := c.expr(x.Else)
+		return func(v *vm, fr *cframe) (Value, error) {
+			if err := v.step(line); err != nil {
+				return nil, err
+			}
+			b, err := cf(v, fr)
+			if err != nil {
+				return nil, err
+			}
+			if b {
+				return tf(v, fr)
+			}
+			return ef(v, fr)
+		}
+
+	case *ast.Call:
+		return c.call(x)
+
+	case *ast.FieldAccess:
+		return c.fieldAccess(x)
+
+	case *ast.Index:
+		xf := c.expr(x.X)
+		idxf := c.expr(x.Idx)
+		idxLine := x.Idx.Pos().Line
+		return func(v *vm, fr *cframe) (Value, error) {
+			if err := v.step(line); err != nil {
+				return nil, err
+			}
+			arrv, err := xf(v, fr)
+			if err != nil {
+				return nil, err
+			}
+			arr, ok := arrv.(*Array)
+			if !ok || arr == nil {
+				return nil, errAt(line, "array access on %s", valueType(arrv))
+			}
+			iv, err := idxf(v, fr)
+			if err != nil {
+				return nil, err
+			}
+			i, err := checkIndex(iv, len(arr.Elems), idxLine)
+			if err != nil {
+				return nil, err
+			}
+			return arr.Elems[i], nil
+		}
+
+	case *ast.NewArray:
+		if x.Init != nil {
+			// new T[]{...}: the literal's node line is the new-expression's,
+			// and its single step is the one this node would charge.
+			return c.arrayLit(&ast.ArrayLit{Elems: x.Init, P: x.P}, x.Elem.Name, true)
+		}
+		if len(x.Dims) == 0 {
+			return errExpr(line, "new array without dimensions")
+		}
+		dims := c.exprList(x.Dims)
+		elem := x.Elem.Name
+		return func(v *vm, fr *cframe) (Value, error) {
+			if err := v.step(line); err != nil {
+				return nil, err
+			}
+			sizes := make([]int, len(dims))
+			for i, df := range dims {
+				dv, err := df(v, fr)
+				if err != nil {
+					return nil, err
+				}
+				n, err := checkArrayDim(dv, line)
+				if err != nil {
+					return nil, err
+				}
+				sizes[i] = n
+			}
+			return buildArray(elem, sizes, 0), nil
+		}
+
+	case *ast.ArrayLit:
+		return c.arrayLit(x, "int", true)
+
+	case *ast.NewObject:
+		return c.newObject(x)
+
+	case *ast.Cast:
+		xf := c.expr(x.X)
+		to := x.To
+		return func(v *vm, fr *cframe) (Value, error) {
+			if err := v.step(line); err != nil {
+				return nil, err
+			}
+			val, err := xf(v, fr)
+			if err != nil {
+				return nil, err
+			}
+			return castValue(val, to, line)
+		}
+
+	case *ast.InstanceOf:
+		xf := c.expr(x.X)
+		return func(v *vm, fr *cframe) (Value, error) {
+			if err := v.step(line); err != nil {
+				return nil, err
+			}
+			val, err := xf(v, fr)
+			if err != nil {
+				return nil, err
+			}
+			return val != nil, nil
+		}
+	}
+	return errExpr(line, "unsupported expression %T", e)
+}
+
+// arrayLit compiles an array literal. selfStep reproduces the tree-walker's
+// asymmetry: a literal reached through generic eval charges a step for its
+// own node, but one consumed directly by a declaration initializer or
+// assignment value (evalArrayLit called without eval) does not. Nested
+// literals never self-step.
+func (c *compiler) arrayLit(lit *ast.ArrayLit, elem string, selfStep bool) exprFn {
+	line := lit.P.Line
+	els := make([]exprFn, len(lit.Elems))
+	for i, el := range lit.Elems {
+		if inner, ok := el.(*ast.ArrayLit); ok {
+			els[i] = c.arrayLit(inner, elem, false)
+		} else {
+			els[i] = c.expr(el)
+		}
+	}
+	return func(v *vm, fr *cframe) (Value, error) {
+		if selfStep {
+			if err := v.step(line); err != nil {
+				return nil, err
+			}
+		}
+		arr := &Array{Elem: elem, Elems: make([]Value, len(els))}
+		for i, ef := range els {
+			val, err := ef(v, fr)
+			if err != nil {
+				return nil, err
+			}
+			arr.Elems[i] = coerceElem(val, elem)
+		}
+		return arr, nil
+	}
+}
+
+// lvalue compiles an assignment target to a store closure.
+func (c *compiler) lvalue(target ast.Expr) storeFn {
+	switch t := target.(type) {
+	case *ast.Paren:
+		return c.lvalue(t.X)
+
+	case *ast.Ident:
+		ref := c.resolve(t.Name)
+		name := t.Name
+		line := t.P.Line
+		mname := c.fn.name
+		return func(v *vm, fr *cframe, val Value) error {
+			for _, s := range ref.slots {
+				if fr.slots[s] != undef {
+					fr.slots[s] = val
+					if v.tracer != nil {
+						v.tracer.OnAssign(mname, line, name, val)
+					}
+					return nil
+				}
+			}
+			if ref.global >= 0 && v.globals[ref.global] != undef {
+				v.globals[ref.global] = val
+				if v.tracer != nil {
+					v.tracer.OnAssign(mname, line, name, val)
+				}
+				return nil
+			}
+			return errAt(line, "cannot resolve variable %s", name)
+		}
+
+	case *ast.Index:
+		xf := c.expr(t.X)
+		idxf := c.expr(t.Idx)
+		line := t.P.Line
+		idxLine := t.Idx.Pos().Line
+		var rootName string
+		if root, ok := t.X.(*ast.Ident); ok {
+			rootName = root.Name
+		}
+		mname := c.fn.name
+		return func(v *vm, fr *cframe, val Value) error {
+			arrv, err := xf(v, fr)
+			if err != nil {
+				return err
+			}
+			arr, ok := arrv.(*Array)
+			if !ok || arr == nil {
+				return errAt(line, "array store on %s", valueType(arrv))
+			}
+			iv, err := idxf(v, fr)
+			if err != nil {
+				return err
+			}
+			i, err := checkIndex(iv, len(arr.Elems), idxLine)
+			if err != nil {
+				return err
+			}
+			arr.Elems[i] = coerceElem(val, arr.Elem)
+			if rootName != "" && v.tracer != nil {
+				v.tracer.OnAssign(mname, line, rootName, arr)
+			}
+			return nil
+		}
+	}
+	line := target.Pos().Line
+	err := errAt(line, "invalid assignment target %T", target)
+	return func(v *vm, fr *cframe, val Value) error { return err }
+}
+
+// call compiles a method invocation, preserving the tree-walker's dispatch
+// order: print family by syntax, known static classes, unqualified user
+// methods (resolved at compile time against the program's method table),
+// then instance dispatch on the receiver's runtime type.
+func (c *compiler) call(x *ast.Call) exprFn {
+	line := x.P.Line
+	if fa, ok := x.Recv.(*ast.FieldAccess); ok {
+		if root, ok2 := fa.X.(*ast.Ident); ok2 && root.Name == "System" && (fa.Name == "out" || fa.Name == "err") {
+			return c.printCall(x)
+		}
+	}
+	if recv, ok := x.Recv.(*ast.Ident); ok {
+		var dispatch func(string, []Value, int) (Value, error)
+		switch recv.Name {
+		case "Math":
+			dispatch = mathCall
+		case "Integer", "Long":
+			dispatch = integerStaticCall
+		case "Double":
+			dispatch = doubleStaticCall
+		case "String":
+			dispatch = stringStaticCall
+		case "Character":
+			dispatch = characterStaticCall
+		case "Arrays":
+			dispatch = arraysStaticCall
+		case "System":
+			if x.Name == "exit" {
+				return errExpr(line, "System.exit called")
+			}
+		}
+		if dispatch != nil {
+			argFns := c.exprList(x.Args)
+			name := x.Name
+			return func(v *vm, fr *cframe) (Value, error) {
+				if err := v.step(line); err != nil {
+					return nil, err
+				}
+				args, err := evalAll(v, fr, argFns)
+				if err != nil {
+					return nil, err
+				}
+				return dispatch(name, args, line)
+			}
+		}
+	}
+	if x.Recv == nil {
+		// Method shells are registered before any body compiles, so
+		// resolution at compile time sees every method the tree-walker would.
+		fn, ok := c.p.methods[x.Name]
+		if !ok {
+			return errExpr(line, "cannot resolve method %s", x.Name)
+		}
+		argFns := c.exprList(x.Args)
+		return func(v *vm, fr *cframe) (Value, error) {
+			if err := v.step(line); err != nil {
+				return nil, err
+			}
+			args, err := evalAll(v, fr, argFns)
+			if err != nil {
+				return nil, err
+			}
+			return v.invoke(fn, args)
+		}
+	}
+	recvFn := c.expr(x.Recv)
+	argFns := c.exprList(x.Args)
+	name := x.Name
+	return func(v *vm, fr *cframe) (Value, error) {
+		if err := v.step(line); err != nil {
+			return nil, err
+		}
+		r, err := recvFn(v, fr)
+		if err != nil {
+			return nil, err
+		}
+		switch rv := r.(type) {
+		case *Scanner:
+			// Scanner methods never evaluate call arguments.
+			return scannerCall(rv, name, line)
+		case string:
+			args, err := evalAll(v, fr, argFns)
+			if err != nil {
+				return nil, err
+			}
+			return stringCall(rv, name, args, line)
+		case *Array:
+			return nil, errAt(line, "arrays have no method %s", name)
+		case nil:
+			return nil, errAt(line, "NullPointerException: calling %s on null", name)
+		}
+		return nil, errAt(line, "cannot call %s on %s", name, valueType(r))
+	}
+}
+
+// printCall compiles the System.out/System.err print family. Arity errors
+// fire before any argument evaluates, like evalPrint.
+func (c *compiler) printCall(x *ast.Call) exprFn {
+	line := x.P.Line
+	switch x.Name {
+	case "print", "println":
+		if len(x.Args) > 1 {
+			return errExpr(line, "%s takes at most one argument", x.Name)
+		}
+		newline := x.Name == "println"
+		if len(x.Args) == 0 {
+			return func(v *vm, fr *cframe) (Value, error) {
+				if err := v.step(line); err != nil {
+					return nil, err
+				}
+				if newline {
+					v.out.WriteByte('\n')
+				}
+				return nil, nil
+			}
+		}
+		af := c.expr(x.Args[0])
+		return func(v *vm, fr *cframe) (Value, error) {
+			if err := v.step(line); err != nil {
+				return nil, err
+			}
+			val, err := af(v, fr)
+			if err != nil {
+				return nil, err
+			}
+			v.out.WriteString(Format(val))
+			if newline {
+				v.out.WriteByte('\n')
+			}
+			return nil, nil
+		}
+	case "printf", "format":
+		if len(x.Args) == 0 {
+			return errExpr(line, "printf needs a format string")
+		}
+		argFns := c.exprList(x.Args)
+		return func(v *vm, fr *cframe) (Value, error) {
+			if err := v.step(line); err != nil {
+				return nil, err
+			}
+			args, err := evalAll(v, fr, argFns)
+			if err != nil {
+				return nil, err
+			}
+			s, err := printfText(args, line)
+			if err != nil {
+				return nil, err
+			}
+			v.out.WriteString(s)
+			return nil, nil
+		}
+	}
+	return errExpr(line, "System.out has no method %s", x.Name)
+}
+
+// fieldAccess compiles a.length / Class.FIELD / System.in. When the root is
+// an identifier the choice between variable field access and static constant
+// is made at runtime by peeking the variable (without a step), exactly as
+// evalField consults f.lookup; when no binding can ever exist the static
+// path is selected at compile time.
+func (c *compiler) fieldAccess(x *ast.FieldAccess) exprFn {
+	line := x.P.Line
+	fname := x.Name
+	if root, ok := x.X.(*ast.Ident); ok {
+		ref := c.resolve(root.Name)
+		class := root.Name
+		rootLine := root.P.Line
+		if ref.empty() {
+			return func(v *vm, fr *cframe) (Value, error) {
+				if err := v.step(line); err != nil {
+					return nil, err
+				}
+				return staticFieldValue(class, fname, line)
+			}
+		}
+		return func(v *vm, fr *cframe) (Value, error) {
+			if err := v.step(line); err != nil {
+				return nil, err
+			}
+			val, ok := ref.read(v, fr)
+			if !ok {
+				return staticFieldValue(class, fname, line)
+			}
+			// The tree-walker re-evaluates the root identifier, charging its
+			// step.
+			if err := v.step(rootLine); err != nil {
+				return nil, err
+			}
+			return fieldOn(val, fname, line)
+		}
+	}
+	xf := c.expr(x.X)
+	return func(v *vm, fr *cframe) (Value, error) {
+		if err := v.step(line); err != nil {
+			return nil, err
+		}
+		val, err := xf(v, fr)
+		if err != nil {
+			return nil, err
+		}
+		return fieldOn(val, fname, line)
+	}
+}
+
+// newObject compiles new C(args) for the supported classes. Arity errors
+// fire before argument evaluation; new String(a, b) evaluates only the first
+// argument — both tree-walker behaviors.
+func (c *compiler) newObject(x *ast.NewObject) exprFn {
+	line := x.P.Line
+	switch x.Class {
+	case "Scanner", "java.util.Scanner":
+		if len(x.Args) != 1 {
+			return errExpr(line, "new Scanner expects 1 argument")
+		}
+		af := c.expr(x.Args[0])
+		return func(v *vm, fr *cframe) (Value, error) {
+			if err := v.step(line); err != nil {
+				return nil, err
+			}
+			val, err := af(v, fr)
+			if err != nil {
+				return nil, err
+			}
+			return scannerFromValue(val, line, v.stdin, v.files)
+		}
+	case "File", "java.io.File":
+		if len(x.Args) != 1 {
+			return errExpr(line, "new File expects 1 argument")
+		}
+		af := c.expr(x.Args[0])
+		return func(v *vm, fr *cframe) (Value, error) {
+			if err := v.step(line); err != nil {
+				return nil, err
+			}
+			val, err := af(v, fr)
+			if err != nil {
+				return nil, err
+			}
+			return fileFromValue(val, line)
+		}
+	case "String":
+		if len(x.Args) == 0 {
+			return constExpr(line, "")
+		}
+		af := c.expr(x.Args[0])
+		return func(v *vm, fr *cframe) (Value, error) {
+			if err := v.step(line); err != nil {
+				return nil, err
+			}
+			val, err := af(v, fr)
+			if err != nil {
+				return nil, err
+			}
+			return Format(val), nil
+		}
+	case "StringBuilder", "StringBuffer":
+		if len(x.Args) == 1 {
+			af := c.expr(x.Args[0])
+			return func(v *vm, fr *cframe) (Value, error) {
+				if err := v.step(line); err != nil {
+					return nil, err
+				}
+				val, err := af(v, fr)
+				if err != nil {
+					return nil, err
+				}
+				return Format(val), nil
+			}
+		}
+		return constExpr(line, "")
+	}
+	return errExpr(line, "cannot instantiate %s", x.Class)
+}
+
+// constExpr charges the node's step and yields a fixed value.
+func constExpr(line int, val Value) exprFn {
+	return func(v *vm, fr *cframe) (Value, error) {
+		if err := v.step(line); err != nil {
+			return nil, err
+		}
+		return val, nil
+	}
+}

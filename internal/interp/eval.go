@@ -132,12 +132,18 @@ func (m *machine) evalIndex(e ast.Expr, length int, f *frame) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	return checkIndex(v, length, e.Pos().Line)
+}
+
+// checkIndex validates an array subscript value against the array length,
+// shared by the tree-walk and compiled engines.
+func checkIndex(v Value, length int, line int) (int, error) {
 	i, ok := AsInt(v)
 	if !ok {
-		return 0, errAt(e.Pos().Line, "array index is %s, not int", valueType(v))
+		return 0, errAt(line, "array index is %s, not int", valueType(v))
 	}
 	if i < 0 || int(i) >= length {
-		return 0, errAt(e.Pos().Line, "ArrayIndexOutOfBoundsException: index %d, length %d", i, length)
+		return 0, errAt(line, "ArrayIndexOutOfBoundsException: index %d, length %d", i, length)
 	}
 	return int(i), nil
 }
@@ -292,11 +298,16 @@ func (m *machine) evalUnary(x *ast.Unary, f *frame) (Value, error) {
 	if err != nil {
 		return nil, err
 	}
-	switch x.Op {
+	return unaryOp(x.Op, v, x.P.Line)
+}
+
+// unaryOp applies a non-inc/dec prefix operator, shared by both engines.
+func unaryOp(op token.Kind, v Value, line int) (Value, error) {
+	switch op {
 	case token.NOT:
 		b, ok := v.(bool)
 		if !ok {
-			return nil, errAt(x.P.Line, "! on %s", valueType(v))
+			return nil, errAt(line, "! on %s", valueType(v))
 		}
 		return !b, nil
 	case token.SUB:
@@ -306,19 +317,19 @@ func (m *machine) evalUnary(x *ast.Unary, f *frame) (Value, error) {
 		if iv, ok := AsInt(v); ok {
 			return -iv, nil
 		}
-		return nil, errAt(x.P.Line, "- on %s", valueType(v))
+		return nil, errAt(line, "- on %s", valueType(v))
 	case token.ADD:
 		if IsNumeric(v) {
 			return v, nil
 		}
-		return nil, errAt(x.P.Line, "+ on %s", valueType(v))
+		return nil, errAt(line, "+ on %s", valueType(v))
 	case token.TILDE:
 		if iv, ok := AsInt(v); ok {
 			return ^iv, nil
 		}
-		return nil, errAt(x.P.Line, "~ on %s", valueType(v))
+		return nil, errAt(line, "~ on %s", valueType(v))
 	}
-	return nil, errAt(x.P.Line, "unsupported unary %s", x.Op)
+	return nil, errAt(line, "unsupported unary %s", op)
 }
 
 func (m *machine) evalIncDec(x *ast.Unary, f *frame) (Value, error) {
@@ -330,16 +341,9 @@ func (m *machine) evalIncDec(x *ast.Unary, f *frame) (Value, error) {
 	if err != nil {
 		return nil, err
 	}
-	var nv Value
-	switch o := old.(type) {
-	case int64:
-		nv = o + delta
-	case Char:
-		nv = Char(int64(o) + delta)
-	case float64:
-		nv = o + float64(delta)
-	default:
-		return nil, errAt(x.P.Line, "%s on %s", x.Op, valueType(old))
+	nv, err := incDecValue(x.Op, old, delta, x.P.Line)
+	if err != nil {
+		return nil, err
 	}
 	if err := m.store(x.X, nv, f); err != nil {
 		return nil, err
@@ -348,6 +352,19 @@ func (m *machine) evalIncDec(x *ast.Unary, f *frame) (Value, error) {
 		return old, nil
 	}
 	return nv, nil
+}
+
+// incDecValue computes the successor value of ++/--, shared by both engines.
+func incDecValue(op token.Kind, old Value, delta int64, line int) (Value, error) {
+	switch o := old.(type) {
+	case int64:
+		return o + delta, nil
+	case Char:
+		return Char(int64(o) + delta), nil
+	case float64:
+		return o + float64(delta), nil
+	}
+	return nil, errAt(line, "%s on %s", op, valueType(old))
 }
 
 func (m *machine) evalAssign(x *ast.Assign, f *frame) (Value, error) {
@@ -366,53 +383,65 @@ func (m *machine) evalAssign(x *ast.Assign, f *frame) (Value, error) {
 		if err != nil {
 			return nil, err
 		}
-		var binOp token.Kind
-		switch x.Op {
-		case token.ADDASSIGN:
-			binOp = token.ADD
-		case token.SUBASSIGN:
-			binOp = token.SUB
-		case token.MULASSIGN:
-			binOp = token.MUL
-		case token.QUOASSIGN:
-			binOp = token.QUO
-		case token.REMASSIGN:
-			binOp = token.REM
-		case token.ANDASSIGN:
-			binOp = token.AND
-		case token.ORASSIGN:
-			binOp = token.OR
-		case token.XORASSIGN:
-			binOp = token.XOR
-		case token.SHLASSIGN:
-			binOp = token.SHL
-		case token.SHRASSIGN:
-			binOp = token.SHR
-		default:
+		binOp, ok := compoundOp(x.Op)
+		if !ok {
 			return nil, errAt(x.P.Line, "unsupported compound assignment %s", x.Op)
 		}
 		v, err = binaryOp(binOp, old, v, x.P.Line)
 		if err != nil {
 			return nil, err
 		}
-		// Java narrows compound assignments back to the target's type; we
-		// approximate by keeping int when the old value was integral.
-		if _, wasInt := AsInt(old); wasInt {
-			if _, isF := v.(float64); !isF {
-				if iv, ok := AsInt(v); ok {
-					if _, wasChar := old.(Char); wasChar {
-						v = Char(iv)
-					} else {
-						v = iv
-					}
-				}
-			}
-		}
+		v = narrowCompound(old, v)
 	}
 	if err := m.store(x.Target, v, f); err != nil {
 		return nil, err
 	}
 	return v, nil
+}
+
+// compoundOp maps a compound-assignment operator to its binary operator.
+func compoundOp(op token.Kind) (token.Kind, bool) {
+	switch op {
+	case token.ADDASSIGN:
+		return token.ADD, true
+	case token.SUBASSIGN:
+		return token.SUB, true
+	case token.MULASSIGN:
+		return token.MUL, true
+	case token.QUOASSIGN:
+		return token.QUO, true
+	case token.REMASSIGN:
+		return token.REM, true
+	case token.ANDASSIGN:
+		return token.AND, true
+	case token.ORASSIGN:
+		return token.OR, true
+	case token.XORASSIGN:
+		return token.XOR, true
+	case token.SHLASSIGN:
+		return token.SHL, true
+	case token.SHRASSIGN:
+		return token.SHR, true
+	}
+	return op, false
+}
+
+// narrowCompound narrows a compound-assignment result back to the target's
+// type: Java keeps int (or char) when the old value was integral; we
+// approximate that with the dynamic type of the old value. Shared by both
+// engines.
+func narrowCompound(old, v Value) Value {
+	if _, wasInt := AsInt(old); wasInt {
+		if _, isF := v.(float64); !isF {
+			if iv, ok := AsInt(v); ok {
+				if _, wasChar := old.(Char); wasChar {
+					return Char(iv)
+				}
+				return iv
+			}
+		}
+	}
+	return v
 }
 
 // store writes v into an lvalue expression.
@@ -458,32 +487,42 @@ func (m *machine) evalNewArray(x *ast.NewArray, f *frame) (Value, error) {
 		if err != nil {
 			return nil, err
 		}
-		n, ok := AsInt(v)
-		if !ok {
-			return nil, errAt(x.P.Line, "array size is %s", valueType(v))
+		n, err := checkArrayDim(v, x.P.Line)
+		if err != nil {
+			return nil, err
 		}
-		if n < 0 {
-			return nil, errAt(x.P.Line, "NegativeArraySizeException: %d", n)
-		}
-		if n > 10_000_000 {
-			return nil, errAt(x.P.Line, "OutOfMemoryError: array size %d", n)
-		}
-		sizes[i] = int(n)
+		sizes[i] = n
 	}
-	var build func(level int) *Array
-	build = func(level int) *Array {
-		arr := &Array{Elem: x.Elem.Name}
-		arr.Elems = make([]Value, sizes[level])
-		for i := range arr.Elems {
-			if level+1 < len(sizes) {
-				arr.Elems[i] = build(level + 1)
-			} else {
-				arr.Elems[i] = zeroValue(x.Elem.Name, 0)
-			}
-		}
-		return arr
+	return buildArray(x.Elem.Name, sizes, 0), nil
+}
+
+// checkArrayDim validates a new-array dimension value, shared by both engines.
+func checkArrayDim(v Value, line int) (int, error) {
+	n, ok := AsInt(v)
+	if !ok {
+		return 0, errAt(line, "array size is %s", valueType(v))
 	}
-	return build(0), nil
+	if n < 0 {
+		return 0, errAt(line, "NegativeArraySizeException: %d", n)
+	}
+	if n > 10_000_000 {
+		return 0, errAt(line, "OutOfMemoryError: array size %d", n)
+	}
+	return int(n), nil
+}
+
+// buildArray allocates a zero-filled (possibly nested) array.
+func buildArray(elem string, sizes []int, level int) *Array {
+	arr := &Array{Elem: elem}
+	arr.Elems = make([]Value, sizes[level])
+	for i := range arr.Elems {
+		if level+1 < len(sizes) {
+			arr.Elems[i] = buildArray(elem, sizes, level+1)
+		} else {
+			arr.Elems[i] = zeroValue(elem, 0)
+		}
+	}
+	return arr
 }
 
 func castValue(v Value, to ast.Type, line int) (Value, error) {

@@ -17,6 +17,7 @@ func FoldConst(e ast.Expr) (Value, bool) {
 	}
 	m := &machine{
 		cfg:     Config{MaxSteps: 1024},
+		budget:  1024,
 		methods: map[string]*ast.Method{},
 		globals: map[string]Value{},
 	}

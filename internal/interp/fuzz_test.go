@@ -1,14 +1,26 @@
 package interp_test
 
 import (
+	"regexp"
 	"testing"
 
 	"semfeed/internal/interp"
 	"semfeed/internal/java/parser"
 )
 
-// FuzzRun executes arbitrary source under a tight step budget: the
-// interpreter may reject or error but must never panic or run away.
+// ptrPat matches the %p component Format renders for arrays ("[I@0x...").
+// Pointer values legitimately differ between two runs, so differential
+// comparison normalizes them.
+var ptrPat = regexp.MustCompile(`0x[0-9a-f]+`)
+
+func normalizePtrs(s string) string {
+	return ptrPat.ReplaceAllString(s, "0xPTR")
+}
+
+// FuzzRun is a differential fuzzer: arbitrary source executes on both the
+// compiled engine and the tree-walking reference, which must agree on error,
+// console output, return value and exact step count — and neither may panic
+// or run away.
 func FuzzRun(f *testing.F) {
 	seeds := []string{
 		"void f() { int x = 1 / 0; }",
@@ -20,6 +32,38 @@ func FuzzRun(f *testing.F) {
 		"int f() { return f(); }",
 		"void f() { double d = 0.0 / 0.0; System.out.println(d); }",
 		"void f() { int x = 2147483647; x = x + x; System.out.println(x); }",
+		// Switch fallthrough across a declaration: the slot stays undefined
+		// and the later read must fail identically in both engines.
+		"void f() { int t = 2; switch (t) { case 1: int y = 5; case 2: System.out.println(y); } }",
+		"void f() { int t = 1; switch (t) { case 1: System.out.print(\"a\"); case 2: System.out.print(\"b\"); break; default: System.out.print(\"c\"); } }",
+		"void f() { int t = 9; switch (t) { default: System.out.print(\"d\"); case 1: System.out.print(\"x\"); } }",
+		// Shadowing and conditional declarations.
+		"void f() { int x = 1; { int x = 2; System.out.println(x); } System.out.println(x); }",
+		"void f() { boolean c = false; if (c) { int q = 2; } System.out.println(q); }",
+		"void f() { for (int i = 0; i < 3; i++) { int s = i * 2; System.out.println(s); } }",
+		// Compound assignment evaluation order and narrowing.
+		"void f() { int i = 7; i += 2.5; System.out.println(i); }",
+		"void f() { char c = 'a'; c += 1; System.out.println(c); }",
+		"void f() { int[] a = {1, 2, 3}; a[0] += a[2]; System.out.println(a[0]); }",
+		// For-each over arrays and strings, with break/continue.
+		"void f() { int[] a = {5, 6, 7}; for (int v : a) { if (v == 6) continue; System.out.println(v); } }",
+		"void f() { for (char ch : \"abc\".toCharArray()) { System.out.print(ch); } }",
+		// Strings, printf, ternaries, casts.
+		"void f() { String s = \"Hello\"; System.out.println(s.substring(1, 3).toUpperCase()); }",
+		"void f() { System.out.printf(\"%5.2f|%d|%s%n\", 3.14159, 42, \"ok\"); }",
+		"int f() { int n = 5; return n > 3 ? (int) 2.9 : -1; }",
+		// Scanner over stdin.
+		"void f() { Scanner sc = new Scanner(System.in); int a = sc.nextInt(); int b = sc.nextInt(); System.out.println(a + b); }",
+		// Recursion and multiple methods.
+		"int fib(int n) { if (n < 2) return n; return fib(n - 1) + fib(n - 2); } int f() { return fib(8); }",
+		// Class fields (globals) with initializers.
+		"class A { static int total = 3; static int[] data = {1, 2}; void f() { total += data[1]; System.out.println(total); } }",
+		// do-while, nested loops, stray break.
+		"void f() { int i = 0; do { i++; } while (i < 4); System.out.println(i); }",
+		"void f() { for (int i = 0; i < 3; i++) { for (int j = 0; j < 3; j++) { if (j > i) break; System.out.print(j); } } }",
+		"void f() { System.out.print(\"x\"); break; System.out.print(\"y\"); }",
+		// Array return value (pointer-rendered by Format, Snapshot-compared).
+		"int[] f() { int[] a = new int[3]; for (int i = 0; i < 3; i++) a[i] = i * i; return a; }",
 	}
 	for _, s := range seeds {
 		f.Add(s)
@@ -30,9 +74,30 @@ func FuzzRun(f *testing.F) {
 			return
 		}
 		cfg := interp.Config{Stdin: "1 2 3", MaxSteps: 20_000, MaxDepth: 64}
-		res, err := interp.Run(unit, "f", nil, cfg)
-		if err == nil && res == nil {
+		got, gotErr := interp.Run(unit, "f", nil, cfg)
+		want, wantErr := interp.RunTreeWalk(unit, "f", nil, cfg)
+
+		if (gotErr == nil) != (wantErr == nil) {
+			t.Fatalf("error divergence: compiled %v, tree-walk %v", gotErr, wantErr)
+		}
+		if gotErr != nil {
+			if gotErr.Error() != wantErr.Error() {
+				t.Fatalf("error text divergence:\ncompiled:  %v\ntree-walk: %v", gotErr, wantErr)
+			}
+			return
+		}
+		if got == nil || want == nil {
 			t.Fatal("nil result without error")
+		}
+		if normalizePtrs(got.Stdout) != normalizePtrs(want.Stdout) {
+			t.Fatalf("stdout divergence:\ncompiled:  %q\ntree-walk: %q", got.Stdout, want.Stdout)
+		}
+		if interp.Snapshot(got.Return) != interp.Snapshot(want.Return) {
+			t.Fatalf("return divergence: compiled %s, tree-walk %s",
+				interp.Snapshot(got.Return), interp.Snapshot(want.Return))
+		}
+		if got.Steps != want.Steps {
+			t.Fatalf("step divergence: compiled %d, tree-walk %d", got.Steps, want.Steps)
 		}
 	})
 }

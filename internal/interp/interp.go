@@ -9,15 +9,34 @@ import (
 	"semfeed/internal/obs"
 )
 
+// Default execution limits. Exported so tests and callers can reason about
+// the budget they inherit when Config leaves the fields zero.
+const (
+	// DefaultMaxSteps is the step budget of a run when Config.MaxSteps is 0.
+	DefaultMaxSteps = 2_000_000
+	// DefaultMaxDepth is the call-depth limit when Config.MaxDepth is 0.
+	DefaultMaxDepth = 2_000
+	// stepPollMask: the Done channel is polled every stepPollMask+1 steps,
+	// keeping cancellation a cheap counter test in the dispatch loop.
+	stepPollMask = 1023
+)
+
 // ErrStepLimit is returned when execution exceeds the step budget; in the
-// grading harness it diagnoses infinite loops.
+// grading harness it diagnoses infinite loops. The returned error is a
+// *RuntimeError carrying the line of the last executed node and unwraps to
+// this sentinel, so errors.Is(err, ErrStepLimit) keeps working.
 var ErrStepLimit = errors.New("step limit exceeded (possible infinite loop)")
+
+// ErrCanceled is returned when Config.Done is closed mid-run. Like
+// ErrStepLimit it surfaces as a *RuntimeError that unwraps to this sentinel.
+var ErrCanceled = errors.New("execution canceled")
 
 // RuntimeError is a Java runtime failure (division by zero, array index out
 // of bounds, null dereference, missing input, ...).
 type RuntimeError struct {
 	Msg  string
 	Line int
+	Err  error // optional sentinel cause (ErrStepLimit, ErrCanceled)
 }
 
 // Error renders the failure with its source line.
@@ -26,6 +45,20 @@ func (e *RuntimeError) Error() string {
 		return fmt.Sprintf("runtime error at line %d: %s", e.Line, e.Msg)
 	}
 	return "runtime error: " + e.Msg
+}
+
+// Unwrap exposes the sentinel cause so errors.Is matches ErrStepLimit and
+// ErrCanceled through the line-carrying wrapper.
+func (e *RuntimeError) Unwrap() error { return e.Err }
+
+// stepLimitErr reports fuel exhaustion at the line of the last executed node.
+func stepLimitErr(line int) error {
+	return &RuntimeError{Msg: ErrStepLimit.Error(), Line: line, Err: ErrStepLimit}
+}
+
+// canceledErr reports a Done-channel cancellation at the current node.
+func canceledErr(line int) error {
+	return &RuntimeError{Msg: ErrCanceled.Error(), Line: line, Err: ErrCanceled}
 }
 
 // Tracer observes variable writes during execution; the CLARA-style baseline
@@ -41,23 +74,27 @@ type Tracer interface {
 type Config struct {
 	Stdin    string
 	Files    map[string]string // virtual file system for new Scanner(new File(...))
-	MaxSteps int               // default 2_000_000
-	MaxDepth int               // default 2_000 frames
+	MaxSteps int               // default DefaultMaxSteps
+	MaxDepth int               // default DefaultMaxDepth frames
 	Tracer   Tracer
+	// Done, when non-nil, cancels the run: the dispatch loop polls it every
+	// stepPollMask+1 steps and aborts with ErrCanceled. Wire ctx.Done() here
+	// to give interpreter runs the same deadline behavior as the matcher.
+	Done <-chan struct{}
 }
 
 func (c Config) maxSteps() int {
 	if c.MaxSteps > 0 {
 		return c.MaxSteps
 	}
-	return 2_000_000
+	return DefaultMaxSteps
 }
 
 func (c Config) maxDepth() int {
 	if c.MaxDepth > 0 {
 		return c.MaxDepth
 	}
-	return 2_000
+	return DefaultMaxDepth
 }
 
 // Result is the outcome of a successful run.
@@ -67,11 +104,24 @@ type Result struct {
 	Steps  int
 }
 
-// Run executes the entry method of the unit with the given arguments.
-func Run(unit *ast.CompilationUnit, entry string, args []Value, cfg Config) (res *Result, err error) {
+// Run executes the entry method of the unit with the given arguments on the
+// compiled engine: the AST is lowered to closure code (see Compile) and then
+// dispatched. Callers that execute the same unit many times should Compile
+// once (or use a Cache) and call Program.Run per execution.
+func Run(unit *ast.CompilationUnit, entry string, args []Value, cfg Config) (*Result, error) {
+	return Compile(unit).Run(entry, args, cfg)
+}
+
+// RunTreeWalk executes the entry method with the original tree-walking
+// evaluator. It is kept as the semantic reference for the compiled engine:
+// the differential fuzzer asserts both agree on value, output, error and
+// step count. Hot paths should use Run / Program.Run instead.
+func RunTreeWalk(unit *ast.CompilationUnit, entry string, args []Value, cfg Config) (res *Result, err error) {
 	obs.InterpRunsTotal.Inc()
 	m := &machine{
 		cfg:     cfg,
+		budget:  cfg.maxSteps(),
+		done:    cfg.Done,
 		methods: map[string]*ast.Method{},
 		globals: map[string]Value{},
 	}
@@ -119,6 +169,8 @@ func Run(unit *ast.CompilationUnit, entry string, args []Value, cfg Config) (res
 
 type machine struct {
 	cfg     Config
+	budget  int
+	done    <-chan struct{}
 	methods map[string]*ast.Method
 	globals map[string]Value
 	out     strings.Builder
@@ -127,8 +179,15 @@ type machine struct {
 
 func (m *machine) step(line int) error {
 	m.steps++
-	if m.steps > m.cfg.maxSteps() {
-		return ErrStepLimit
+	if m.steps > m.budget {
+		return stepLimitErr(line)
+	}
+	if m.done != nil && m.steps&stepPollMask == 0 {
+		select {
+		case <-m.done:
+			return canceledErr(line)
+		default:
+		}
 	}
 	return nil
 }
@@ -356,16 +415,9 @@ func (m *machine) execStmt(s ast.Stmt, f *frame) (signal, Value, error) {
 		if err != nil {
 			return sigNone, nil, err
 		}
-		arr, ok := it.(*Array)
-		if !ok {
-			if s, isStr := it.(string); isStr {
-				arr = &Array{Elem: "char"}
-				for _, r := range s {
-					arr.Elems = append(arr.Elems, Char(r))
-				}
-			} else {
-				return sigNone, nil, errAt(x.P.Line, "for-each over non-array %s", valueType(it))
-			}
+		arr, err := iterableArray(it, x.P.Line)
+		if err != nil {
+			return sigNone, nil, err
 		}
 		f.push()
 		defer f.pop()
@@ -453,6 +505,22 @@ func (m *machine) execStmt(s ast.Stmt, f *frame) (signal, Value, error) {
 		return sigNone, nil, errAt(x.P.Line, "exception thrown: %s", Format(v))
 	}
 	return sigNone, nil, errAt(s.Pos().Line, "unsupported statement %T", s)
+}
+
+// iterableArray converts a for-each iterable value to an array: arrays pass
+// through, strings iterate as char arrays, everything else is an error.
+func iterableArray(it Value, line int) (*Array, error) {
+	if arr, ok := it.(*Array); ok {
+		return arr, nil
+	}
+	if s, isStr := it.(string); isStr {
+		arr := &Array{Elem: "char"}
+		for _, r := range s {
+			arr.Elems = append(arr.Elems, Char(r))
+		}
+		return arr, nil
+	}
+	return nil, errAt(line, "for-each over non-array %s", valueType(it))
 }
 
 // evalInit evaluates a declarator initializer, allowing bare array literals.

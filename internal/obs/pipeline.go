@@ -41,6 +41,11 @@ var (
 	InterpStepsTotal     = NewCounter("semfeed_interp_steps_total", "Interpreter steps executed.")
 	InterpStepLimitTotal = NewCounter("semfeed_interp_step_limit_total", "Executions killed by fuel exhaustion (step budget).")
 
+	// Closure compilation of the interpreter hot path.
+	InterpCompileNS          = NewCounter("semfeed_interp_compile_ns", "Wall time spent lowering ASTs to closure code, in nanoseconds.")
+	InterpCompileCacheHits   = NewCounter("semfeed_interp_compile_cache_hits", "Compiled-program cache hits (source hash already compiled).")
+	InterpCompileCacheMisses = NewCounter("semfeed_interp_compile_cache_misses", "Compiled-program cache misses (fresh compilations stored).")
+
 	// Static-analysis layer (internal/analysis).
 	AnalysisRunsTotal        = NewCounter("semfeed_analysis_runs_total", "Analysis driver runs (one per analyzed submission).")
 	AnalysisGraphsTotal      = NewCounter("semfeed_analysis_graphs_total", "Method EPDGs analyzed.")
