@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke bench-server table table-json metrics-smoke metrics-lint server-smoke statusz-smoke javalint-smoke fuzz fmt vet examples clean
+.PHONY: all build test race bench bench-smoke bench-server table table-json metrics-smoke metrics-lint server-smoke cluster-smoke statusz-smoke javalint-smoke fuzz fmt vet examples clean
 
 all: build vet test
 
@@ -61,6 +61,14 @@ metrics-lint:
 server-smoke:
 	bash scripts/server_smoke.sh
 
+# Cluster smoke: coordinator + 2 worker processes with disk stores, graded
+# through the coordinator; asserts stable routing (store hit on resubmit),
+# cross-process trace correlation under one request ID, zero 5xx after a
+# worker is SIGKILLed mid-run, and reroute/worker-gauge accounting. See
+# scripts/cluster_smoke.sh.
+cluster-smoke:
+	bash scripts/cluster_smoke.sh
+
 # SLO-window smoke: burst of grades, then assert /statusz and the
 # semfeed_slo_* gauges report non-zero sliding-window traffic and latency.
 # Runs the metrics-reference lint first, so doc drift fails fast.
@@ -79,9 +87,11 @@ javalint-smoke:
 
 # Closed-loop load test of the grading service (spawns an in-process server)
 # and record the percentile summary. The hot phase must show the result-cache
-# path well ahead of cold grading.
+# path well ahead of cold grading. The scaling sweep additionally measures
+# cold/hot goodput through an in-process coordinator at 1, 2 and 4 workers
+# (see the cpus field: co-located workers time-share this machine's cores).
 bench-server:
-	$(GO) run ./cmd/loadgen -clients 8 -subs 64 -rounds 3 -out BENCH_server.json > /dev/null
+	$(GO) run ./cmd/loadgen -clients 8 -subs 64 -rounds 3 -scaling 1,2,4 -out BENCH_server.json > /dev/null
 
 fuzz:
 	$(GO) test ./internal/java/parser -fuzz FuzzParse -fuzztime 30s

@@ -1,0 +1,82 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"semfeed/internal/assignments"
+	"semfeed/internal/cluster"
+	"semfeed/internal/server"
+)
+
+// ClusterHarness is an in-process coordinator + N-worker cluster, used by
+// cmd/loadgen's scaling sweep. Every worker is a full grading server with its
+// own registry and result store — the same objects the daemons run — so the
+// only thing the harness elides versus a real deployment is process and
+// network isolation. On a box with fewer cores than workers the measured
+// wall-clock scaling is therefore a lower bound: all workers share the CPUs.
+type ClusterHarness struct {
+	// CoordAddr is the coordinator's host:port.
+	CoordAddr string
+	// WorkerAddrs are the workers' host:port listen addresses.
+	WorkerAddrs []string
+
+	coord   *cluster.Coordinator
+	workers []*server.Server
+	errcs   []<-chan error
+}
+
+// SpawnCluster starts n grading workers serving the assignment plus a
+// coordinator routing to them, all on loopback ports. Call Close when done.
+func SpawnCluster(a *assignments.Assignment, n int) (*ClusterHarness, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("bench: cluster size %d < 1", n)
+	}
+	h := &ClusterHarness{}
+	workerURLs := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		reg := server.NewRegistry("", nil)
+		reg.AddBuiltin(a.ID, a.Spec)
+		if err := reg.Load(); err != nil {
+			h.Close()
+			return nil, err
+		}
+		srv := server.New(server.Config{Registry: reg})
+		errc, err := srv.Start("127.0.0.1:0")
+		if err != nil {
+			h.Close()
+			return nil, err
+		}
+		h.workers = append(h.workers, srv)
+		h.errcs = append(h.errcs, errc)
+		h.WorkerAddrs = append(h.WorkerAddrs, srv.Addr())
+		workerURLs = append(workerURLs, "http://"+srv.Addr())
+	}
+	coord := cluster.New(cluster.Config{Workers: workerURLs})
+	errc, err := coord.Start("127.0.0.1:0")
+	if err != nil {
+		h.Close()
+		return nil, err
+	}
+	h.coord = coord
+	h.errcs = append(h.errcs, errc)
+	h.CoordAddr = coord.Addr()
+	return h, nil
+}
+
+// Close drains the coordinator first (so nothing routes into a stopping
+// worker), then every worker.
+func (h *ClusterHarness) Close() {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if h.coord != nil {
+		_ = h.coord.Shutdown(ctx)
+	}
+	for _, w := range h.workers {
+		_ = w.Shutdown(ctx)
+	}
+	for _, errc := range h.errcs {
+		<-errc
+	}
+}

@@ -91,6 +91,24 @@ var (
 	ServerKBReloadsTotal  = NewCounter("semfeed_server_kb_reloads_total", "Knowledge-base registry swaps (initial load and hot reloads).")
 	ServerKBErrorsTotal   = NewCounter("semfeed_server_kb_errors_total", "Knowledge-base reload attempts rejected by validation.")
 	ServerKBAssignments   = NewGauge("semfeed_server_kb_assignments", "Assignments currently served by the registry.")
+
+	// Result-store tiers (internal/store).
+	StoreDiskEntries         = NewGauge("semfeed_store_disk_entries", "Entries held by the disk result store.")
+	StoreDiskBytes           = NewGauge("semfeed_store_disk_bytes", "Bytes of result bodies held by the disk result store.")
+	StoreDiskEvictionsTotal  = NewCounter("semfeed_store_disk_evictions_total", "Disk-store entries evicted by the size cap.")
+	StoreStaleEvictionsTotal = NewCounter("semfeed_store_stale_evictions_total", "Disk-store entries dropped on startup because their KB version no longer matches the registry.")
+	StorePeerErrorsTotal     = NewCounter("semfeed_store_peer_errors_total", "Peer-store HTTP operations that failed in transport.")
+
+	// Cluster mode (internal/cluster, semfeedd -mode coordinator|worker).
+	ClusterWorkers              = NewGauge("semfeed_cluster_workers", "Healthy workers in the coordinator's routing ring.")
+	ClusterWorkersConfigured    = NewGauge("semfeed_cluster_workers_configured", "Workers in the coordinator's static membership, healthy or not.")
+	ClusterReroutesTotal        = NewCounter("semfeed_cluster_reroutes_total", "Proxied requests retried on the next replica after a worker failed.")
+	ClusterProbeFailuresTotal   = NewCounter("semfeed_cluster_probe_failures_total", "Worker health probes that failed.")
+	ClusterMembershipSwapsTotal = NewCounter("semfeed_cluster_membership_swaps_total", "Routing-ring snapshot rebuilds from membership changes.")
+	ClusterProxySeconds         = NewLabeledHistogram("semfeed_cluster_proxy_seconds", "Coordinator proxy latency per worker attempt, by worker and status class.", nil, "worker", "status")
+	ClusterShardsTotal          = NewCounter("semfeed_cluster_shards_total", "Per-worker sub-batches fanned out by the coordinator.")
+	ClusterPeerFillHitsTotal    = NewCounter("semfeed_cluster_peer_fill_hits_total", "Store reads served by the owning peer over HTTP.")
+	ClusterPeerFillMissesTotal  = NewCounter("semfeed_cluster_peer_fill_misses_total", "Peer-fill lookups that missed (owner had no entry, owner unreachable, or key owned locally).")
 )
 
 // ScoreBuckets cover the Λ range of the assignment corpus (scores are small

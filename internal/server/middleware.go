@@ -1,0 +1,117 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"time"
+
+	"semfeed/internal/obs"
+)
+
+// This file is the request-scoped plumbing shared by both serving modes:
+// the standalone/worker grading server and the cluster coordinator wrap
+// their muxes in the same Observability middleware, so a request carries the
+// same ID, trace context and SLO accounting whether it is graded locally or
+// proxied across the ring.
+
+// statusRecorder captures the response status for SLO accounting.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// reqInfo is the middleware↔handler backchannel for label values: the
+// middleware creates it before routing, the handler fills in the assignment
+// once the body is decoded, and the middleware reads it after ServeHTTP to
+// label the latency observation. A pointer in the context, so the handler's
+// write is visible without re-wrapping the request.
+type reqInfo struct {
+	assignment string
+}
+
+type reqInfoKey struct{}
+
+// SetRouteAssignment records the resolved assignment for request labeling.
+// Handlers behind Observability call it as soon as the body is decoded.
+func SetRouteAssignment(ctx context.Context, assignment string) {
+	if info, ok := ctx.Value(reqInfoKey{}).(*reqInfo); ok {
+		info.assignment = assignment
+	}
+}
+
+// setAssignment is the package-internal spelling.
+func setAssignment(ctx context.Context, assignment string) { SetRouteAssignment(ctx, assignment) }
+
+// StatusClass maps an HTTP status to the bounded label set of
+// semfeed_server_request_seconds: 429 (shed) is its own class because it is
+// an operator signal, not a client error.
+func StatusClass(status int) string {
+	switch {
+	case status == http.StatusTooManyRequests:
+		return "429"
+	case status >= 500:
+		return "5xx"
+	case status >= 400:
+		return "4xx"
+	default:
+		return "2xx"
+	}
+}
+
+// Observability is the request-ID, trace-context and SLO middleware shared
+// by the grading server and the cluster coordinator. Every request gets a
+// request ID — adopted from a well-formed X-Request-ID header or freshly
+// minted — echoed back in X-Request-ID and threaded through the context so
+// the grader (or the proxy span) stamps it on the trace and Report.Stats. A
+// valid W3C traceparent header is parsed into the context so the request's
+// trace records its cross-process parent. Grading endpoints also feed the
+// rolling SLO windows (429 counts as shed, 5xx as error) and the labeled
+// latency histogram, whose bucket exemplars carry the request ID.
+func Observability(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		rid := req.Header.Get("X-Request-ID")
+		if !obs.ValidRequestID(rid) {
+			rid = obs.NewRequestID()
+		}
+		w.Header().Set("X-Request-ID", rid)
+		ctx := obs.WithRequestID(req.Context(), rid)
+		if tc, ok := obs.ParseTraceparent(req.Header.Get("traceparent")); ok {
+			ctx = obs.WithTraceContext(ctx, tc)
+		}
+		if p := req.URL.Path; p != "/v1/grade" && p != "/v1/batch" {
+			next.ServeHTTP(w, req.WithContext(ctx))
+			return
+		}
+		info := &reqInfo{assignment: "unknown"}
+		ctx = context.WithValue(ctx, reqInfoKey{}, info)
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		t0 := time.Now()
+		next.ServeHTTP(rec, req.WithContext(ctx))
+		elapsed := time.Since(t0)
+		var o obs.Outcome
+		switch {
+		case rec.status == http.StatusTooManyRequests:
+			o = obs.OutcomeShed
+		case rec.status >= 500:
+			o = obs.OutcomeError
+		default:
+			o = obs.OutcomeOK
+		}
+		obs.SLO.Observe(elapsed, o)
+		obs.ServerRequestSeconds.ObserveExemplar(elapsed.Seconds(), rid,
+			info.assignment, StatusClass(rec.status))
+	})
+}
+
+// WriteJSON writes v as the JSON response body with the given status.
+func WriteJSON(w http.ResponseWriter, status int, v any) { writeJSON(w, status, v) }
+
+// WriteError writes the standard {"error": msg} body with the given status.
+func WriteError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorBody{Error: msg})
+}

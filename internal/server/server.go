@@ -20,11 +20,13 @@ import (
 	"net"
 	"net/http"
 	"runtime"
+	"strings"
 	"sync/atomic"
 	"time"
 
 	"semfeed/internal/core"
 	"semfeed/internal/obs"
+	"semfeed/internal/store"
 )
 
 // Config tunes the service. The zero value (plus a Registry) applies the
@@ -46,8 +48,14 @@ type Config struct {
 	// RetryAfter is the hint returned with 429 responses (default 1s).
 	RetryAfter time.Duration
 	// CacheSize is the result-cache capacity in entries (default 4096;
-	// negative disables caching).
+	// negative disables caching). Ignored when Store is set.
 	CacheSize int
+	// Store overrides the result store. Nil builds an in-memory LRU of
+	// CacheSize entries (the single-process default); cluster workers plug
+	// in a disk-backed or peer-filling store here. Whatever the backend,
+	// keys are (assignment, KB version, source hash), so hot-reload
+	// invalidation holds across every tier.
+	Store store.Store
 	// BatchWorkers is the per-batch grading pool size (default GOMAXPROCS).
 	BatchWorkers int
 	// MaxBodyBytes caps request bodies (default 4 MiB).
@@ -97,7 +105,7 @@ type Server struct {
 	cfg      Config
 	grader   *core.Grader
 	adm      *admission
-	cache    *resultCache
+	store    store.Store // nil when caching is disabled
 	mux      *http.ServeMux
 	handler  http.Handler // mux wrapped in the request-ID/SLO middleware
 	draining atomic.Bool
@@ -121,13 +129,17 @@ func New(cfg Config) *Server {
 		grader: core.NewGrader(cfg.GradeOptions),
 		adm:    newAdmission(cfg.MaxConcurrent, cfg.QueueDepth),
 	}
-	if cfg.CacheSize > 0 {
-		s.cache = newResultCache(cfg.CacheSize)
+	switch {
+	case cfg.Store != nil:
+		s.store = cfg.Store
+	case cfg.CacheSize > 0:
+		s.store = store.NewMemory(cfg.CacheSize)
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/grade", s.handleGrade)
 	s.mux.HandleFunc("/v1/batch", s.handleBatch)
 	s.mux.HandleFunc("/v1/assignments", s.handleAssignments)
+	s.mux.HandleFunc("/v1/store/", s.handleStore)
 	s.mux.HandleFunc("GET /v1/trace/{id}", s.handleTrace)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
@@ -138,8 +150,23 @@ func New(cfg Config) *Server {
 	if cfg.EnablePprof {
 		obs.AttachPprof(s.mux)
 	}
-	s.handler = s.withObservability(s.mux)
+	s.handler = Observability(s.mux)
 	return s
+}
+
+// storeGet reads from the result store (nil-safe).
+func (s *Server) storeGet(k store.Key) ([]byte, bool) {
+	if s.store == nil {
+		return nil, false
+	}
+	return s.store.Get(k)
+}
+
+// storePut writes to the result store (nil-safe, best-effort).
+func (s *Server) storePut(k store.Key, body []byte) {
+	if s.store != nil {
+		s.store.Put(k, body)
+	}
 }
 
 // log returns the structured event logger: the configured one, else the
@@ -156,95 +183,6 @@ func (s *Server) log() *slog.Logger {
 func sourceHash(src string) string {
 	sum := sha256.Sum256([]byte(src))
 	return hex.EncodeToString(sum[:8])
-}
-
-// statusRecorder captures the response status for SLO accounting.
-type statusRecorder struct {
-	http.ResponseWriter
-	status int
-}
-
-func (r *statusRecorder) WriteHeader(code int) {
-	r.status = code
-	r.ResponseWriter.WriteHeader(code)
-}
-
-// reqInfo is the middleware↔handler backchannel for label values: the
-// middleware creates it before routing, the handler fills in the assignment
-// once the body is decoded, and the middleware reads it after ServeHTTP to
-// label the latency observation. A pointer in the context, so the handler's
-// write is visible without re-wrapping the request.
-type reqInfo struct {
-	assignment string
-}
-
-type reqInfoKey struct{}
-
-// setAssignment records the resolved assignment for request labeling.
-func setAssignment(ctx context.Context, assignment string) {
-	if info, ok := ctx.Value(reqInfoKey{}).(*reqInfo); ok {
-		info.assignment = assignment
-	}
-}
-
-// statusClass maps an HTTP status to the bounded label set of
-// semfeed_server_request_seconds: 429 (shed) is its own class because it is
-// an operator signal, not a client error.
-func statusClass(status int) string {
-	switch {
-	case status == http.StatusTooManyRequests:
-		return "429"
-	case status >= 500:
-		return "5xx"
-	case status >= 400:
-		return "4xx"
-	default:
-		return "2xx"
-	}
-}
-
-// withObservability is the request-ID, trace-context and SLO middleware.
-// Every request gets a request ID — adopted from a well-formed X-Request-ID
-// header or freshly minted — echoed back in X-Request-ID and threaded
-// through the context so the grader stamps it on the trace and Report.Stats.
-// A valid W3C traceparent header is parsed into the context so the grade's
-// trace records its cross-process parent. Grading endpoints also feed the
-// rolling SLO windows (429 counts as shed, 5xx as error) and the labeled
-// latency histogram, whose bucket exemplars carry the request ID.
-func (s *Server) withObservability(next http.Handler) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
-		rid := req.Header.Get("X-Request-ID")
-		if !obs.ValidRequestID(rid) {
-			rid = obs.NewRequestID()
-		}
-		w.Header().Set("X-Request-ID", rid)
-		ctx := obs.WithRequestID(req.Context(), rid)
-		if tc, ok := obs.ParseTraceparent(req.Header.Get("traceparent")); ok {
-			ctx = obs.WithTraceContext(ctx, tc)
-		}
-		if p := req.URL.Path; p != "/v1/grade" && p != "/v1/batch" {
-			next.ServeHTTP(w, req.WithContext(ctx))
-			return
-		}
-		info := &reqInfo{assignment: "unknown"}
-		ctx = context.WithValue(ctx, reqInfoKey{}, info)
-		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
-		t0 := time.Now()
-		next.ServeHTTP(rec, req.WithContext(ctx))
-		elapsed := time.Since(t0)
-		var o obs.Outcome
-		switch {
-		case rec.status == http.StatusTooManyRequests:
-			o = obs.OutcomeShed
-		case rec.status >= 500:
-			o = obs.OutcomeError
-		default:
-			o = obs.OutcomeOK
-		}
-		obs.SLO.Observe(elapsed, o)
-		obs.ServerRequestSeconds.ObserveExemplar(elapsed.Seconds(), rid,
-			info.assignment, statusClass(rec.status))
-	})
 }
 
 // Handler returns the service's HTTP handler (for tests and embedding).
@@ -302,6 +240,19 @@ func (s *Server) Shutdown(ctx context.Context) error {
 
 // Draining reports whether Shutdown has begun.
 func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Close abruptly stops the server: the listener and every open connection
+// are torn down without draining. This is the crash path — cluster failover
+// tests use it to simulate a worker dying mid-run (a graceful Shutdown keeps
+// answering on pooled keep-alive connections, which is precisely not a
+// crash).
+func (s *Server) Close() error {
+	s.draining.Store(true)
+	if s.httpSrv == nil {
+		return nil
+	}
+	return s.httpSrv.Close()
+}
 
 // ---------------------------------------------------------------------------
 // Wire types
@@ -401,6 +352,43 @@ func (s *Server) handleTrace(w http.ResponseWriter, req *http.Request) {
 	writeJSON(w, http.StatusOK, td)
 }
 
+// handleStore serves the node's result store over HTTP
+// (GET/PUT /v1/store/{assignment}/{kb-version}/{source-hash}): the wire
+// surface that lets cluster peers pull cache hits for keys they own and
+// warm a replacement node. GET answers from the local tier only (via
+// store.LocalGet), so two peers asking each other can never chain fills.
+func (s *Server) handleStore(w http.ResponseWriter, req *http.Request) {
+	if s.store == nil {
+		s.fail(w, http.StatusNotFound, "result store disabled")
+		return
+	}
+	key, ok := store.ParsePath(strings.TrimPrefix(req.URL.Path, "/v1/store/"))
+	if !ok {
+		s.fail(w, http.StatusBadRequest, "malformed store key (want assignment/kb-version/source-hash)")
+		return
+	}
+	switch req.Method {
+	case http.MethodGet:
+		body, hit := store.LocalGet(s.store, key)
+		if !hit {
+			s.fail(w, http.StatusNotFound, "not stored")
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(body)
+	case http.MethodPut:
+		body, err := io.ReadAll(http.MaxBytesReader(w, req.Body, s.cfg.MaxBodyBytes))
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, "read body: "+err.Error())
+			return
+		}
+		s.store.Put(key, body)
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		s.fail(w, http.StatusMethodNotAllowed, "GET or PUT only")
+	}
+}
+
 func (s *Server) handleAssignments(w http.ResponseWriter, req *http.Request) {
 	if req.Method != http.MethodGet {
 		s.fail(w, http.StatusMethodNotAllowed, "GET only")
@@ -431,10 +419,11 @@ func (s *Server) handleGrade(w http.ResponseWriter, req *http.Request) {
 	rid := obs.RequestIDFrom(req.Context())
 	hash := sourceHash(greq.Source)
 
-	// Cache hits bypass admission entirely: serving bytes from memory needs
-	// no grading slot, which is what keeps resubmission storms cheap.
-	key := cacheKey(entry.ID, entry.Version, greq.Source)
-	if body, hit := s.cache.get(key); hit {
+	// Cache hits bypass admission entirely: serving bytes from the result
+	// store needs no grading slot, which is what keeps resubmission storms
+	// cheap.
+	key := store.NewKey(entry.ID, entry.Version, greq.Source)
+	if body, hit := s.storeGet(key); hit {
 		obs.ServerCacheHitsTotal.Inc()
 		writeJSON(w, http.StatusOK, GradeResponse{
 			Assignment: entry.ID, ID: greq.ID, KBVersion: entry.Version, Cached: true, Report: body,
@@ -475,7 +464,7 @@ func (s *Server) handleGrade(w http.ResponseWriter, req *http.Request) {
 		s.fail(w, http.StatusInternalServerError, "encode report: "+err.Error())
 		return
 	}
-	s.cache.put(key, body)
+	s.storePut(key, body)
 	writeJSON(w, http.StatusOK, GradeResponse{
 		Assignment: entry.ID, ID: greq.ID, KBVersion: entry.Version, Cached: false, Report: body,
 	})
@@ -509,13 +498,13 @@ func (s *Server) handleBatch(w http.ResponseWriter, req *http.Request) {
 	// Resolve resubmissions from the cache first; only the residue is
 	// graded. The whole batch holds one admission slot — its parallelism
 	// lives inside the slot, bounded by BatchWorkers.
-	keys := make([]string, len(breq.Submissions))
+	keys := make([]store.Key, len(breq.Submissions))
 	var subs []core.Submission
 	var subIdx []int
 	for i, sub := range breq.Submissions {
-		keys[i] = cacheKey(entry.ID, entry.Version, sub.Source)
+		keys[i] = store.NewKey(entry.ID, entry.Version, sub.Source)
 		resp.Results[i].ID = sub.ID
-		if body, hit := s.cache.get(keys[i]); hit {
+		if body, hit := s.storeGet(keys[i]); hit {
 			obs.ServerCacheHitsTotal.Inc()
 			resp.Results[i].Cached = true
 			resp.Results[i].Report = body
@@ -557,7 +546,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, req *http.Request) {
 				continue
 			}
 			resp.Results[i].Report = body
-			s.cache.put(keys[i], body)
+			s.storePut(keys[i], body)
 		}
 		if stats.Cancelled > 0 {
 			obs.ServerTimeoutsTotal.Inc()

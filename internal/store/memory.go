@@ -1,0 +1,70 @@
+package store
+
+import (
+	"container/list"
+	"sync"
+
+	"semfeed/internal/obs"
+)
+
+// Memory is the in-process LRU tier: a mutex-guarded list+map over rendered
+// report JSON. Identical resubmissions — the dominant MOOC traffic pattern —
+// skip parsing, EPDG construction and matching entirely.
+type Memory struct {
+	mu      sync.Mutex
+	max     int
+	ll      *list.List
+	entries map[string]*list.Element
+}
+
+type memItem struct {
+	key  string
+	body []byte
+}
+
+// NewMemory returns an LRU holding at most max entries (max <= 0 is treated
+// as 1).
+func NewMemory(max int) *Memory {
+	if max <= 0 {
+		max = 1
+	}
+	return &Memory{max: max, ll: list.New(), entries: make(map[string]*list.Element)}
+}
+
+// Get returns the cached body and promotes the entry to most-recently-used.
+func (m *Memory) Get(k Key) ([]byte, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	el, ok := m.entries[k.String()]
+	if !ok {
+		return nil, false
+	}
+	m.ll.MoveToFront(el)
+	return el.Value.(*memItem).body, true
+}
+
+// Put inserts or refreshes an entry, evicting from the LRU tail when full.
+func (m *Memory) Put(k Key, body []byte) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	key := k.String()
+	if el, ok := m.entries[key]; ok {
+		m.ll.MoveToFront(el)
+		el.Value.(*memItem).body = body
+		return
+	}
+	m.entries[key] = m.ll.PushFront(&memItem{key: key, body: body})
+	for m.ll.Len() > m.max {
+		tail := m.ll.Back()
+		m.ll.Remove(tail)
+		delete(m.entries, tail.Value.(*memItem).key)
+		obs.ServerCacheEvictTotal.Inc()
+	}
+}
+
+// Len returns the number of cached entries.
+func (m *Memory) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ll.Len()
+}

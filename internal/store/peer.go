@@ -1,0 +1,111 @@
+package store
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"time"
+
+	"semfeed/internal/obs"
+)
+
+// maxPeerBody caps how much of a peer's response a fill will buffer: report
+// JSON is small, so anything larger is a misbehaving peer, not a result.
+const maxPeerBody = 8 << 20
+
+// Peer is the HTTP backend: Get and Put against another node's /v1/store
+// endpoint. The key is content-addressed, so whichever node computed a
+// result, every node derives the same URL for it — a cache hit needs no
+// routing table, only the peer's address.
+type Peer struct {
+	base   string // http://host:port, no trailing slash
+	client *http.Client
+}
+
+// NewPeer returns a store over base's /v1/store endpoint. client may be nil
+// for a short-timeout default (a peer fill that is slower than grading is
+// worse than a miss).
+func NewPeer(base string, client *http.Client) *Peer {
+	if client == nil {
+		client = &http.Client{Timeout: 2 * time.Second}
+	}
+	for len(base) > 0 && base[len(base)-1] == '/' {
+		base = base[:len(base)-1]
+	}
+	return &Peer{base: base, client: client}
+}
+
+// Base returns the peer's base URL.
+func (p *Peer) Base() string { return p.base }
+
+func (p *Peer) url(k Key) string { return p.base + "/v1/store/" + k.Path() }
+
+// Get fetches k from the peer. Any transport error or non-200 is a miss.
+func (p *Peer) Get(k Key) ([]byte, bool) {
+	resp, err := p.client.Get(p.url(k))
+	if err != nil {
+		obs.StorePeerErrorsTotal.Inc()
+		return nil, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return nil, false
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxPeerBody))
+	if err != nil {
+		obs.StorePeerErrorsTotal.Inc()
+		return nil, false
+	}
+	return body, true
+}
+
+// Put uploads k to the peer, best-effort.
+func (p *Peer) Put(k Key, body []byte) {
+	req, err := http.NewRequest(http.MethodPut, p.url(k), bytes.NewReader(body))
+	if err != nil {
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := p.client.Do(req)
+	if err != nil {
+		obs.StorePeerErrorsTotal.Inc()
+		return
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+}
+
+// Len is unknown for a remote store.
+func (p *Peer) Len() int { return 0 }
+
+// Tiered composes a local tier with a fill path: reads hit Local first and
+// fall through to Fallback, backfilling Local on a remote hit so the next
+// read is local; writes land in Local only (the owner of a key writes its
+// own copy — replication is the reader's pull, not the writer's push).
+type Tiered struct {
+	Local    Store
+	Fallback Store
+}
+
+// Get reads local-first with remote fill.
+func (t *Tiered) Get(k Key) ([]byte, bool) {
+	if body, ok := t.Local.Get(k); ok {
+		return body, true
+	}
+	body, ok := t.Fallback.Get(k)
+	if ok {
+		t.Local.Put(k, body)
+	}
+	return body, ok
+}
+
+// Put writes to the local tier.
+func (t *Tiered) Put(k Key, body []byte) { t.Local.Put(k, body) }
+
+// Len reports the local tier's entry count.
+func (t *Tiered) Len() int { return t.Local.Len() }
+
+// LocalGet answers from the local tier only; the /v1/store endpoint serves
+// through this so peers asking each other can never chain fills.
+func (t *Tiered) LocalGet(k Key) ([]byte, bool) { return t.Local.Get(k) }

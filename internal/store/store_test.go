@@ -1,0 +1,160 @@
+package store
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+func k(a, v, src string) Key { return NewKey(a, v, src) }
+
+func TestKeyPathRoundTrip(t *testing.T) {
+	cases := []Key{
+		NewKey("assignment1", "builtin", "int x = 0;"),
+		NewKey("lab/3", "0a1b2c3d4e5f", "y"),
+		NewKey("weird id%", "v 1", "z"),
+	}
+	for _, want := range cases {
+		got, ok := ParsePath(want.Path())
+		if !ok {
+			t.Fatalf("ParsePath(%q) rejected", want.Path())
+		}
+		if got != want {
+			t.Fatalf("round trip: got %+v want %+v", got, want)
+		}
+	}
+}
+
+func TestParsePathRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"",
+		"a/b",
+		"a/b/c/d",
+		"a/b/nothex",
+		"a/b/" + fmt.Sprintf("%064s", "Z"), // uppercase / non-hex
+		"/b/" + SourceHash("x"),            // empty assignment
+	}
+	for _, p := range bad {
+		if _, ok := ParsePath(p); ok {
+			t.Errorf("ParsePath(%q) accepted, want reject", p)
+		}
+	}
+}
+
+func TestMemoryLRUEviction(t *testing.T) {
+	m := NewMemory(2)
+	m.Put(k("a", "v", "1"), []byte("one"))
+	m.Put(k("a", "v", "2"), []byte("two"))
+	if _, ok := m.Get(k("a", "v", "1")); !ok { // promote 1
+		t.Fatal("entry 1 missing")
+	}
+	m.Put(k("a", "v", "3"), []byte("three")) // evicts 2, the LRU
+	if _, ok := m.Get(k("a", "v", "2")); ok {
+		t.Fatal("entry 2 should have been evicted")
+	}
+	if body, ok := m.Get(k("a", "v", "1")); !ok || string(body) != "one" {
+		t.Fatalf("entry 1 = %q, %v", body, ok)
+	}
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", m.Len())
+	}
+}
+
+func TestTieredBackfill(t *testing.T) {
+	local := NewMemory(8)
+	remote := NewMemory(8)
+	tiered := &Tiered{Local: local, Fallback: remote}
+
+	key := k("a", "v", "src")
+	remote.Put(key, []byte("body"))
+
+	if body, ok := tiered.Get(key); !ok || string(body) != "body" {
+		t.Fatalf("tiered Get = %q, %v", body, ok)
+	}
+	// The hit must have backfilled the local tier.
+	if body, ok := local.Get(key); !ok || string(body) != "body" {
+		t.Fatalf("local tier not backfilled: %q, %v", body, ok)
+	}
+	// LocalGet must not consult the fallback.
+	miss := k("a", "v", "other")
+	remote.Put(miss, []byte("remote-only"))
+	if _, ok := tiered.LocalGet(miss); ok {
+		t.Fatal("LocalGet consulted the fallback tier")
+	}
+	// Puts land locally, not remotely.
+	put := k("a", "v", "put")
+	tiered.Put(put, []byte("x"))
+	if _, ok := remote.Get(put); ok {
+		t.Fatal("Tiered.Put wrote to the fallback tier")
+	}
+}
+
+// TestPeerStoreHTTP runs a Peer against a stub /v1/store endpoint.
+func TestPeerStoreHTTP(t *testing.T) {
+	backing := NewMemory(8)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/store/", func(w http.ResponseWriter, r *http.Request) {
+		key, ok := ParsePath(r.URL.Path[len("/v1/store/"):])
+		if !ok {
+			http.Error(w, "bad key", http.StatusBadRequest)
+			return
+		}
+		switch r.Method {
+		case http.MethodGet:
+			body, ok := backing.Get(key)
+			if !ok {
+				http.NotFound(w, r)
+				return
+			}
+			_, _ = w.Write(body)
+		case http.MethodPut:
+			var buf [1024]byte
+			n, _ := r.Body.Read(buf[:])
+			backing.Put(key, append([]byte(nil), buf[:n]...))
+			w.WriteHeader(http.StatusNoContent)
+		}
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	p := NewPeer(srv.URL+"/", nil) // trailing slash must be tolerated
+	key := k("assignment1", "deadbeef", "src")
+
+	if _, ok := p.Get(key); ok {
+		t.Fatal("Get before Put should miss")
+	}
+	p.Put(key, []byte(`{"report":1}`))
+	if body, ok := p.Get(key); !ok || string(body) != `{"report":1}` {
+		t.Fatalf("Get after Put = %q, %v", body, ok)
+	}
+
+	// A dead peer is a miss, not an error.
+	srv.Close()
+	if _, ok := p.Get(key); ok {
+		t.Fatal("Get from dead peer should miss")
+	}
+}
+
+// TestMemoryConcurrent hammers one Memory from many goroutines; run with
+// -race this pins the locking.
+func TestMemoryConcurrent(t *testing.T) {
+	m := NewMemory(32)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := k("a", "v", fmt.Sprintf("%d-%d", g, i%40))
+				m.Put(key, []byte{byte(i)})
+				m.Get(key)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if m.Len() > 32 {
+		t.Fatalf("Len = %d exceeds cap", m.Len())
+	}
+}

@@ -1,0 +1,146 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for cluster mode: a coordinator routing to two worker
+# processes (disk-backed result stores), graded through the coordinator with
+# these assertions —
+#   * routing is stable: resubmitting the same source returns cached:true
+#     from the owning worker's store;
+#   * one request ID spans processes: the coordinator's /v1/trace/{id} holds
+#     the proxy span and the worker that graded it holds the grade span under
+#     the same ID, with the coordinator's traceparent adopted as remote
+#     parent;
+#   * killing a worker (SIGKILL, not a drain) mid-run produces zero 5xx — the
+#     coordinator reroutes onto the survivor, semfeed_cluster_reroutes_total
+#     rises, and the workers gauge drops to 1;
+#   * the coordinator's readiness reflects its ring, and it drains cleanly.
+# CI runs this on every push.
+set -euo pipefail
+
+CPORT="${CPORT:-18660}"
+W1PORT="${W1PORT:-18661}"
+W2PORT="${W2PORT:-18662}"
+COORD="127.0.0.1:${CPORT}"
+W1="127.0.0.1:${W1PORT}"
+W2="127.0.0.1:${W2PORT}"
+WORK="$(mktemp -d)"
+LOG_C="${WORK}/coordinator.log"
+LOG_W1="${WORK}/worker1.log"
+LOG_W2="${WORK}/worker2.log"
+trap 'kill "${C_PID:-}" "${W1_PID:-}" "${W2_PID:-}" 2>/dev/null || true; rm -rf "${WORK}"' EXIT
+
+fail() {
+  echo "cluster-smoke FAIL: $1"
+  for f in "${LOG_C}" "${LOG_W1}" "${LOG_W2}"; do
+    [ -f "$f" ] && { echo "--- $f"; cat "$f"; }
+  done
+  exit 1
+}
+
+wait_ready() { # addr pid name
+  for i in $(seq 1 50); do
+    if curl -sf "http://$1/readyz" >/dev/null 2>&1; then return 0; fi
+    kill -0 "$2" 2>/dev/null || fail "$3 exited during startup"
+    sleep 0.2
+  done
+  fail "$3 never became ready"
+}
+
+echo "== building"
+go build -o "${WORK}/semfeedd" ./cmd/semfeedd
+
+echo "== starting 2 workers (disk stores) + coordinator"
+"${WORK}/semfeedd" -mode worker -addr "${W1}" -store disk -store-dir "${WORK}/store1" \
+  -log-format json -trace-slow 0 >>"${LOG_W1}" 2>&1 &
+W1_PID=$!
+"${WORK}/semfeedd" -mode worker -addr "${W2}" -store disk -store-dir "${WORK}/store2" \
+  -log-format json -trace-slow 0 >>"${LOG_W2}" 2>&1 &
+W2_PID=$!
+wait_ready "${W1}" "${W1_PID}" "worker1"
+wait_ready "${W2}" "${W2_PID}" "worker2"
+
+"${WORK}/semfeedd" -mode coordinator -addr "${COORD}" \
+  -cluster-workers "http://${W1},http://${W2}" -probe-interval 500ms \
+  -log-format json -trace-slow 0 >>"${LOG_C}" 2>&1 &
+C_PID=$!
+wait_ready "${COORD}" "${C_PID}" "coordinator"
+echo "== ready"
+
+echo "== grading through the coordinator"
+cat > "${WORK}/req.json" <<'EOF'
+{"assignment": "assignment1", "id": "cluster-smoke-1",
+ "source": "void assignment1(int[] a) { int sum = 0; int prod = 1; for (int i = 0; i < a.length; i++) { if (i % 2 == 1) { sum = sum + a[i]; } if (i % 2 == 0) { prod = prod * a[i]; } } System.out.println(sum); System.out.println(prod); }"}
+EOF
+RESP="$(curl -sf -D "${WORK}/headers" -X POST -H 'Content-Type: application/json' \
+  --data @"${WORK}/req.json" "http://${COORD}/v1/grade")" || fail "grade through coordinator failed"
+echo "${RESP}" | grep -q '"report"' || fail "no report in response: ${RESP}"
+RID="$(grep -i '^x-request-id:' "${WORK}/headers" | tr -d '\r' | awk '{print $2}')"
+[ -n "${RID}" ] || fail "no X-Request-ID from the coordinator"
+
+echo "== routing stability: resubmission must be a store hit"
+RESP2="$(curl -sf -X POST -H 'Content-Type: application/json' \
+  --data @"${WORK}/req.json" "http://${COORD}/v1/grade")" || fail "resubmission failed"
+echo "${RESP2}" | grep -q '"cached":true' \
+  || fail "resubmission not served from the owner's result store: ${RESP2}"
+
+echo "== cross-process trace correlation under request ID ${RID}"
+CTRACE="$(curl -sf "http://${COORD}/v1/trace/${RID}")" || fail "coordinator trace retrieval failed"
+echo "${CTRACE}" | grep -q '"name":"proxy/assignment1"' \
+  || fail "coordinator trace has no proxy span: ${CTRACE}"
+# The worker that graded it holds the grade span under the SAME ID, with the
+# coordinator's onward traceparent adopted as its remote parent.
+WTRACE=""
+for W in "${W1}" "${W2}"; do
+  T="$(curl -sf "http://${W}/v1/trace/${RID}" 2>/dev/null || true)"
+  if echo "${T}" | grep -q '"name":"grade/assignment1"'; then WTRACE="${T}"; break; fi
+done
+[ -n "${WTRACE}" ] || fail "no worker holds a grade trace for ${RID}"
+echo "${WTRACE}" | grep -q "\"id\":\"${RID}\"" || fail "worker trace ID mismatch: ${WTRACE}"
+echo "${WTRACE}" | grep -q '"traceparent":"00-' \
+  || fail "worker trace did not adopt the coordinator's traceparent: ${WTRACE}"
+
+echo "== killing one worker mid-run (SIGKILL)"
+kill -KILL "${W1_PID}"
+wait "${W1_PID}" 2>/dev/null || true
+W1_PID=""
+# Grade a spread of distinct sources: some were owned by the dead worker, so
+# the coordinator must reroute them. Every single one must succeed.
+for i in $(seq 1 12); do
+  sed "s/int sum = 0/int sum = ${i} - ${i}/" "${WORK}/req.json" > "${WORK}/req_k.json"
+  CODE="$(curl -s -o "${WORK}/resp_k.json" -w '%{http_code}' -X POST \
+    -H 'Content-Type: application/json' --data @"${WORK}/req_k.json" \
+    "http://${COORD}/v1/grade")" || fail "request $i failed at transport level"
+  case "${CODE}" in
+    5*) fail "request $i got HTTP ${CODE} after worker kill (want reroute): $(cat "${WORK}/resp_k.json")" ;;
+    200) ;;
+    *) fail "request $i got HTTP ${CODE}: $(cat "${WORK}/resp_k.json")" ;;
+  esac
+done
+
+echo "== reroute accounting on /metrics"
+METRICS="$(curl -sf "http://${COORD}/metrics")" || fail "coordinator metrics scrape failed"
+REROUTES="$(echo "${METRICS}" | grep '^semfeed_cluster_reroutes_total ' | awk '{print $2}')"
+[ "${REROUTES:-0}" -ge 1 ] || fail "semfeed_cluster_reroutes_total = ${REROUTES:-absent}, want >= 1:
+$(echo "${METRICS}" | grep semfeed_cluster || true)"
+
+echo "== workers gauge drops to the survivor"
+for i in $(seq 1 30); do
+  WORKERS="$(curl -sf "http://${COORD}/metrics" | grep '^semfeed_cluster_workers ' | awk '{print $2}')"
+  [ "${WORKERS:-2}" = "1" ] && break
+  sleep 0.2
+  [ "$i" = 30 ] && fail "semfeed_cluster_workers stuck at ${WORKERS:-absent}, want 1"
+done
+
+echo "== coordinator still ready with one worker"
+curl -sf "http://${COORD}/readyz" >/dev/null || fail "coordinator not ready with a surviving worker"
+
+echo "== draining coordinator (SIGTERM)"
+kill -TERM "${C_PID}"
+if ! wait "${C_PID}"; then fail "coordinator exited nonzero on SIGTERM"; fi
+C_PID=""
+grep -q '"msg":"drain_complete"' "${LOG_C}" || fail "no coordinator drain_complete log line"
+
+echo "== draining surviving worker"
+kill -TERM "${W2_PID}"
+if ! wait "${W2_PID}"; then fail "worker2 exited nonzero on SIGTERM"; fi
+W2_PID=""
+
+echo "cluster-smoke: OK"
