@@ -84,7 +84,7 @@ func main() {
 		vnodes       = flag.Int("vnodes", cluster.DefaultVNodes, "virtual nodes per worker on the routing ring")
 		proxyTimeout = flag.Duration("proxy-timeout", 15*time.Second, "one proxied grade attempt's deadline (coordinator mode; keep above the workers' -timeout)")
 		shardTimeout = flag.Duration("shard-timeout", 60*time.Second, "one batch shard's deadline (coordinator mode)")
-		proxyRetries = flag.Int("proxy-retries", 2, "extra ring replicas a failed grade is retried on (coordinator mode)")
+		proxyRetries = flag.Int("proxy-retries", cluster.DefaultReplicas, "extra ring replicas a failed grade is retried on (coordinator mode; 0 disables rerouting)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight requests on shutdown")
 		analyzers    = flag.String("analyzers", "all", `static analyzers run on every submission: "all", "none", or a comma-separated name list (assignment definitions may override per assignment)`)
 		logFormat    = flag.String("log-format", "text", `structured log format: "text" or "json"`)
@@ -131,6 +131,10 @@ func main() {
 
 	switch *mode {
 	case "coordinator":
+		if *proxyRetries < 0 {
+			logger.Error("bad -proxy-retries: must be >= 0 (0 disables rerouting)")
+			os.Exit(2)
+		}
 		runCoordinator(logger, coordinatorFlags{
 			addr:         *addr,
 			workers:      splitList(*clusterList),

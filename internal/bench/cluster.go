@@ -53,7 +53,7 @@ func SpawnCluster(a *assignments.Assignment, n int) (*ClusterHarness, error) {
 		h.WorkerAddrs = append(h.WorkerAddrs, srv.Addr())
 		workerURLs = append(workerURLs, "http://"+srv.Addr())
 	}
-	coord := cluster.New(cluster.Config{Workers: workerURLs})
+	coord := cluster.New(cluster.Config{Workers: workerURLs, Replicas: cluster.DefaultReplicas})
 	errc, err := coord.Start("127.0.0.1:0")
 	if err != nil {
 		h.Close()

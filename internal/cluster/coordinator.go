@@ -18,8 +18,13 @@ import (
 	"semfeed/internal/store"
 )
 
+// DefaultReplicas is how many additional ring members a failed idempotent
+// request is retried on when Config.Replicas is negative ("use default").
+const DefaultReplicas = 2
+
 // Config tunes the coordinator. The zero value (plus Workers) applies the
-// defaults noted on each field.
+// defaults noted on each field — except Replicas, where zero is a meaningful
+// setting (retries disabled) and negative selects the default.
 type Config struct {
 	// Workers are the worker base URLs (http://host:port); required.
 	Workers []string
@@ -34,7 +39,8 @@ type Config struct {
 	// ShardTimeout bounds one per-worker batch shard (default 60s).
 	ShardTimeout time.Duration
 	// Replicas is how many additional ring members a failed idempotent
-	// request is retried on (default 2).
+	// request is retried on. Zero disables replica retries; negative means
+	// "use the default" (DefaultReplicas).
 	Replicas int
 	// MaxBodyBytes caps request bodies (default 16 MiB — batches pass
 	// through whole).
@@ -59,8 +65,8 @@ func (c *Config) defaults() {
 	if c.ShardTimeout <= 0 {
 		c.ShardTimeout = 60 * time.Second
 	}
-	if c.Replicas <= 0 {
-		c.Replicas = 2
+	if c.Replicas < 0 {
+		c.Replicas = DefaultReplicas
 	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 16 << 20
@@ -465,6 +471,13 @@ func (c *Coordinator) handleBatch(w http.ResponseWriter, req *http.Request) {
 					if j < len(out.resp.Results) {
 						resp.Results[i] = out.resp.Results[j]
 						resp.Results[i].ID = breq.Submissions[i].ID
+					} else {
+						// A short response must not leave items unaccounted:
+						// every submission lands in Graded or Failed.
+						resp.Results[i].Error = fmt.Sprintf(
+							"worker %s returned short response (%d results for %d submissions)",
+							out.worker, len(out.resp.Results), len(out.indices))
+						resp.Failed++
 					}
 				}
 				resp.Graded += out.resp.Graded

@@ -60,7 +60,7 @@ func spawnWorker(t *testing.T) *testWorker {
 // spawnCoordinator builds and starts a coordinator over the worker URLs.
 func spawnCoordinator(t *testing.T, workers ...string) (*Coordinator, string) {
 	t.Helper()
-	c := New(Config{Workers: workers, ProbeInterval: 200 * time.Millisecond})
+	c := New(Config{Workers: workers, ProbeInterval: 200 * time.Millisecond, Replicas: DefaultReplicas})
 	errc, err := c.Start("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -280,6 +280,76 @@ func TestCoordinatorBatchFanout(t *testing.T) {
 	}
 	if bresp.KBVersion != "builtin" {
 		t.Fatalf("KBVersion %q, want builtin", bresp.KBVersion)
+	}
+}
+
+// TestConfigReplicasSemantics pins that an explicit Replicas: 0 disables
+// retries (it is not coerced back to the default) while negative selects
+// DefaultReplicas.
+func TestConfigReplicasSemantics(t *testing.T) {
+	zero := Config{Replicas: 0}
+	zero.defaults()
+	if zero.Replicas != 0 {
+		t.Fatalf("Replicas: 0 coerced to %d, want 0 (retries disabled)", zero.Replicas)
+	}
+	neg := Config{Replicas: -1}
+	neg.defaults()
+	if neg.Replicas != DefaultReplicas {
+		t.Fatalf("Replicas: -1 = %d, want default %d", neg.Replicas, DefaultReplicas)
+	}
+}
+
+// TestBatchShortShardResponseAccounted pins that a worker answering a batch
+// shard with fewer results than submissions leaves no item unaccounted: the
+// missing indices fail explicitly and Graded+Failed covers every submission.
+func TestBatchShortShardResponseAccounted(t *testing.T) {
+	short := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/readyz" {
+			fmt.Fprintln(w, "ready")
+			return
+		}
+		var breq server.BatchRequest
+		_ = json.NewDecoder(r.Body).Decode(&breq)
+		// Answer only the first submission, dropping the rest.
+		resp := server.BatchResponse{Assignment: breq.Assignment, KBVersion: "builtin", Graded: 1}
+		resp.Results = []server.BatchItem{{ID: breq.Submissions[0].ID, Report: json.RawMessage(`{}`)}}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(resp)
+	}))
+	defer short.Close()
+	_, base := spawnCoordinator(t, short.URL)
+
+	var breq server.BatchRequest
+	breq.Assignment = "assignment1"
+	breq.Submissions = make([]struct {
+		ID     string `json:"id,omitempty"`
+		Source string `json:"source"`
+	}, 3)
+	for i := range breq.Submissions {
+		breq.Submissions[i].ID = fmt.Sprintf("sub-%d", i)
+		breq.Submissions[i].Source = fmt.Sprintf("void assignment1(int[] a) { int x%d; }", i)
+	}
+	body, _ := json.Marshal(breq)
+	resp, err := http.Post(base+"/v1/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var bresp server.BatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&bresp); err != nil {
+		t.Fatal(err)
+	}
+	if bresp.Graded+bresp.Failed != len(breq.Submissions) {
+		t.Fatalf("graded %d + failed %d != %d submissions — short response left items unaccounted",
+			bresp.Graded, bresp.Failed, len(breq.Submissions))
+	}
+	if bresp.Failed != 2 {
+		t.Fatalf("failed = %d, want 2", bresp.Failed)
+	}
+	for i := 1; i < 3; i++ {
+		if bresp.Results[i].Error == "" {
+			t.Fatalf("result %d dropped by the worker but carries no error", i)
+		}
 	}
 }
 

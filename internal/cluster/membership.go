@@ -90,17 +90,21 @@ func (m *Membership) ReportFailure(worker string) {
 }
 
 // rebuild recomputes the healthy set and publishes a fresh ring if it
-// changed.
+// changed. The mutex is held across the compute-build-compare-publish
+// sequence (ring builds are microseconds): releasing it between computing
+// the healthy set and storing the ring would let two concurrent rebuilds —
+// ReportFailure from a proxy goroutine racing probeAll — publish out of
+// order, leaving a stale ring that still routes to a just-failed worker
+// with no later event to correct it.
 func (m *Membership) rebuild() {
 	m.mu.Lock()
+	defer m.mu.Unlock()
 	healthy := make([]string, 0, len(m.workers))
 	for _, w := range m.workers {
 		if m.fails[w] < probeFailThreshold {
 			healthy = append(healthy, w)
 		}
 	}
-	m.mu.Unlock()
-
 	cur := m.ring.Load()
 	next := NewRing(healthy, m.vnodes)
 	if cur != nil && sameMembers(cur.Members(), next.Members()) {
@@ -111,7 +115,7 @@ func (m *Membership) rebuild() {
 	obs.ClusterMembershipSwapsTotal.Inc()
 	obs.Logger().Info("cluster_membership",
 		"healthy", next.Size(),
-		"configured", len(m.Workers()))
+		"configured", len(m.workers))
 }
 
 func sameMembers(a, b []string) bool {

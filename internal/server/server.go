@@ -353,13 +353,21 @@ func (s *Server) handleTrace(w http.ResponseWriter, req *http.Request) {
 }
 
 // handleStore serves the node's result store over HTTP
-// (GET/PUT /v1/store/{assignment}/{kb-version}/{source-hash}): the wire
-// surface that lets cluster peers pull cache hits for keys they own and
-// warm a replacement node. GET answers from the local tier only (via
-// store.LocalGet), so two peers asking each other can never chain fills.
+// (GET /v1/store/{assignment}/{kb-version}/{source-hash}): the wire surface
+// that lets cluster peers pull cache hits for keys they own. It answers from
+// the local tier only (via store.LocalGet), so two peers asking each other
+// can never chain fills. The endpoint is strictly read-only: the store key is
+// derivable by anyone holding a submission (assignment ID, KB version, and
+// the source's SHA-256), so a write surface here would let any client plant a
+// fabricated report that handleGrade then serves as the official cached
+// result. Grading is the only writer; replication is the reader's pull.
 func (s *Server) handleStore(w http.ResponseWriter, req *http.Request) {
 	if s.store == nil {
 		s.fail(w, http.StatusNotFound, "result store disabled")
+		return
+	}
+	if req.Method != http.MethodGet {
+		s.fail(w, http.StatusMethodNotAllowed, "GET only (the store is read-only over HTTP)")
 		return
 	}
 	key, ok := store.ParsePath(strings.TrimPrefix(req.URL.Path, "/v1/store/"))
@@ -367,26 +375,13 @@ func (s *Server) handleStore(w http.ResponseWriter, req *http.Request) {
 		s.fail(w, http.StatusBadRequest, "malformed store key (want assignment/kb-version/source-hash)")
 		return
 	}
-	switch req.Method {
-	case http.MethodGet:
-		body, hit := store.LocalGet(s.store, key)
-		if !hit {
-			s.fail(w, http.StatusNotFound, "not stored")
-			return
-		}
-		w.Header().Set("Content-Type", "application/json")
-		_, _ = w.Write(body)
-	case http.MethodPut:
-		body, err := io.ReadAll(http.MaxBytesReader(w, req.Body, s.cfg.MaxBodyBytes))
-		if err != nil {
-			s.fail(w, http.StatusBadRequest, "read body: "+err.Error())
-			return
-		}
-		s.store.Put(key, body)
-		w.WriteHeader(http.StatusNoContent)
-	default:
-		s.fail(w, http.StatusMethodNotAllowed, "GET or PUT only")
+	body, hit := store.LocalGet(s.store, key)
+	if !hit {
+		s.fail(w, http.StatusNotFound, "not stored")
+		return
 	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(body)
 }
 
 func (s *Server) handleAssignments(w http.ResponseWriter, req *http.Request) {

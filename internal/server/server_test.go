@@ -16,6 +16,7 @@ import (
 
 	"semfeed/internal/assignments"
 	"semfeed/internal/core"
+	"semfeed/internal/store"
 )
 
 // testRegistry returns a registry serving the built-in assignment1.
@@ -443,6 +444,70 @@ func TestRegistrySkipsMalformedFile(t *testing.T) {
 	}
 	if reg.Get("bad") != nil {
 		t.Fatal("bad definition should be skipped")
+	}
+}
+
+// TestStoreEndpointReadOnly pins the store's security contract: the key is
+// derivable by anyone holding a submission, so /v1/store must reject writes —
+// otherwise a client could plant a fabricated report and have handleGrade
+// serve it back as the official cached result.
+func TestStoreEndpointReadOnly(t *testing.T) {
+	srv := New(Config{Registry: testRegistry(t)})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	ref := assignments.Get("assignment1").Reference()
+	resp, body := postJSON(t, ts.Client(), ts.URL+"/v1/grade", GradeRequest{
+		Assignment: "assignment1", Source: ref,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("grade: status %d: %s", resp.StatusCode, body)
+	}
+	var gr GradeResponse
+	if err := json.Unmarshal(body, &gr); err != nil {
+		t.Fatal(err)
+	}
+
+	storeURL := ts.URL + "/v1/store/" + store.NewKey("assignment1", "builtin", ref).Path()
+	resp, err := ts.Client().Get(storeURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET stored key: status %d", resp.StatusCode)
+	}
+
+	// The poisoning attempt: PUT a fabricated report under the real key.
+	req, err := http.NewRequest(http.MethodPut, storeURL, strings.NewReader(`{"matched":true,"score":999}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("PUT /v1/store: status %d, want 405", resp.StatusCode)
+	}
+
+	// The resubmission must serve the genuine graded report, untouched.
+	resp, body = postJSON(t, ts.Client(), ts.URL+"/v1/grade", GradeRequest{
+		Assignment: "assignment1", Source: ref,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("regrade: status %d: %s", resp.StatusCode, body)
+	}
+	var gr2 GradeResponse
+	if err := json.Unmarshal(body, &gr2); err != nil {
+		t.Fatal(err)
+	}
+	if !gr2.Cached {
+		t.Fatal("resubmission should be a cache hit")
+	}
+	if !bytes.Equal(gr.Report, gr2.Report) {
+		t.Fatal("cached report changed after a rejected PUT — store was poisoned")
 	}
 }
 

@@ -1,7 +1,6 @@
 package store
 
 import (
-	"bytes"
 	"io"
 	"net/http"
 	"time"
@@ -13,10 +12,10 @@ import (
 // JSON is small, so anything larger is a misbehaving peer, not a result.
 const maxPeerBody = 8 << 20
 
-// Peer is the HTTP backend: Get and Put against another node's /v1/store
-// endpoint. The key is content-addressed, so whichever node computed a
-// result, every node derives the same URL for it — a cache hit needs no
-// routing table, only the peer's address.
+// Peer is the HTTP backend: Get against another node's /v1/store endpoint.
+// The key is content-addressed, so whichever node computed a result, every
+// node derives the same URL for it — a cache hit needs no routing table,
+// only the peer's address.
 type Peer struct {
 	base   string // http://host:port, no trailing slash
 	client *http.Client
@@ -60,21 +59,11 @@ func (p *Peer) Get(k Key) ([]byte, bool) {
 	return body, true
 }
 
-// Put uploads k to the peer, best-effort.
-func (p *Peer) Put(k Key, body []byte) {
-	req, err := http.NewRequest(http.MethodPut, p.url(k), bytes.NewReader(body))
-	if err != nil {
-		return
-	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := p.client.Do(req)
-	if err != nil {
-		obs.StorePeerErrorsTotal.Inc()
-		return
-	}
-	_, _ = io.Copy(io.Discard, resp.Body)
-	resp.Body.Close()
-}
+// Put is a no-op: the store protocol is read-only. Each node writes only
+// results it graded itself, replication is the reader's pull, and the
+// /v1/store endpoint rejects writes — accepting remote writes would let
+// anyone plant a fabricated report under a submission's derivable key.
+func (p *Peer) Put(Key, []byte) {}
 
 // Len is unknown for a remote store.
 func (p *Peer) Len() int { return 0 }

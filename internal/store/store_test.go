@@ -91,30 +91,30 @@ func TestTieredBackfill(t *testing.T) {
 	}
 }
 
-// TestPeerStoreHTTP runs a Peer against a stub /v1/store endpoint.
+// TestPeerStoreHTTP runs a Peer against a stub /v1/store endpoint. The
+// protocol is read-only: the stub serves GET only, mirroring the real
+// endpoint, and Peer.Put must never reach the wire.
 func TestPeerStoreHTTP(t *testing.T) {
 	backing := NewMemory(8)
+	var puts int
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/store/", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			puts++
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
 		key, ok := ParsePath(r.URL.Path[len("/v1/store/"):])
 		if !ok {
 			http.Error(w, "bad key", http.StatusBadRequest)
 			return
 		}
-		switch r.Method {
-		case http.MethodGet:
-			body, ok := backing.Get(key)
-			if !ok {
-				http.NotFound(w, r)
-				return
-			}
-			_, _ = w.Write(body)
-		case http.MethodPut:
-			var buf [1024]byte
-			n, _ := r.Body.Read(buf[:])
-			backing.Put(key, append([]byte(nil), buf[:n]...))
-			w.WriteHeader(http.StatusNoContent)
+		body, ok := backing.Get(key)
+		if !ok {
+			http.NotFound(w, r)
+			return
 		}
+		_, _ = w.Write(body)
 	})
 	srv := httptest.NewServer(mux)
 	defer srv.Close()
@@ -123,11 +123,15 @@ func TestPeerStoreHTTP(t *testing.T) {
 	key := k("assignment1", "deadbeef", "src")
 
 	if _, ok := p.Get(key); ok {
-		t.Fatal("Get before Put should miss")
+		t.Fatal("Get before the owner stored anything should miss")
 	}
-	p.Put(key, []byte(`{"report":1}`))
+	p.Put(key, []byte(`{"evil":1}`)) // must be a local no-op, not a remote write
+	backing.Put(key, []byte(`{"report":1}`))
 	if body, ok := p.Get(key); !ok || string(body) != `{"report":1}` {
-		t.Fatalf("Get after Put = %q, %v", body, ok)
+		t.Fatalf("Get after owner stored = %q, %v", body, ok)
+	}
+	if puts != 0 {
+		t.Fatalf("Peer.Put issued %d remote writes, want 0 (read-only protocol)", puts)
 	}
 
 	// A dead peer is a miss, not an error.
