@@ -23,8 +23,14 @@
 //	POST /v1/grade        grade one submission        {"assignment","id","source"}
 //	POST /v1/batch        grade a batch               {"assignment","submissions":[...]}
 //	GET  /v1/assignments  list served assignments
-//	GET  /v1/trace/{id}   retained trace by request ID (?format=text for the tree)
+//	GET  /v1/trace/{id}   retained trace by request ID (?format=text for the tree);
+//	                      on a coordinator: the assembled cross-process tree —
+//	                      every process's fragment stitched under the proxy span
 //	GET  /v1/store/{key}  content-addressed result store (workers; peer fill)
+//	GET  /v1/cluster/statusz      fleet pane: per-worker health, build, SLOs,
+//	                              store occupancy, ring share (coordinator)
+//	GET  /v1/cluster/metrics.json federated metrics rollup + per-worker breakdown
+//	GET  /v1/events       membership flight recorder (coordinator)
 //	GET  /healthz         liveness
 //	GET  /readyz          readiness (503 while draining, with no KB, or — on a
 //	                      coordinator — with zero healthy workers)
@@ -84,6 +90,7 @@ func main() {
 		vnodes       = flag.Int("vnodes", cluster.DefaultVNodes, "virtual nodes per worker on the routing ring")
 		proxyTimeout = flag.Duration("proxy-timeout", 15*time.Second, "one proxied grade attempt's deadline (coordinator mode; keep above the workers' -timeout)")
 		shardTimeout = flag.Duration("shard-timeout", 60*time.Second, "one batch shard's deadline (coordinator mode)")
+		scrapeTO     = flag.Duration("scrape-timeout", 3*time.Second, "one worker's statusz/metrics scrape or trace fetch deadline (coordinator mode)")
 		proxyRetries = flag.Int("proxy-retries", cluster.DefaultReplicas, "extra ring replicas a failed grade is retried on (coordinator mode; 0 disables rerouting)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight requests on shutdown")
 		analyzers    = flag.String("analyzers", "all", `static analyzers run on every submission: "all", "none", or a comma-separated name list (assignment definitions may override per assignment)`)
@@ -142,6 +149,7 @@ func main() {
 			vnodes:       *vnodes,
 			proxyTimeout: *proxyTimeout,
 			shardTimeout: *shardTimeout,
+			scrapeTO:     *scrapeTO,
 			retries:      *proxyRetries,
 			drainTimeout: *drainTimeout,
 		})
@@ -292,6 +300,7 @@ type coordinatorFlags struct {
 	vnodes       int
 	proxyTimeout time.Duration
 	shardTimeout time.Duration
+	scrapeTO     time.Duration
 	retries      int
 	drainTimeout time.Duration
 }
@@ -307,6 +316,7 @@ func runCoordinator(logger *slog.Logger, cf coordinatorFlags) {
 		ProbeInterval: cf.probeEvery,
 		ProxyTimeout:  cf.proxyTimeout,
 		ShardTimeout:  cf.shardTimeout,
+		ScrapeTimeout: cf.scrapeTO,
 		Replicas:      cf.retries,
 		Logger:        logger,
 	})

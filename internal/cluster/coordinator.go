@@ -38,6 +38,9 @@ type Config struct {
 	ProxyTimeout time.Duration
 	// ShardTimeout bounds one per-worker batch shard (default 60s).
 	ShardTimeout time.Duration
+	// ScrapeTimeout bounds one worker's statusz/metrics scrape and one
+	// worker's trace fetch during cross-process assembly (default 3s).
+	ScrapeTimeout time.Duration
 	// Replicas is how many additional ring members a failed idempotent
 	// request is retried on. Zero disables replica retries; negative means
 	// "use the default" (DefaultReplicas).
@@ -65,6 +68,9 @@ func (c *Config) defaults() {
 	if c.ShardTimeout <= 0 {
 		c.ShardTimeout = 60 * time.Second
 	}
+	if c.ScrapeTimeout <= 0 {
+		c.ScrapeTimeout = 3 * time.Second
+	}
 	if c.Replicas < 0 {
 		c.Replicas = DefaultReplicas
 	}
@@ -90,6 +96,7 @@ func (c *Config) defaults() {
 type Coordinator struct {
 	cfg      Config
 	members  *Membership
+	fed      *federator
 	mux      *http.ServeMux
 	handler  http.Handler
 	draining atomic.Bool
@@ -106,12 +113,16 @@ func New(cfg Config) *Coordinator {
 	c := &Coordinator{
 		cfg:     cfg,
 		members: NewMembership(cfg.Workers, cfg.VNodes, cfg.Client),
+		fed:     newFederator(),
 	}
 	c.mux = http.NewServeMux()
 	c.mux.HandleFunc("/v1/grade", c.handleGrade)
 	c.mux.HandleFunc("/v1/batch", c.handleBatch)
 	c.mux.HandleFunc("/v1/assignments", c.handleAssignments)
 	c.mux.HandleFunc("GET /v1/trace/{id}", c.handleTrace)
+	c.mux.HandleFunc("GET /v1/cluster/statusz", c.handleClusterStatusz)
+	c.mux.HandleFunc("GET /v1/cluster/metrics.json", c.handleClusterMetrics)
+	c.mux.HandleFunc("GET /v1/events", c.handleEvents)
 	c.mux.HandleFunc("/healthz", c.handleHealthz)
 	c.mux.HandleFunc("/readyz", c.handleReadyz)
 	c.mux.Handle("/metrics", obs.Handler())
@@ -254,6 +265,10 @@ func (c *Coordinator) proxyWithReroute(w http.ResponseWriter, req *http.Request,
 	if tc, ok := obs.TraceContextFrom(req.Context()); ok {
 		sp.SetRemoteParent(tc.Traceparent())
 	}
+	// Stamp the exact forwarded traceparent on the proxy span: the worker
+	// records the same header verbatim as its trace's parent, and that string
+	// equality is the join key cross-process assembly stitches on.
+	sp.SetAttr(obs.SentTraceparentKey, tp)
 	defer sp.End()
 
 	candidates := c.members.Ring().LookupN(routeKey, 1+c.cfg.Replicas)
@@ -318,7 +333,12 @@ func (c *Coordinator) forward(ctx context.Context, worker, path string, body []b
 	}
 	preq.Header.Set("Content-Type", "application/json")
 	preq.Header.Set("X-Request-ID", rid)
-	preq.Header.Set("traceparent", traceparent)
+	if traceparent != "" {
+		// Omit the header entirely rather than sending a blank one — a blank
+		// traceparent makes the worker parse and reject it instead of minting
+		// its own trace identity.
+		preq.Header.Set("traceparent", traceparent)
+	}
 	resp, err := c.cfg.Client.Do(preq)
 	if err != nil {
 		cancel()
@@ -398,9 +418,11 @@ func (c *Coordinator) handleBatch(w http.ResponseWriter, req *http.Request) {
 	}
 
 	rid := obs.RequestIDFrom(req.Context())
-	tp := obs.OutboundTraceparent(req.Context())
 	sp := obs.StartTrace("proxy_batch/" + breq.Assignment)
 	sp.SetTraceID(rid)
+	if tc, ok := obs.TraceContextFrom(req.Context()); ok {
+		sp.SetRemoteParent(tc.Traceparent())
+	}
 	defer sp.End()
 
 	resp := server.BatchResponse{Assignment: breq.Assignment}
@@ -435,7 +457,20 @@ func (c *Coordinator) handleBatch(w http.ResponseWriter, req *http.Request) {
 			wg.Add(1)
 			go func(worker string, indices []int) {
 				defer wg.Done()
+				// Each shard gets its own outbound traceparent (fresh span ID,
+				// same trace ID) stamped on its own child span, so every
+				// worker's batch fragment stitches under the shard span that
+				// actually sent it work.
+				tp := obs.OutboundTraceparent(req.Context())
+				ssp := sp.Child("shard/" + worker)
+				ssp.SetAttr("worker", worker)
+				ssp.SetAttrInt("items", int64(len(indices)))
+				ssp.SetAttr(obs.SentTraceparentKey, tp)
 				out := c.runShard(req.Context(), worker, &breq, indices, rid, tp)
+				if out.err != nil {
+					ssp.SetAttr("error", out.err.Error())
+				}
+				ssp.End()
 				mu.Lock()
 				outcomes = append(outcomes, out)
 				mu.Unlock()
@@ -535,7 +570,9 @@ func (c *Coordinator) runShard(ctx context.Context, worker string, breq *server.
 	}
 	preq.Header.Set("Content-Type", "application/json")
 	preq.Header.Set("X-Request-ID", rid)
-	preq.Header.Set("traceparent", tp)
+	if tp != "" {
+		preq.Header.Set("traceparent", tp)
+	}
 	resp, err := c.cfg.Client.Do(preq)
 	if err != nil {
 		out.err = err
@@ -597,7 +634,7 @@ func (c *Coordinator) handleAssignments(w http.ResponseWriter, req *http.Request
 		return
 	}
 	for _, worker := range c.members.Healthy() {
-		ctx, cancel := context.WithTimeout(req.Context(), c.cfg.ProbeInterval+2*time.Second)
+		ctx, cancel := context.WithTimeout(req.Context(), c.cfg.ProxyTimeout)
 		preq, err := http.NewRequestWithContext(ctx, http.MethodGet, worker+"/v1/assignments", nil)
 		if err != nil {
 			cancel()
@@ -616,43 +653,84 @@ func (c *Coordinator) handleAssignments(w http.ResponseWriter, req *http.Request
 	server.WriteError(w, http.StatusServiceUnavailable, "no healthy workers")
 }
 
-// handleTrace serves a trace by request ID from wherever it lives: the
-// coordinator's own store first (the proxy span), then each worker. One
-// request ID spans the whole cluster, so this is the single pane a curl
-// needs to see a grade's cross-process breakdown.
+// handleTrace assembles the cross-process trace for one request ID: the
+// coordinator's proxy fragment plus every worker's retained fragment for the
+// same ID, fetched concurrently under one deadline and stitched into a single
+// tree (obs.Stitch) — worker spans re-parented under the proxy span that
+// forwarded them, each subtree annotated with its process and clock offset.
+// One request ID, one curl, the whole cluster's view of that grade.
 func (c *Coordinator) handleTrace(w http.ResponseWriter, req *http.Request) {
 	id := req.PathValue("id")
-	if td := obs.TraceByID(id); td != nil {
-		if req.URL.Query().Get("format") == "text" {
-			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-			_, _ = io.WriteString(w, td.Tree())
-			return
-		}
-		server.WriteJSON(w, http.StatusOK, td)
+	at := c.assembleTrace(req.Context(), id)
+	if at == nil {
+		server.WriteError(w, http.StatusNotFound,
+			fmt.Sprintf("no retained trace %q on the coordinator or any worker", id))
 		return
 	}
-	for _, worker := range c.members.Healthy() {
-		ctx, cancel := context.WithTimeout(req.Context(), 2*time.Second)
-		preq, err := http.NewRequestWithContext(ctx, http.MethodGet,
-			worker+"/v1/trace/"+id+"?"+req.URL.RawQuery, nil)
-		if err != nil {
-			cancel()
-			continue
-		}
-		resp, err := c.cfg.Client.Do(preq)
-		if err != nil {
-			cancel()
-			continue
-		}
-		if resp.StatusCode == http.StatusOK {
-			c.copyResponse(w, resp)
-			cancel()
-			return
-		}
+	if req.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = io.WriteString(w, at.Text())
+		return
+	}
+	server.WriteJSON(w, http.StatusOK, at)
+}
+
+// assembleTrace fans out the by-ID trace fetch to every configured worker —
+// not just the healthy ones; a worker that served the request and was marked
+// down afterwards may still hold the fragment — and stitches whatever came
+// back. Returns nil when no process retained the ID.
+func (c *Coordinator) assembleTrace(ctx context.Context, id string) *obs.AssembledTrace {
+	workers := c.members.Workers()
+	// The coordinator's own fragment first: Stitch prefers the first non-nil
+	// trace as the base, and the proxy span is the tree's natural root.
+	parts := make([]obs.RemoteTrace, 1+len(workers))
+	parts[0] = obs.RemoteTrace{Source: "coordinator", Trace: obs.TraceByID(id)}
+
+	ctx, cancel := context.WithTimeout(ctx, c.cfg.ScrapeTimeout)
+	defer cancel()
+	var wg sync.WaitGroup
+	for i, worker := range workers {
+		wg.Add(1)
+		go func(slot int, worker string) {
+			defer wg.Done()
+			parts[slot] = c.fetchTrace(ctx, worker, id)
+		}(1+i, worker)
+	}
+	wg.Wait()
+	return obs.Stitch(parts)
+}
+
+// fetchTrace asks one worker for its fragment of trace id. A 404 is a normal
+// non-contribution (the worker never saw the request, or evicted the trace);
+// transport failures and other statuses are recorded in the provenance block.
+func (c *Coordinator) fetchTrace(ctx context.Context, worker, id string) obs.RemoteTrace {
+	out := obs.RemoteTrace{Source: worker}
+	preq, err := http.NewRequestWithContext(ctx, http.MethodGet, worker+"/v1/trace/"+id, nil)
+	if err != nil {
+		out.Err = err.Error()
+		return out
+	}
+	resp, err := c.cfg.Client.Do(preq)
+	if err != nil {
+		out.Err = err.Error()
+		return out
+	}
+	defer func() {
 		_, _ = io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
-		cancel()
+	}()
+	switch {
+	case resp.StatusCode == http.StatusNotFound:
+		return out
+	case resp.StatusCode != http.StatusOK:
+		out.Err = fmt.Sprintf("HTTP %d", resp.StatusCode)
+		return out
 	}
-	server.WriteError(w, http.StatusNotFound,
-		fmt.Sprintf("no retained trace %q on the coordinator or any healthy worker", id))
+	var td obs.TraceData
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxScrapeBytes)).Decode(&td); err != nil {
+		out.Err = "decode trace: " + err.Error()
+		return out
+	}
+	out.Trace = &td
+	return out
 }

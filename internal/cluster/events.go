@@ -1,0 +1,151 @@
+package cluster
+
+// The membership flight recorder: a bounded ring buffer of the events that
+// decide correctness under failure — workers leaving and rejoining the ring,
+// failed probes, and every ring rebuild with its member diff. Ring rebuilds
+// are the moments routing changes; when a post-incident question is "which
+// worker owned this key at 12:03", the answer is in this log, not in any
+// gauge. Served at GET /v1/events on the coordinator, folded into
+// /v1/cluster/statusz, and mirrored as
+// semfeed_cluster_membership_events_total{kind}.
+
+import (
+	"sync"
+	"time"
+
+	"semfeed/internal/obs"
+)
+
+// Event kinds recorded by the flight recorder.
+const (
+	EventWorkerUp    = "worker_up"    // a down worker passed a probe and rejoined
+	EventWorkerDown  = "worker_down"  // a worker crossed the failure threshold
+	EventProbeFail   = "probe_fail"   // a /readyz probe of a healthy worker failed
+	EventRingRebuild = "ring_rebuild" // the routing ring was republished
+)
+
+// MemberEvent is one flight-recorder entry.
+type MemberEvent struct {
+	// Seq is a monotonically increasing sequence number; gaps mean the ring
+	// buffer evicted entries between two reads.
+	Seq  uint64    `json:"seq"`
+	Time time.Time `json:"time"`
+	Kind string    `json:"kind"`
+	// Worker is the subject worker URL (empty for ring_rebuild).
+	Worker string `json:"worker,omitempty"`
+	// Detail says what triggered the event ("probe", "transport", ...).
+	Detail string `json:"detail,omitempty"`
+	// RingGen is the ring generation after the event (set on ring_rebuild;
+	// the generation the other kinds observed).
+	RingGen uint64 `json:"ring_gen"`
+	// Added/Removed are the member diff of a ring_rebuild.
+	Added   []string `json:"added,omitempty"`
+	Removed []string `json:"removed,omitempty"`
+	// Healthy is the healthy worker count after the event.
+	Healthy int `json:"healthy"`
+}
+
+// defaultEventCap bounds the flight recorder. 256 events cover hours of
+// normal churn; a flapping worker evicts the oldest entries first, and Seq
+// gaps make the eviction visible to readers.
+const defaultEventCap = 256
+
+// eventLog is the bounded ring buffer. All methods are safe for concurrent
+// use; record is called with the Membership mutex held and readers come in
+// from HTTP handlers, so it takes its own lock.
+type eventLog struct {
+	mu    sync.Mutex
+	cap   int
+	seq   uint64
+	buf   []MemberEvent // ring storage, len <= cap
+	start int           // index of the oldest entry
+	kinds map[string]int64
+}
+
+func newEventLog(capacity int) *eventLog {
+	if capacity <= 0 {
+		capacity = defaultEventCap
+	}
+	return &eventLog{cap: capacity, kinds: map[string]int64{}}
+}
+
+// record appends one event, evicting the oldest beyond capacity, and mirrors
+// it into the labeled counter.
+func (l *eventLog) record(e MemberEvent) {
+	l.mu.Lock()
+	l.seq++
+	e.Seq = l.seq
+	if e.Time.IsZero() {
+		e.Time = time.Now()
+	}
+	if len(l.buf) < l.cap {
+		l.buf = append(l.buf, e)
+	} else {
+		l.buf[l.start] = e
+		l.start = (l.start + 1) % l.cap
+	}
+	l.kinds[e.Kind]++
+	l.mu.Unlock()
+	obs.ClusterMembershipEventsTotal.Inc(e.Kind)
+}
+
+// Events returns up to n most recent events, newest first (n <= 0 returns
+// everything retained).
+func (l *eventLog) Events(n int) []MemberEvent {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	total := len(l.buf)
+	if total == 0 {
+		return nil
+	}
+	if n <= 0 || n > total {
+		n = total
+	}
+	out := make([]MemberEvent, 0, n)
+	for i := 0; i < n; i++ {
+		// Walk backwards from the newest entry.
+		idx := (l.start + total - 1 - i) % total
+		out = append(out, l.buf[idx])
+	}
+	return out
+}
+
+// Counts returns the per-kind totals since process start (independent of
+// ring-buffer eviction).
+func (l *eventLog) Counts() map[string]int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make(map[string]int64, len(l.kinds))
+	for k, v := range l.kinds {
+		out[k] = v
+	}
+	return out
+}
+
+// Len returns the number of retained events.
+func (l *eventLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.buf)
+}
+
+// diffMembers computes (added, removed) between two sorted member lists.
+func diffMembers(old, cur []string) (added, removed []string) {
+	i, j := 0, 0
+	for i < len(old) && j < len(cur) {
+		switch {
+		case old[i] == cur[j]:
+			i++
+			j++
+		case old[i] < cur[j]:
+			removed = append(removed, old[i])
+			i++
+		default:
+			added = append(added, cur[j])
+			j++
+		}
+	}
+	removed = append(removed, old[i:]...)
+	added = append(added, cur[j:]...)
+	return added, removed
+}

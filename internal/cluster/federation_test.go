@@ -1,0 +1,338 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"semfeed/internal/obs"
+)
+
+// fakeTraceWorker is a worker stand-in for the stitching tests: it answers
+// grades with a canned 200, remembers the traceparent each forwarded request
+// carried, and serves a fabricated trace fragment for that request ID — the
+// two-process shape the assembler must join without two real processes.
+type fakeTraceWorker struct {
+	mu  sync.Mutex
+	tps map[string]string // request ID -> traceparent it arrived with
+	srv *httptest.Server
+}
+
+func newFakeTraceWorker() *fakeTraceWorker {
+	f := &fakeTraceWorker{tps: map[string]string{}}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+	mux.HandleFunc("/v1/grade", func(w http.ResponseWriter, r *http.Request) {
+		f.mu.Lock()
+		f.tps[r.Header.Get("X-Request-ID")] = r.Header.Get("traceparent")
+		f.mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"assignment":"assignment1","score":1}`)
+	})
+	mux.HandleFunc("GET /v1/trace/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		f.mu.Lock()
+		tp, ok := f.tps[id]
+		f.mu.Unlock()
+		if !ok {
+			http.Error(w, "no trace", http.StatusNotFound)
+			return
+		}
+		now := time.Now()
+		td := obs.TraceData{
+			ID: id, Name: "grade/assignment1", TraceParent: tp,
+			Start: now, Duration: 5 * time.Millisecond,
+			Spans: []obs.SpanData{
+				{ID: 0, Parent: -1, Name: "grade/assignment1", Start: now, Duration: 5 * time.Millisecond},
+				{ID: 1, Parent: 0, Name: "parse", Start: now, Duration: time.Millisecond},
+				{ID: 2, Parent: 0, Name: "match_sweep", Start: now.Add(time.Millisecond), Duration: 2 * time.Millisecond},
+			},
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(&td)
+	})
+	f.srv = httptest.NewServer(mux)
+	return f
+}
+
+// assembled mirrors the AssembledTrace wire shape for decoding.
+type assembled struct {
+	obs.TraceData
+	Sources []obs.TraceSource `json:"sources"`
+}
+
+// TestClusterTraceAssemblyStitchesTwoProcesses is the tentpole end-to-end:
+// one grade through the coordinator, then GET /v1/trace/{id} returns ONE tree
+// holding the coordinator's proxy span with the worker's phase spans
+// re-parented under it, plus the provenance of both processes.
+func TestClusterTraceAssemblyStitchesTwoProcesses(t *testing.T) {
+	obs.Enable()
+	obs.EnableTracing()
+	defer obs.DisableTracing()
+
+	fw := newFakeTraceWorker()
+	defer fw.srv.Close()
+	_, base := spawnCoordinator(t, fw.srv.URL)
+
+	resp, body := gradeVia(t, base, "class C { }")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("grade via fake worker: %d: %s", resp.StatusCode, body)
+	}
+	rid := resp.Header.Get("X-Request-ID")
+	if rid == "" {
+		t.Fatal("no request ID on the proxied response")
+	}
+
+	tresp, err := http.Get(base + "/v1/trace/" + rid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tresp.Body.Close()
+	if tresp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(tresp.Body)
+		t.Fatalf("assembled trace fetch: %d: %s", tresp.StatusCode, raw)
+	}
+	var at assembled
+	if err := json.NewDecoder(tresp.Body).Decode(&at); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(at.Sources) != 2 {
+		t.Fatalf("sources = %+v, want coordinator + worker", at.Sources)
+	}
+	if at.Sources[0].Process != "coordinator" || at.Sources[0].Spans == 0 {
+		t.Fatalf("sources[0] = %+v, want a contributing coordinator", at.Sources[0])
+	}
+	if at.Sources[1].Process != fw.srv.URL || at.Sources[1].Spans != 3 {
+		t.Fatalf("sources[1] = %+v, want 3 worker spans", at.Sources[1])
+	}
+
+	byName := map[string]obs.SpanData{}
+	for _, s := range at.Spans {
+		byName[s.Name] = s
+	}
+	proxy, ok := byName["proxy/assignment1"]
+	if !ok {
+		t.Fatalf("no proxy span in the assembled tree: %+v", at.Spans)
+	}
+	grade, ok := byName["grade/assignment1"]
+	if !ok {
+		t.Fatal("no worker grade span in the assembled tree")
+	}
+	if grade.Parent != proxy.ID {
+		t.Fatalf("grade root parent = %d, want the proxy span %d (stitch did not re-parent)", grade.Parent, proxy.ID)
+	}
+	if byName["parse"].Parent != grade.ID || byName["match_sweep"].Parent != grade.ID {
+		t.Fatal("worker phase spans lost their internal structure")
+	}
+	var hasProcess bool
+	for _, a := range grade.Attrs {
+		if a.Key == "process" && a.Value == fw.srv.URL {
+			hasProcess = true
+		}
+	}
+	if !hasProcess {
+		t.Fatalf("grafted root not annotated with its process: %+v", grade.Attrs)
+	}
+
+	// The text rendering nests the worker subtree under the proxy span.
+	txt, err := http.Get(base + "/v1/trace/" + rid + "?format=text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer txt.Body.Close()
+	raw, _ := io.ReadAll(txt.Body)
+	text := string(raw)
+	if !strings.Contains(text, "assembled trace") || !strings.Contains(text, "source coordinator") {
+		t.Fatalf("text rendering lacks the provenance block:\n%s", text)
+	}
+	if p, g := strings.Index(text, "proxy/assignment1"), strings.Index(text, "grade/assignment1"); p < 0 || g < p {
+		t.Fatalf("text tree does not nest grade under proxy:\n%s", text)
+	}
+}
+
+// TestClusterTrace404WhenNobodyRetains pins the miss path: the fan-out asks
+// the coordinator's store and every worker, and answers 404 when none of
+// them retained the ID.
+func TestClusterTrace404WhenNobodyRetains(t *testing.T) {
+	fw := newFakeTraceWorker()
+	defer fw.srv.Close()
+	_, base := spawnCoordinator(t, fw.srv.URL)
+
+	resp, err := http.Get(base + "/v1/trace/no-such-request-id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		raw, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status = %d: %s, want 404", resp.StatusCode, raw)
+	}
+}
+
+// TestClusterStatuszAggregatesAndDegrades pins the fleet pane: two live
+// workers aggregate; killing one degrades its row to stale with an error
+// while the pane keeps serving 200.
+func TestClusterStatuszAggregatesAndDegrades(t *testing.T) {
+	obs.Enable()
+	w1 := spawnWorker(t)
+	w2 := spawnWorker(t)
+	defer w1.stop()
+	c, base := spawnCoordinator(t, w1.base, w2.base)
+
+	fetch := func() ClusterStatusz {
+		t.Helper()
+		resp, err := http.Get(base + "/v1/cluster/statusz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			raw, _ := io.ReadAll(resp.Body)
+			t.Fatalf("cluster statusz: %d: %s", resp.StatusCode, raw)
+		}
+		var cs ClusterStatusz
+		if err := json.NewDecoder(resp.Body).Decode(&cs); err != nil {
+			t.Fatal(err)
+		}
+		return cs
+	}
+
+	cs := fetch()
+	if cs.WorkersConfigured != 2 || len(cs.Workers) != 2 {
+		t.Fatalf("configured=%d rows=%d, want 2/2", cs.WorkersConfigured, len(cs.Workers))
+	}
+	for _, row := range cs.Workers {
+		if row.Stale || row.Error != "" {
+			t.Fatalf("live worker row marked stale: %+v", row)
+		}
+		if row.Build.GoVersion == "" || row.UptimeSeconds <= 0 {
+			t.Fatalf("worker row missing build/uptime: %+v", row)
+		}
+		if row.RingShare <= 0.2 || row.RingShare >= 0.8 {
+			t.Fatalf("ring share %g badly unbalanced for 2 workers", row.RingShare)
+		}
+	}
+	if cs.RingGeneration == 0 {
+		t.Fatal("ring generation missing from the pane")
+	}
+	if _, ok := cs.FleetSLO["1m"]; !ok {
+		t.Fatal("no fleet SLO rollup")
+	}
+
+	// Kill w2 and force a fresh scrape: its row degrades, the pane does not.
+	w2.kill()
+	c.fed.mu.Lock()
+	c.fed.lastRun = time.Time{}
+	c.fed.mu.Unlock()
+	cs = fetch()
+	var dead *WorkerStatus
+	for i := range cs.Workers {
+		if cs.Workers[i].Worker == w2.base {
+			dead = &cs.Workers[i]
+		}
+	}
+	if dead == nil {
+		t.Fatal("killed worker's row disappeared from the pane")
+	}
+	if !dead.Stale || dead.Error == "" {
+		t.Fatalf("killed worker's row = %+v, want stale with the scrape error", dead)
+	}
+	// Last-good data survives the failed scrape.
+	if dead.Build.GoVersion == "" {
+		t.Fatalf("killed worker lost its last-good scrape data: %+v", dead)
+	}
+}
+
+// TestClusterMetricsFederation pins the rollup arithmetic: the cluster
+// counter equals the sum over the per-worker breakdown.
+func TestClusterMetricsFederation(t *testing.T) {
+	obs.Enable()
+	w1 := spawnWorker(t)
+	w2 := spawnWorker(t)
+	defer w1.stop()
+	defer w2.stop()
+	_, base := spawnCoordinator(t, w1.base, w2.base)
+
+	for _, src := range variants(t, 4) {
+		if resp, body := gradeVia(t, base, src); resp.StatusCode != http.StatusOK {
+			t.Fatalf("grade: %d: %s", resp.StatusCode, body)
+		}
+	}
+
+	resp, err := http.Get(base + "/v1/cluster/metrics.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var cm ClusterMetrics
+	if err := json.NewDecoder(resp.Body).Decode(&cm); err != nil {
+		t.Fatal(err)
+	}
+	if len(cm.Workers) != 2 {
+		t.Fatalf("per-worker breakdown has %d entries, want 2", len(cm.Workers))
+	}
+	var sum int64
+	for _, snap := range cm.Workers {
+		sum += snap.Counter("semfeed_server_requests_total")
+	}
+	if sum < 4 {
+		t.Fatalf("workers served %d requests total, want >= 4", sum)
+	}
+	if got := cm.Cluster.Counter("semfeed_server_requests_total"); got != sum {
+		t.Fatalf("cluster rollup = %d, want the per-worker sum %d", got, sum)
+	}
+	if len(cm.Stale) != 0 || len(cm.Missing) != 0 {
+		t.Fatalf("live fleet reported stale=%v missing=%v", cm.Stale, cm.Missing)
+	}
+}
+
+// TestClusterEventsEndpoint pins the flight-recorder surface: a transport
+// failure shows up as worker_down + ring_rebuild at GET /v1/events.
+func TestClusterEventsEndpoint(t *testing.T) {
+	w1 := spawnWorker(t)
+	defer w1.stop()
+	c, base := spawnCoordinator(t, w1.base, "http://127.0.0.1:1")
+
+	c.Membership().ReportFailure("http://127.0.0.1:1")
+
+	resp, err := http.Get(base + "/v1/events?n=16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var er EventsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+		t.Fatal(err)
+	}
+	if er.RingGeneration == 0 || len(er.Events) == 0 {
+		t.Fatalf("events payload empty: %+v", er)
+	}
+	var sawDown bool
+	for _, e := range er.Events {
+		if e.Kind == EventWorkerDown && e.Worker == "http://127.0.0.1:1" {
+			sawDown = true
+		}
+	}
+	if !sawDown {
+		t.Fatalf("no worker_down for the failed worker in %+v", er.Events)
+	}
+	if er.Counts[EventRingRebuild] == 0 {
+		t.Fatalf("counts = %+v, want ring_rebuild > 0", er.Counts)
+	}
+
+	if bad, err := http.Get(base + "/v1/events?n=-3"); err == nil {
+		bad.Body.Close()
+		if bad.StatusCode != http.StatusBadRequest {
+			t.Fatalf("n=-3 answered %d, want 400", bad.StatusCode)
+		}
+	}
+}

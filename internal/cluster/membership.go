@@ -27,6 +27,9 @@ type Membership struct {
 	client *http.Client
 
 	ring atomic.Pointer[Ring]
+	gen  atomic.Uint64 // ring generation: bumps on every published rebuild
+
+	events *eventLog // the flight recorder (GET /v1/events)
 
 	mu      sync.Mutex
 	workers []string
@@ -44,7 +47,7 @@ func NewMembership(workers []string, vnodes int, client *http.Client) *Membershi
 	if client == nil {
 		client = &http.Client{Timeout: 2 * time.Second}
 	}
-	m := &Membership{vnodes: vnodes, client: client, fails: make(map[string]int)}
+	m := &Membership{vnodes: vnodes, client: client, fails: make(map[string]int), events: newEventLog(0)}
 	for _, w := range workers {
 		if w != "" {
 			m.workers = append(m.workers, trimSlash(w))
@@ -77,6 +80,28 @@ func (m *Membership) Workers() []string {
 	return out
 }
 
+// Events returns up to n most recent flight-recorder entries, newest first
+// (n <= 0 returns everything retained).
+func (m *Membership) Events(n int) []MemberEvent { return m.events.Events(n) }
+
+// EventCounts returns the per-kind event totals since process start.
+func (m *Membership) EventCounts() map[string]int64 { return m.events.Counts() }
+
+// RingGeneration returns the generation of the currently published ring.
+func (m *Membership) RingGeneration() uint64 { return m.gen.Load() }
+
+// HealthSnapshot reports each configured worker's current health: true when
+// the worker is in the routing ring.
+func (m *Membership) HealthSnapshot() map[string]bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]bool, len(m.workers))
+	for _, w := range m.workers {
+		out[w] = m.fails[w] < probeFailThreshold
+	}
+	return out
+}
+
 // ReportFailure records a transport-level failure talking to worker and
 // drops it from the ring immediately. The next successful probe re-adds it.
 func (m *Membership) ReportFailure(worker string) {
@@ -85,6 +110,10 @@ func (m *Membership) ReportFailure(worker string) {
 	m.fails[worker] = probeFailThreshold
 	m.mu.Unlock()
 	if changed {
+		m.events.record(MemberEvent{
+			Kind: EventWorkerDown, Worker: worker, Detail: "transport",
+			RingGen: m.gen.Load(), Healthy: m.Ring().Size(),
+		})
 		m.rebuild()
 	}
 }
@@ -110,11 +139,22 @@ func (m *Membership) rebuild() {
 	if cur != nil && sameMembers(cur.Members(), next.Members()) {
 		return
 	}
+	var old []string
+	if cur != nil {
+		old = cur.Members()
+	}
 	m.ring.Store(next)
+	gen := m.gen.Add(1)
+	added, removed := diffMembers(old, next.Members())
+	m.events.record(MemberEvent{
+		Kind: EventRingRebuild, RingGen: gen,
+		Added: added, Removed: removed, Healthy: next.Size(),
+	})
 	obs.ClusterWorkers.Set(int64(next.Size()))
 	obs.ClusterMembershipSwapsTotal.Inc()
 	obs.Logger().Info("cluster_membership",
 		"healthy", next.Size(),
+		"ring_gen", gen,
 		"configured", len(m.workers))
 }
 
@@ -179,8 +219,25 @@ func (m *Membership) probeAll() {
 		}
 		now := m.fails[w] >= probeFailThreshold
 		m.mu.Unlock()
+		if !ok && !was {
+			// Record failed probes only while the worker still counts as
+			// healthy: a dead worker failing every cycle would otherwise
+			// flood the flight recorder and evict the events that matter.
+			m.events.record(MemberEvent{
+				Kind: EventProbeFail, Worker: w, Detail: "readyz",
+				RingGen: m.gen.Load(), Healthy: m.Ring().Size(),
+			})
+		}
 		if was != now {
 			changed = true
+			kind, detail := EventWorkerUp, "probe_ok"
+			if now {
+				kind, detail = EventWorkerDown, "probe_threshold"
+			}
+			m.events.record(MemberEvent{
+				Kind: kind, Worker: w, Detail: detail,
+				RingGen: m.gen.Load(), Healthy: m.Ring().Size(),
+			})
 			obs.Logger().Info("cluster_worker_health", "worker", w, "healthy", !now)
 		}
 	}

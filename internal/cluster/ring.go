@@ -119,3 +119,27 @@ func (r *Ring) Members() []string {
 
 // Size returns the number of distinct members.
 func (r *Ring) Size() int { return len(r.members) }
+
+// Shares returns each member's fraction of the 64-bit hash circle — the
+// expected share of route keys it owns. With DefaultVNodes the shares sit
+// within a few percent of 1/n; a larger spread in statusz means the vnode
+// count is too low for the member count.
+func (r *Ring) Shares() map[string]float64 {
+	if len(r.points) == 0 {
+		return map[string]float64{}
+	}
+	if len(r.members) == 1 {
+		return map[string]float64{r.members[0]: 1}
+	}
+	const circle = float64(1 << 63) * 2 // 2^64 as a float
+	arcs := make(map[string]float64, len(r.members))
+	// points are sorted; point i owns the arc (points[i-1], points[i]], with
+	// the first point owning the wrap-around arc past the last. Unsigned
+	// subtraction wraps mod 2^64, which is exactly the circular distance.
+	prev := r.points[len(r.points)-1].hash
+	for _, p := range r.points {
+		arcs[r.members[p.member]] += float64(p.hash-prev) / circle
+		prev = p.hash
+	}
+	return arcs
+}

@@ -49,12 +49,18 @@ type Snapshot struct {
 }
 
 // HistogramSnapshot summarizes one histogram with estimated quantiles.
+// Bounds and Buckets carry the raw distribution (cumulative-free per-bucket
+// counts, one extra overflow bucket after the last bound) so snapshots from
+// different processes can be merged bucketwise (MergeSnapshots) — percentiles
+// alone cannot be federated.
 type HistogramSnapshot struct {
-	Count int64   `json:"count"`
-	Sum   float64 `json:"sum"`
-	P50   float64 `json:"p50"`
-	P95   float64 `json:"p95"`
-	P99   float64 `json:"p99"`
+	Count   int64     `json:"count"`
+	Sum     float64   `json:"sum"`
+	P50     float64   `json:"p50"`
+	P95     float64   `json:"p95"`
+	P99     float64   `json:"p99"`
+	Bounds  []float64 `json:"bounds,omitempty"`
+	Buckets []int64   `json:"buckets,omitempty"`
 }
 
 // Counter returns a named counter value from the snapshot (0 when absent).
@@ -82,12 +88,18 @@ func (r *Registry) Snapshot() Snapshot {
 		snap.Gauges[g.name] = g.Value()
 	}
 	for _, h := range hs {
+		buckets := make([]int64, len(h.buckets))
+		for i := range h.buckets {
+			buckets[i] = h.buckets[i].Load()
+		}
 		snap.Histograms[h.name] = HistogramSnapshot{
-			Count: h.Count(),
-			Sum:   h.Sum(),
-			P50:   h.Quantile(0.50),
-			P95:   h.Quantile(0.95),
-			P99:   h.Quantile(0.99),
+			Count:   h.Count(),
+			Sum:     h.Sum(),
+			P50:     h.Quantile(0.50),
+			P95:     h.Quantile(0.95),
+			P99:     h.Quantile(0.99),
+			Bounds:  h.bounds,
+			Buckets: buckets,
 		}
 	}
 	for _, c := range lcs {
@@ -96,11 +108,13 @@ func (r *Registry) Snapshot() Snapshot {
 	for _, h := range lhs {
 		count, sum, buckets := h.aggregate()
 		snap.Histograms[h.vec.name] = HistogramSnapshot{
-			Count: count,
-			Sum:   sum,
-			P50:   bucketQuantile(h.bounds, buckets, 0.50),
-			P95:   bucketQuantile(h.bounds, buckets, 0.95),
-			P99:   bucketQuantile(h.bounds, buckets, 0.99),
+			Count:   count,
+			Sum:     sum,
+			P50:     bucketQuantile(h.bounds, buckets, 0.50),
+			P95:     bucketQuantile(h.bounds, buckets, 0.95),
+			P99:     bucketQuantile(h.bounds, buckets, 0.99),
+			Bounds:  h.bounds,
+			Buckets: buckets,
 		}
 	}
 	return snap

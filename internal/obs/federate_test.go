@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+// TestMergeSnapshots pins the federation semantics: counters and gauges sum,
+// same-bounds histograms merge bucketwise with recomputed quantiles.
+func TestMergeSnapshots(t *testing.T) {
+	bounds := []float64{0.001, 0.01, 0.1}
+	a := Snapshot{
+		Counters: map[string]int64{"semfeed_parses_total": 10, "semfeed_server_requests_total": 5},
+		Gauges:   map[string]int64{"semfeed_store_disk_entries": 3},
+		Histograms: map[string]HistogramSnapshot{
+			"semfeed_grade_seconds": {Count: 3, Sum: 0.012, Bounds: bounds, Buckets: []int64{1, 2, 0, 0}},
+		},
+	}
+	b := Snapshot{
+		Counters: map[string]int64{"semfeed_parses_total": 7},
+		Gauges:   map[string]int64{"semfeed_store_disk_entries": 4},
+		Histograms: map[string]HistogramSnapshot{
+			"semfeed_grade_seconds": {Count: 1, Sum: 0.2, Bounds: bounds, Buckets: []int64{0, 0, 0, 1}},
+		},
+	}
+	m := MergeSnapshots([]Snapshot{a, b})
+	if m.Counters["semfeed_parses_total"] != 17 {
+		t.Fatalf("merged counter = %d, want 17", m.Counters["semfeed_parses_total"])
+	}
+	if m.Counters["semfeed_server_requests_total"] != 5 {
+		t.Fatalf("counter present in one part = %d, want 5", m.Counters["semfeed_server_requests_total"])
+	}
+	if m.Gauges["semfeed_store_disk_entries"] != 7 {
+		t.Fatalf("merged gauge = %d, want 7", m.Gauges["semfeed_store_disk_entries"])
+	}
+	h := m.Histograms["semfeed_grade_seconds"]
+	if h.Count != 4 || math.Abs(h.Sum-0.212) > 1e-9 {
+		t.Fatalf("merged histogram count=%d sum=%g, want 4/0.212", h.Count, h.Sum)
+	}
+	want := []int64{1, 2, 0, 1}
+	for i, n := range want {
+		if h.Buckets[i] != n {
+			t.Fatalf("merged bucket %d = %d, want %d (%v)", i, h.Buckets[i], n, h.Buckets)
+		}
+	}
+	if h.P50 <= 0 || h.P99 <= 0 {
+		t.Fatalf("merged quantiles not recomputed: p50=%g p99=%g", h.P50, h.P99)
+	}
+	// Cross-check the merged p99 against a single histogram fed the union.
+	if h.P99 < h.P50 {
+		t.Fatalf("p99 %g < p50 %g", h.P99, h.P50)
+	}
+}
+
+// TestMergeSnapshotsBoundsMismatch pins the degraded path: differing bounds
+// keep count/sum but refuse to fabricate quantiles.
+func TestMergeSnapshotsBoundsMismatch(t *testing.T) {
+	a := Snapshot{Histograms: map[string]HistogramSnapshot{
+		"h": {Count: 2, Sum: 1, Bounds: []float64{1, 2}, Buckets: []int64{1, 1, 0}},
+	}}
+	b := Snapshot{Histograms: map[string]HistogramSnapshot{
+		"h": {Count: 3, Sum: 2, Bounds: []float64{5, 10}, Buckets: []int64{3, 0, 0}},
+	}}
+	m := MergeSnapshots([]Snapshot{a, b})
+	h := m.Histograms["h"]
+	if h.Count != 5 || h.Sum != 3 {
+		t.Fatalf("count=%d sum=%g, want 5/3", h.Count, h.Sum)
+	}
+	if h.P50 != 0 || h.P99 != 0 || h.Buckets != nil {
+		t.Fatalf("mismatched-bounds merge fabricated quantiles: %+v", h)
+	}
+}
+
+// TestSnapshotCarriesBuckets pins that the live registry's snapshot includes
+// the raw distribution federation needs.
+func TestSnapshotCarriesBuckets(t *testing.T) {
+	Enable()
+	defer Disable()
+	GradeSeconds.Observe(0.003)
+	snap := TakeSnapshot()
+	h, ok := snap.Histograms["semfeed_grade_seconds"]
+	if !ok {
+		t.Fatal("semfeed_grade_seconds missing from snapshot")
+	}
+	if len(h.Bounds) == 0 || len(h.Buckets) != len(h.Bounds)+1 {
+		t.Fatalf("snapshot lacks mergeable buckets: bounds=%d buckets=%d", len(h.Bounds), len(h.Buckets))
+	}
+	var total int64
+	for _, n := range h.Buckets {
+		total += n
+	}
+	if total != h.Count {
+		t.Fatalf("bucket sum %d != count %d", total, h.Count)
+	}
+}
+
+// TestMergeSLOStats pins the fleet SLO fold: sums exact, rates recomputed,
+// percentiles request-weighted.
+func TestMergeSLOStats(t *testing.T) {
+	m := MergeSLOStats([]SLOStats{
+		{WindowSeconds: 60, Requests: 90, Errors: 9, P50MS: 1, P99MS: 10},
+		{WindowSeconds: 60, Requests: 10, Errors: 1, Sheds: 5, P50MS: 11, P99MS: 110},
+	})
+	if m.Requests != 100 || m.Errors != 10 || m.Sheds != 5 {
+		t.Fatalf("sums wrong: %+v", m)
+	}
+	if m.ErrorRate != 0.1 {
+		t.Fatalf("error rate = %g, want 0.1", m.ErrorRate)
+	}
+	if m.P50MS != 2 || m.P99MS != 20 {
+		t.Fatalf("weighted percentiles p50=%g p99=%g, want 2/20", m.P50MS, m.P99MS)
+	}
+}

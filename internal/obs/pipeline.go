@@ -109,6 +109,11 @@ var (
 	ClusterShardsTotal          = NewCounter("semfeed_cluster_shards_total", "Per-worker sub-batches fanned out by the coordinator.")
 	ClusterPeerFillHitsTotal    = NewCounter("semfeed_cluster_peer_fill_hits_total", "Store reads served by the owning peer over HTTP.")
 	ClusterPeerFillMissesTotal  = NewCounter("semfeed_cluster_peer_fill_misses_total", "Peer-fill lookups that missed (owner had no entry, owner unreachable, or key owned locally).")
+
+	// Fleet observability plane (PR 10): membership flight recorder and
+	// metrics federation.
+	ClusterMembershipEventsTotal = NewLabeledCounter("semfeed_cluster_membership_events_total", "Membership flight-recorder events, by kind (worker_up | worker_down | probe_fail | ring_rebuild).", "kind")
+	ClusterScrapeErrorsTotal     = NewCounter("semfeed_cluster_scrape_errors_total", "Worker statusz/metrics scrapes that failed (the worker's last-good data is served marked stale).")
 )
 
 // ScoreBuckets cover the Λ range of the assignment corpus (scores are small

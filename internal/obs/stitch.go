@@ -1,0 +1,218 @@
+package obs
+
+// Cross-process trace assembly. One request ID spans the whole cluster — the
+// coordinator's proxy trace and the owning worker's grade trace are recorded
+// in different processes under the same ID — and this file is the Dapper-style
+// join that stitches those per-process fragments back into one tree.
+//
+// The join key is the forwarded traceparent: when the coordinator forwards a
+// request it mints an outbound traceparent with a fresh span ID and stamps
+// that exact header value on the forwarding span as a SentTraceparentKey
+// attribute. The worker records the same header verbatim as its trace's
+// TraceParent. Stitching therefore re-parents a remote fragment under the
+// local span that *sent* the traceparent the fragment *adopted* — an exact
+// string match, no heuristics.
+//
+// Clocks differ across processes, so each attached fragment is annotated
+// rather than re-timed: "offset_ms" is the remote root's start minus the
+// attach span's start as the two processes measured it (network time plus
+// skew, indistinguishable without round-trip accounting), and
+// "clock_skew_ms" is the amount by which the remote fragment provably
+// escapes its parent's interval — a child that starts before its parent or
+// ends after it can only be explained by clock disagreement.
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SentTraceparentKey is the span attribute recording the exact traceparent
+// header value forwarded on an outbound hop. A remote trace whose TraceParent
+// equals this value is that span's child.
+const SentTraceparentKey = "sent_traceparent"
+
+// RemoteTrace is one process's contribution to an assembled trace: the
+// fragment it retained for the ID, or the error that kept it from answering.
+type RemoteTrace struct {
+	// Source identifies the contributing process (a worker base URL, or
+	// "coordinator" for the local fragment).
+	Source string
+	// Trace is the fragment; nil when the process had nothing (or errored).
+	Trace *TraceData
+	// Err is the fetch failure, when the process could not be asked.
+	Err string
+}
+
+// TraceSource is one entry of an assembled trace's provenance block.
+type TraceSource struct {
+	Process string `json:"process"`
+	Spans   int    `json:"spans"`
+	Error   string `json:"error,omitempty"`
+}
+
+// AssembledTrace is a stitched cross-process trace: one merged span tree plus
+// the provenance of every process that was asked. It marshals as a TraceData
+// with an extra "sources" field, so clients that only understand single-
+// process traces keep working.
+type AssembledTrace struct {
+	*TraceData
+	Sources []TraceSource `json:"sources"`
+}
+
+// Stitch merges per-process trace fragments into one tree. The first
+// fragment with a non-nil trace acts as the base (callers put the
+// coordinator's proxy trace first); every later fragment is renumbered into a
+// disjoint span-ID range and attached under the base span whose
+// SentTraceparentKey attribute matches the fragment's TraceParent — the span
+// that forwarded the request the fragment served. Fragments with no matching
+// sender attach under the base root. Every fragment root gains "process",
+// "offset_ms" and (when its interval escapes the parent's) "clock_skew_ms"
+// attributes. Returns nil when no fragment carries a trace.
+func Stitch(parts []RemoteTrace) *AssembledTrace {
+	out := &AssembledTrace{}
+	baseIdx := -1
+	for i, p := range parts {
+		src := TraceSource{Process: p.Source, Error: p.Err}
+		if p.Trace != nil {
+			src.Spans = len(p.Trace.Spans)
+			if baseIdx == -1 {
+				baseIdx = i
+			}
+		}
+		out.Sources = append(out.Sources, src)
+	}
+	if baseIdx == -1 {
+		return nil
+	}
+	base := cloneTrace(parts[baseIdx].Trace)
+	out.TraceData = base
+
+	nextID := 0
+	rootID := -1
+	senders := map[string]int{} // sent traceparent -> span ID that sent it
+	for _, s := range base.Spans {
+		if s.ID >= nextID {
+			nextID = s.ID + 1
+		}
+		if s.Parent == -1 && rootID == -1 {
+			rootID = s.ID
+		}
+		for _, a := range s.Attrs {
+			if a.Key == SentTraceparentKey {
+				senders[a.Value] = s.ID
+			}
+		}
+	}
+
+	for i, p := range parts {
+		if i == baseIdx || p.Trace == nil {
+			continue
+		}
+		nextID = graft(base, p, senders, rootID, nextID)
+	}
+	return out
+}
+
+// graft renumbers one remote fragment into the base's ID space and attaches
+// it. Returns the next free span ID.
+func graft(base *TraceData, p RemoteTrace, senders map[string]int, rootID, nextID int) int {
+	rt := p.Trace
+	attach := rootID
+	matched := false
+	if rt.TraceParent != "" {
+		if id, ok := senders[rt.TraceParent]; ok {
+			attach = id
+			matched = true
+		}
+	}
+	// Locate the attach span for the skew annotation.
+	var attachSpan *SpanData
+	for i := range base.Spans {
+		if base.Spans[i].ID == attach {
+			attachSpan = &base.Spans[i]
+			break
+		}
+	}
+
+	offset := nextID
+	local := map[int]bool{} // IDs present inside the fragment
+	maxID := 0
+	for _, s := range rt.Spans {
+		local[s.ID] = true
+		if s.ID > maxID {
+			maxID = s.ID
+		}
+	}
+	for _, s := range rt.Spans {
+		ns := s
+		ns.ID = s.ID + offset
+		ns.Attrs = append([]Attr(nil), s.Attrs...)
+		if local[s.Parent] {
+			ns.Parent = s.Parent + offset
+		} else {
+			// A fragment root: re-parent under the sender and annotate the hop.
+			ns.Parent = attach
+			ns.Attrs = append(ns.Attrs, Attr{Key: "process", Value: p.Source})
+			if attachSpan != nil {
+				offMS := float64(ns.Start.Sub(attachSpan.Start).Microseconds()) / 1000
+				ns.Attrs = append(ns.Attrs, Attr{Key: "offset_ms", Value: fmt.Sprintf("%.3f", offMS)})
+				if skew := skewMS(attachSpan, &ns); skew > 0 {
+					ns.Attrs = append(ns.Attrs, Attr{Key: "clock_skew_ms", Value: fmt.Sprintf("%.3f", skew)})
+				}
+			}
+			if !matched {
+				ns.Attrs = append(ns.Attrs, Attr{Key: "reparented", Value: "no_matching_sender"})
+			}
+		}
+		base.Spans = append(base.Spans, ns)
+	}
+	base.Dropped += rt.Dropped
+	return offset + maxID + 1
+}
+
+// skewMS is the provable clock disagreement between a child fragment root and
+// its parent span: the milliseconds by which the child's interval escapes the
+// parent's. Causally, a forwarded call starts after the forward began and
+// ends before it returned; any excursion is skew (a lower bound — clocks can
+// disagree by more and still nest).
+func skewMS(parent, child *SpanData) float64 {
+	var v float64
+	if d := parent.Start.Sub(child.Start); d > 0 {
+		v = float64(d.Microseconds()) / 1000
+	}
+	pEnd := parent.Start.Add(parent.Duration)
+	cEnd := child.Start.Add(child.Duration)
+	if d := cEnd.Sub(pEnd); d > 0 {
+		if ms := float64(d.Microseconds()) / 1000; ms > v {
+			v = ms
+		}
+	}
+	return v
+}
+
+// cloneTrace deep-copies a trace so stitching never mutates the store's copy.
+func cloneTrace(t *TraceData) *TraceData {
+	out := *t
+	out.Spans = make([]SpanData, len(t.Spans))
+	for i, s := range t.Spans {
+		out.Spans[i] = s
+		out.Spans[i].Attrs = append([]Attr(nil), s.Attrs...)
+	}
+	return &out
+}
+
+// Text renders the assembled trace for humans: the provenance block followed
+// by the merged span tree.
+func (a *AssembledTrace) Text() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "assembled trace %s (%d sources)\n", a.ID, len(a.Sources))
+	for _, s := range a.Sources {
+		fmt.Fprintf(&sb, "  source %s spans=%d", s.Process, s.Spans)
+		if s.Error != "" {
+			fmt.Fprintf(&sb, " error=%q", s.Error)
+		}
+		sb.WriteByte('\n')
+	}
+	sb.WriteString(a.TraceData.Tree())
+	return sb.String()
+}

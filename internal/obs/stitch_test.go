@@ -1,0 +1,209 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fabricate builds a two-process trace: a coordinator fragment whose proxy
+// span sent tp, and a worker fragment that adopted tp, with phase spans under
+// its grade root.
+func fabricateParts(tp string, workerStart time.Time) []RemoteTrace {
+	t0 := workerStart.Add(-2 * time.Millisecond)
+	coord := &TraceData{
+		ID:   "req-1",
+		Name: "proxy/assignment1",
+		Spans: []SpanData{
+			{ID: 0, Parent: -1, Name: "proxy/assignment1", Start: t0, Duration: 10 * time.Millisecond,
+				Attrs: []Attr{{Key: SentTraceparentKey, Value: tp}, {Key: "worker", Value: "http://w1"}}},
+		},
+	}
+	worker := &TraceData{
+		ID:          "req-1",
+		Name:        "grade/assignment1",
+		TraceParent: tp,
+		Spans: []SpanData{
+			{ID: 1, Parent: 0, Name: "parse", Start: workerStart, Duration: time.Millisecond},
+			{ID: 2, Parent: 0, Name: "match_sweep", Start: workerStart.Add(time.Millisecond), Duration: 2 * time.Millisecond},
+			{ID: 3, Parent: 0, Name: "functest", Start: workerStart.Add(3 * time.Millisecond), Duration: time.Millisecond},
+			{ID: 0, Parent: -1, Name: "grade/assignment1", Start: workerStart, Duration: 6 * time.Millisecond},
+		},
+	}
+	return []RemoteTrace{
+		{Source: "coordinator", Trace: coord},
+		{Source: "http://w1", Trace: worker},
+	}
+}
+
+// TestStitchTwoProcessParenting pins the tentpole semantics: the worker's
+// fragment is renumbered into a disjoint ID space and its root re-parented
+// under the coordinator span that sent the traceparent it adopted, with the
+// phase spans keeping their internal structure.
+func TestStitchTwoProcessParenting(t *testing.T) {
+	tp := "00-0123456789abcdef0123456789abcdef-00f067aa0ba902b7-01"
+	at := Stitch(fabricateParts(tp, time.Now()))
+	if at == nil {
+		t.Fatal("Stitch returned nil with two contributing fragments")
+	}
+	if len(at.Sources) != 2 || at.Sources[0].Process != "coordinator" || at.Sources[1].Process != "http://w1" {
+		t.Fatalf("sources = %+v, want coordinator + http://w1", at.Sources)
+	}
+	if at.Sources[1].Spans != 4 {
+		t.Fatalf("worker source spans = %d, want 4", at.Sources[1].Spans)
+	}
+	if got := len(at.Spans); got != 5 {
+		t.Fatalf("merged span count = %d, want 5", got)
+	}
+
+	// Exactly one proxy root, and the grade root must hang under it.
+	byName := map[string]SpanData{}
+	seen := map[int]bool{}
+	for _, s := range at.Spans {
+		if seen[s.ID] {
+			t.Fatalf("duplicate span ID %d after renumbering", s.ID)
+		}
+		seen[s.ID] = true
+		byName[s.Name] = s
+	}
+	proxy, grade := byName["proxy/assignment1"], byName["grade/assignment1"]
+	if proxy.Parent != -1 {
+		t.Fatalf("proxy span parent = %d, want -1", proxy.Parent)
+	}
+	if grade.Parent != proxy.ID {
+		t.Fatalf("grade root parent = %d, want the proxy span %d", grade.Parent, proxy.ID)
+	}
+	for _, phase := range []string{"parse", "match_sweep", "functest"} {
+		if byName[phase].Parent != grade.ID {
+			t.Fatalf("%s parent = %d, want the grade root %d", phase, byName[phase].Parent, grade.ID)
+		}
+	}
+
+	// The grafted root is annotated with its process and hop offset.
+	var hasProcess, hasOffset bool
+	for _, a := range grade.Attrs {
+		switch a.Key {
+		case "process":
+			hasProcess = a.Value == "http://w1"
+		case "offset_ms":
+			hasOffset = true
+		}
+	}
+	if !hasProcess || !hasOffset {
+		t.Fatalf("grafted root attrs missing process/offset_ms: %+v", grade.Attrs)
+	}
+
+	// The rendered tree nests the worker phases under the proxy span.
+	text := at.Text()
+	if !strings.Contains(text, "source coordinator") || !strings.Contains(text, "source http://w1") {
+		t.Fatalf("Text() lacks the provenance block:\n%s", text)
+	}
+	pIdx := strings.Index(text, "proxy/assignment1")
+	gIdx := strings.Index(text, "grade/assignment1")
+	if pIdx < 0 || gIdx < pIdx {
+		t.Fatalf("tree does not render grade under proxy:\n%s", text)
+	}
+}
+
+// TestStitchClockSkewAnnotation pins that a worker fragment whose clock runs
+// ahead of the coordinator (starting before the proxy span did) is flagged.
+func TestStitchClockSkewAnnotation(t *testing.T) {
+	tp := "00-0123456789abcdef0123456789abcdef-00f067aa0ba902b7-01"
+	// Worker start 5ms BEFORE the proxy span start (the fabricated coordinator
+	// span starts workerStart-2ms, so shift the worker 5ms earlier than that).
+	parts := fabricateParts(tp, time.Now())
+	early := parts[0].Trace.Spans[0].Start.Add(-5 * time.Millisecond)
+	for i := range parts[1].Trace.Spans {
+		parts[1].Trace.Spans[i].Start = early
+	}
+	at := Stitch(parts)
+	var grade *SpanData
+	for i := range at.Spans {
+		if at.Spans[i].Name == "grade/assignment1" {
+			grade = &at.Spans[i]
+		}
+	}
+	found := false
+	for _, a := range grade.Attrs {
+		if a.Key == "clock_skew_ms" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no clock_skew_ms on a fragment that starts before its parent: %+v", grade.Attrs)
+	}
+}
+
+// TestStitchNoMatchingSenderAttachesToRoot pins the degraded path: a fragment
+// whose TraceParent matches no sent_traceparent attribute still lands in the
+// tree, under the base root, marked reparented.
+func TestStitchNoMatchingSenderAttachesToRoot(t *testing.T) {
+	parts := fabricateParts("00-0123456789abcdef0123456789abcdef-00f067aa0ba902b7-01", time.Now())
+	parts[1].Trace.TraceParent = "00-ffffffffffffffffffffffffffffffff-ffffffffffffffff-01"
+	at := Stitch(parts)
+	var grade, proxy SpanData
+	for _, s := range at.Spans {
+		switch s.Name {
+		case "grade/assignment1":
+			grade = s
+		case "proxy/assignment1":
+			proxy = s
+		}
+	}
+	if grade.Parent != proxy.ID {
+		t.Fatalf("orphan fragment parent = %d, want base root %d", grade.Parent, proxy.ID)
+	}
+	marked := false
+	for _, a := range grade.Attrs {
+		if a.Key == "reparented" && a.Value == "no_matching_sender" {
+			marked = true
+		}
+	}
+	if !marked {
+		t.Fatal("orphan fragment not marked reparented=no_matching_sender")
+	}
+}
+
+// TestStitchNoFragments pins the 404 path: nil when nobody retained the ID.
+func TestStitchNoFragments(t *testing.T) {
+	if at := Stitch([]RemoteTrace{{Source: "coordinator"}, {Source: "http://w1", Err: "connection refused"}}); at != nil {
+		t.Fatalf("Stitch = %+v, want nil with no contributing fragments", at)
+	}
+}
+
+// TestStitchWorkerOnlyBase pins the fallback base: when the coordinator holds
+// nothing (evicted), the first worker fragment serves as the tree.
+func TestStitchWorkerOnlyBase(t *testing.T) {
+	parts := fabricateParts("00-0123456789abcdef0123456789abcdef-00f067aa0ba902b7-01", time.Now())
+	parts[0].Trace = nil
+	parts[0].Err = "evicted"
+	at := Stitch(parts)
+	if at == nil || at.Name != "grade/assignment1" {
+		t.Fatalf("worker-only stitch = %+v, want the worker fragment as base", at)
+	}
+	if at.Sources[0].Error != "evicted" {
+		t.Fatalf("sources[0] = %+v, want the coordinator's error recorded", at.Sources[0])
+	}
+}
+
+// TestAssembledTraceJSONShape pins the wire shape: a TraceData with an extra
+// sources field, so single-process trace clients keep decoding it.
+func TestAssembledTraceJSONShape(t *testing.T) {
+	at := Stitch(fabricateParts("00-0123456789abcdef0123456789abcdef-00f067aa0ba902b7-01", time.Now()))
+	raw, err := json.Marshal(at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flat struct {
+		ID      string `json:"id"`
+		Spans   []any  `json:"spans"`
+		Sources []any  `json:"sources"`
+	}
+	if err := json.Unmarshal(raw, &flat); err != nil {
+		t.Fatal(err)
+	}
+	if flat.ID != "req-1" || len(flat.Spans) != 5 || len(flat.Sources) != 2 {
+		t.Fatalf("wire shape id=%q spans=%d sources=%d, want req-1/5/2", flat.ID, len(flat.Spans), len(flat.Sources))
+	}
+}

@@ -4,13 +4,19 @@
 # these assertions —
 #   * routing is stable: resubmitting the same source returns cached:true
 #     from the owning worker's store;
-#   * one request ID spans processes: the coordinator's /v1/trace/{id} holds
-#     the proxy span and the worker that graded it holds the grade span under
-#     the same ID, with the coordinator's traceparent adopted as remote
-#     parent;
+#   * one request ID spans processes: the coordinator's /v1/trace/{id}
+#     returns ONE assembled tree holding spans from both processes — the
+#     proxy span with the worker's grade subtree stitched under it, plus a
+#     sources block naming both contributors — and the worker's own fragment
+#     still shows the adopted traceparent;
+#   * /v1/cluster/statusz aggregates both workers (healthy, scraped, ring
+#     shares) while they live, and degrades — stale-marked row, HTTP 200 —
+#     after one dies;
 #   * killing a worker (SIGKILL, not a drain) mid-run produces zero 5xx — the
 #     coordinator reroutes onto the survivor, semfeed_cluster_reroutes_total
 #     rises, and the workers gauge drops to 1;
+#   * the SIGKILL leaves a worker_down event in the /v1/events flight
+#     recorder, and semfeedctl renders the fleet pane and the event log;
 #   * the coordinator's readiness reflects its ring, and it drains cleanly.
 # CI runs this on every push.
 set -euo pipefail
@@ -46,6 +52,7 @@ wait_ready() { # addr pid name
 
 echo "== building"
 go build -o "${WORK}/semfeedd" ./cmd/semfeedd
+go build -o "${WORK}/semfeedctl" ./cmd/semfeedctl
 
 echo "== starting 2 workers (disk stores) + coordinator"
 "${WORK}/semfeedd" -mode worker -addr "${W1}" -store disk -store-dir "${WORK}/store1" \
@@ -81,12 +88,26 @@ RESP2="$(curl -sf -X POST -H 'Content-Type: application/json' \
 echo "${RESP2}" | grep -q '"cached":true' \
   || fail "resubmission not served from the owner's result store: ${RESP2}"
 
-echo "== cross-process trace correlation under request ID ${RID}"
+echo "== assembled cross-process trace under request ID ${RID}"
 CTRACE="$(curl -sf "http://${COORD}/v1/trace/${RID}")" || fail "coordinator trace retrieval failed"
+# One response, one tree: the coordinator's proxy span AND the worker's grade
+# subtree, stitched, with the provenance of both processes.
 echo "${CTRACE}" | grep -q '"name":"proxy/assignment1"' \
-  || fail "coordinator trace has no proxy span: ${CTRACE}"
-# The worker that graded it holds the grade span under the SAME ID, with the
-# coordinator's onward traceparent adopted as its remote parent.
+  || fail "assembled trace has no proxy span: ${CTRACE}"
+echo "${CTRACE}" | grep -q '"name":"grade/assignment1"' \
+  || fail "assembled trace has no worker grade span (stitching failed): ${CTRACE}"
+echo "${CTRACE}" | grep -q '"sources"' \
+  || fail "assembled trace has no sources block: ${CTRACE}"
+echo "${CTRACE}" | grep -q '"process":"coordinator"' \
+  || fail "sources block lacks the coordinator: ${CTRACE}"
+echo "${CTRACE}" | grep -qE '"process":"http://127\.0\.0\.1:(18661|'"${W1PORT}"'|'"${W2PORT}"')"' \
+  || fail "sources block lacks a worker process: ${CTRACE}"
+CTEXT="$(curl -sf "http://${COORD}/v1/trace/${RID}?format=text")" || fail "text trace failed"
+echo "${CTEXT}" | grep -q '^assembled trace' || fail "no assembled-trace text header: ${CTEXT}"
+echo "${CTEXT}" | grep -q 'grade/assignment1' \
+  || fail "text tree lacks the worker subtree: ${CTEXT}"
+# The worker that graded it still serves its own fragment under the SAME ID,
+# with the coordinator's onward traceparent adopted as its remote parent.
 WTRACE=""
 for W in "${W1}" "${W2}"; do
   T="$(curl -sf "http://${W}/v1/trace/${RID}" 2>/dev/null || true)"
@@ -96,6 +117,15 @@ done
 echo "${WTRACE}" | grep -q "\"id\":\"${RID}\"" || fail "worker trace ID mismatch: ${WTRACE}"
 echo "${WTRACE}" | grep -q '"traceparent":"00-' \
   || fail "worker trace did not adopt the coordinator's traceparent: ${WTRACE}"
+
+echo "== cluster statusz aggregates both workers"
+STATUSZ="$(curl -sf "http://${COORD}/v1/cluster/statusz")" || fail "cluster statusz failed"
+echo "${STATUSZ}" | grep -q '"workers_configured": *2' \
+  || fail "statusz workers_configured != 2: ${STATUSZ}"
+echo "${STATUSZ}" | grep -q '"workers_healthy": *2' \
+  || fail "statusz workers_healthy != 2: ${STATUSZ}"
+echo "${STATUSZ}" | grep -q '"ring_generation"' || fail "statusz lacks ring_generation"
+echo "${STATUSZ}" | grep -q '"go_version"' || fail "statusz rows lack scraped build info"
 
 echo "== killing one worker mid-run (SIGKILL)"
 kill -KILL "${W1_PID}"
@@ -131,6 +161,38 @@ done
 
 echo "== coordinator still ready with one worker"
 curl -sf "http://${COORD}/readyz" >/dev/null || fail "coordinator not ready with a surviving worker"
+
+echo "== the SIGKILL is on the flight recorder"
+EVENTS="$(curl -sf "http://${COORD}/v1/events")" || fail "/v1/events failed"
+echo "${EVENTS}" | grep -q "\"kind\":\"worker_down\",\"worker\":\"http://${W1}\"" \
+  || fail "no worker_down event for the killed worker: ${EVENTS}"
+echo "${EVENTS}" | grep -q '"kind":"ring_rebuild"' \
+  || fail "no ring_rebuild event after the kill: ${EVENTS}"
+
+echo "== statusz degrades (stale row, HTTP 200) with the worker dead"
+sleep 1.1  # step past the scrape-reuse window so the dead worker is re-scraped
+STATUSZ="$(curl -sf "http://${COORD}/v1/cluster/statusz")" \
+  || fail "cluster statusz errored with a dead worker (must degrade, not fail)"
+echo "${STATUSZ}" | grep -q '"workers_healthy": *1' \
+  || fail "statusz workers_healthy != 1 after kill: ${STATUSZ}"
+echo "${STATUSZ}" | grep -q '"stale": *true' \
+  || fail "dead worker's row not marked stale: ${STATUSZ}"
+
+echo "== semfeedctl renders the fleet pane, events and the assembled trace"
+"${WORK}/semfeedctl" -addr "http://${COORD}" status > "${WORK}/ctl_status.txt" \
+  || fail "semfeedctl status failed"
+grep -q "workers      1/2 healthy" "${WORK}/ctl_status.txt" \
+  || fail "semfeedctl status pane wrong: $(cat "${WORK}/ctl_status.txt")"
+grep -q "DOWN" "${WORK}/ctl_status.txt" \
+  || fail "semfeedctl status does not flag the dead worker: $(cat "${WORK}/ctl_status.txt")"
+"${WORK}/semfeedctl" -addr "http://${COORD}" events > "${WORK}/ctl_events.txt" \
+  || fail "semfeedctl events failed"
+grep -q "worker_down" "${WORK}/ctl_events.txt" \
+  || fail "semfeedctl events lacks worker_down: $(cat "${WORK}/ctl_events.txt")"
+"${WORK}/semfeedctl" -addr "http://${COORD}" trace "${RID}" > "${WORK}/ctl_trace.txt" \
+  || fail "semfeedctl trace failed"
+grep -q "assembled trace" "${WORK}/ctl_trace.txt" \
+  || fail "semfeedctl trace lacks the assembled tree: $(cat "${WORK}/ctl_trace.txt")"
 
 echo "== draining coordinator (SIGTERM)"
 kill -TERM "${C_PID}"
